@@ -1,0 +1,46 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every module here regenerates one table or figure from the paper (see
+DESIGN.md's per-experiment index).  Output conventions:
+
+* each bench prints a clearly-labelled block
+  (``=== Table I ===`` etc.) with the same rows/series the paper
+  reports;
+* absolute numbers will differ (our substrate is a from-scratch Python
+  simulator, not the authors' testbed); the *shape* — who wins, by
+  roughly what factor, where crossovers fall — is asserted.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro import Pressio
+from repro.datasets import hacc, hurricane_cloud, nyx, scale_letkf
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled report block (shown with pytest -s or on the
+    captured-output section of a failure)."""
+    bar = "=" * max(len(title) + 8, 40)
+    print(f"\n{bar}\n=== {title} ===\n{bar}\n{body}\n", file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def library() -> Pressio:
+    return Pressio()
+
+
+@pytest.fixture(scope="session")
+def bench_datasets() -> dict[str, np.ndarray]:
+    """The three SDRBench stand-ins from the paper's Section VI, at a
+    laptop-friendly scale, plus the CLOUD analog used in Section V."""
+    return {
+        "scale_letkf": scale_letkf((24, 48, 48)),
+        "nyx": nyx((48, 48, 48)),
+        "hacc": hacc(110_592),
+        "cloud": hurricane_cloud((16, 64, 64)),
+    }

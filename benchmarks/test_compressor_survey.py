@@ -1,0 +1,94 @@
+"""Supporting survey — every compressor on every dataset.
+
+Not a table in the paper, but the substrate validation DESIGN.md calls
+for: ratios, PSNR, and throughput across the full (compressor x
+dataset) grid, so regressions in any pipeline show up as a changed
+shape (e.g. HACC must stay hard to compress; CLOUD must stay easy).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import Pressio, PressioData
+
+from conftest import emit
+
+LOSSY = ("sz", "zfp", "mgard")
+LOSSLESS = ("fpzip", "zlib", "bz2", "pressio-lz")
+REL_BOUND = 1e-4
+
+
+def run_survey(datasets: dict[str, np.ndarray]) -> list[dict]:
+    library = Pressio()
+    rows = []
+    for dataset_name, arr in datasets.items():
+        data = PressioData.from_numpy(arr)
+        value_range = float(arr.max() - arr.min())
+        for cid in LOSSY + LOSSLESS:
+            compressor = library.get_compressor(cid)
+            compressor.set_metrics(
+                library.get_metric(["size", "time", "error_stat"]))
+            lossy = bool(
+                compressor.get_configuration().get("pressio:lossy"))
+            if lossy and compressor.set_options(
+                    {"pressio:abs": REL_BOUND * value_range}) != 0:
+                continue
+            compressed = compressor.compress(data)
+            compressor.decompress(
+                compressed, PressioData.empty(data.dtype, data.dims))
+            r = compressor.get_metrics_results()
+            c_ms = r.get("time:compress", 0.0)
+            rows.append({
+                "dataset": dataset_name,
+                "compressor": cid,
+                "lossy": lossy,
+                "ratio": r.get("size:compression_ratio", 0.0),
+                "psnr": r.get("error_stat:psnr"),
+                "max_err": r.get("error_stat:max_error"),
+                "compress_MBps": (data.size_in_bytes / 2**20)
+                / max(c_ms / 1e3, 1e-9),
+                "decompress_MBps": (data.size_in_bytes / 2**20)
+                / max(r.get("time:decompress", 0.0) / 1e3, 1e-9),
+            })
+    return rows
+
+
+def test_compressor_survey(benchmark, bench_datasets):
+    rows = benchmark.pedantic(run_survey, args=(bench_datasets,),
+                              rounds=1, iterations=1)
+
+    lines = [f"{'dataset':<13}{'compressor':<12}{'ratio':>8}{'psnr':>8}"
+             f"{'max_err':>11}{'comp MB/s':>11}{'dec MB/s':>10}"]
+    for r in rows:
+        psnr = f"{r['psnr']:.1f}" if r["psnr"] not in (None,) else "-"
+        err = f"{r['max_err']:.2g}" if r["max_err"] is not None else "-"
+        lines.append(f"{r['dataset']:<13}{r['compressor']:<12}"
+                     f"{r['ratio']:>8.2f}{psnr:>8}{err:>11}"
+                     f"{r['compress_MBps']:>11.1f}"
+                     f"{r['decompress_MBps']:>10.1f}")
+    emit(f"Survey: all compressors x all datasets "
+         f"(value-range rel bound {REL_BOUND:g})", "\n".join(lines))
+
+    by = {(r["dataset"], r["compressor"]): r for r in rows}
+
+    # every error-bounded run respected its bound
+    for r in rows:
+        if r["lossy"] and r["max_err"] is not None:
+            arr = bench_datasets[r["dataset"]]
+            bound = REL_BOUND * float(arr.max() - arr.min())
+            assert r["max_err"] <= bound * (1 + 1e-9), r
+
+    # shape assertions: lossy beats lossless on smooth fields...
+    for dataset in ("cloud", "nyx", "scale_letkf"):
+        best_lossy = max(by[(dataset, c)]["ratio"] for c in LOSSY)
+        best_lossless = max(by[(dataset, c)]["ratio"] for c in LOSSLESS)
+        assert best_lossy > best_lossless, dataset
+    # ...HACC stays hard for everyone (the paper's hardest dataset)
+    for c in LOSSY:
+        assert by[("hacc", c)]["ratio"] < by[("cloud", c)]["ratio"]
+    # smooth CLOUD compresses well at this bound
+    assert max(by[("cloud", c)]["ratio"] for c in LOSSY) > 10.0

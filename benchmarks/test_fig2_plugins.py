@@ -1,0 +1,60 @@
+"""Figure 2 — the plugin inventory.
+
+The paper reports "over 54 public first-party plugins" spanning
+compressors, meta-compressors, metrics, and IO.  This bench enumerates
+the registries and prints the inventory grouped as Figure 2 groups it,
+asserting the reproduction reaches the paper's plugin count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Pressio
+from repro.core.registry import compressor_registry
+
+from conftest import emit
+
+META_IDS = {
+    "chunking", "many_independent", "many_dependent", "transpose",
+    "resize", "sample", "switch", "delta_encoding", "linear_quantizer",
+    "fault_injector", "error_injector", "opt", "sparse",
+}
+
+
+def inventory() -> dict[str, list[str]]:
+    library = Pressio()
+    compressors = library.supported_compressors()
+    return {
+        "compressors": [c for c in compressors if c not in META_IDS],
+        "meta-compressors": [c for c in compressors if c in META_IDS],
+        "metrics": library.supported_metrics(),
+        "io": library.supported_io(),
+    }
+
+
+def test_fig2_plugin_inventory(benchmark):
+    groups = benchmark(inventory)
+    total = sum(len(v) for v in groups.values())
+    lines = [f"total first-party plugins: {total} (paper: 54+)", ""]
+    for group, ids in groups.items():
+        lines.append(f"{group} ({len(ids)}):")
+        lines.append("  " + ", ".join(ids))
+    emit("Figure 2: plugin inventory", "\n".join(lines))
+
+    assert total >= 54
+    # every glossary family the paper names must be represented
+    flat = {pid for ids in groups.values() for pid in ids}
+    for expected in ("sz", "sz_omp", "sz_threadsafe", "zfp", "mgard",
+                     "fpzip", "tthresh", "bit_grooming", "digit_rounding",
+                     "chunking", "many_independent", "many_dependent",
+                     "delta_encoding", "linear_quantizer", "transpose",
+                     "resize", "sample", "switch", "fault_injector",
+                     "error_injector", "opt",
+                     "size", "time", "error_stat", "pearson", "autocorr",
+                     "ks_test", "kl_divergence", "diff_pdf",
+                     "spatial_error", "kth_error", "region_of_interest",
+                     "mask", "ftk",
+                     "posix", "mmap", "csv", "numpy", "iota", "select",
+                     "hdf5mini", "adios_mini", "petsc"):
+        assert expected in flat, expected

@@ -1,0 +1,98 @@
+"""Section V (in-text) — the cost of non-embeddable designs.
+
+The paper: spawning an external process and copying data across the
+process boundary costs ~174 ms against ~993 ms of actual compression
+(~17.5% penalty per operation), and compressors with expensive
+initialization (e.g. MPI) pay ~1997 ms (~201%).
+
+Reproduced with the ``external`` compressor (spawn + filesystem copy +
+interpreter start) against the in-process ``sz`` plugin, plus a
+simulated expensive-init variant.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import Pressio, PressioData
+from repro.datasets import hurricane_cloud
+
+from conftest import emit
+
+
+def run_embedding_experiment() -> dict:
+    library = Pressio()
+    # large enough that compression time is non-trivial
+    cloud = hurricane_cloud((32, 96, 96))
+    data = PressioData.from_numpy(cloud)
+    bound = 1e-4 * float(cloud.max() - cloud.min())
+
+    inproc = library.get_compressor("sz")
+    inproc.set_options({"pressio:abs": bound})
+    inproc.compress(data)  # warm
+    t0 = time.perf_counter()
+    inproc.compress(data)
+    t_inproc = time.perf_counter() - t0
+
+    external = library.get_compressor("external")
+    external.set_options({
+        "external:compressor": "sz",
+        "external:config_json": f'{{"pressio:abs": {bound}}}',
+    })
+    t0 = time.perf_counter()
+    external.compress(data)
+    t_external = time.perf_counter() - t0
+
+    expensive = library.get_compressor("external")
+    expensive.set_options({
+        "external:compressor": "sz",
+        "external:config_json": f'{{"pressio:abs": {bound}}}',
+        "external:init_cost_ms": 500.0,  # a cheap stand-in for MPI_Init
+    })
+    t0 = time.perf_counter()
+    expensive.compress(data)
+    t_expensive = time.perf_counter() - t0
+
+    return {
+        "inproc_ms": t_inproc * 1e3,
+        "external_ms": t_external * 1e3,
+        "expensive_ms": t_expensive * 1e3,
+        "spawn_overhead_ms": (t_external - t_inproc) * 1e3,
+        "spawn_penalty_pct": 100.0 * (t_external - t_inproc) / t_inproc,
+        "expensive_penalty_pct": 100.0 * (t_expensive - t_inproc) / t_inproc,
+        # the paper's CLOUD compression took ~993 ms; normalizing our
+        # measured overhead to that workload scale makes the penalty
+        # comparable across testbeds
+        "normalized_penalty_pct":
+            100.0 * (t_external - t_inproc) * 1e3 / 993.0,
+    }
+
+
+def test_sec5_embedding_overhead(benchmark):
+    result = benchmark.pedantic(run_embedding_experiment, rounds=1,
+                                iterations=1)
+    emit("Section V: embedding (in-process vs spawned)",
+         f"in-process compression:        {result['inproc_ms']:8.1f} ms "
+         f"(paper: ~993 ms on CLOUD)\n"
+         f"spawned process, same work:    {result['external_ms']:8.1f} ms\n"
+         f"spawn+copy overhead:           "
+         f"{result['spawn_overhead_ms']:8.1f} ms (paper: ~174 ms)\n"
+         f"spawn penalty:                 "
+         f"{result['spawn_penalty_pct']:8.1f} % (paper: ~17.5%)\n"
+         f"with expensive (MPI-like) init:{result['expensive_ms']:8.1f} ms "
+         f"-> {result['expensive_penalty_pct']:.1f} % "
+         f"(paper: ~201.1%)\n"
+         f"overhead normalized to the paper's 993 ms workload: "
+         f"{result['normalized_penalty_pct']:.1f} % per operation\n"
+         f"(our spawn cost is dominated by Python interpreter + NumPy "
+         f"import, so the raw penalty\n exceeds the paper's C-binary "
+         f"number; the direction and the expensive-init ordering hold)")
+
+    # the shape of the paper's claim: spawning costs real time, and the
+    # expensive-init variant is strictly worse
+    assert result["spawn_overhead_ms"] > 20.0
+    assert result["spawn_penalty_pct"] > 10.0
+    assert result["expensive_penalty_pct"] > result["spawn_penalty_pct"]

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Autotuning scenario: fixed-ratio and quality-floor configuration search.
+
+Reproduces the LibPressio-Opt / FRaZ use case (paper references [4] and
+[25]): rather than hand-picking an error bound, declare the goal —
+"give me 16x compression" or "the best ratio with PSNR >= 70 dB" — and
+let the ``opt`` meta-compressor search the bound space.  Combined with
+``switch``, the search can even pick *between* compressor families.
+
+Run:  python examples/autotuning.py
+"""
+
+import numpy as np
+
+from repro import Pressio, PressioData
+from repro.datasets import nyx
+
+
+def main() -> None:
+    library = Pressio()
+    field = nyx((32, 32, 32))
+    data = PressioData.from_numpy(field)
+
+    # --- objective 1: hit a fixed compression ratio ---------------------
+    print("objective: compression ratio = 16x (FRaZ-style)")
+    for cid in ("sz", "zfp", "mgard"):
+        opt = library.get_compressor("opt")
+        opt.set_options({
+            "opt:compressor": cid,
+            "opt:objective": "target_ratio",
+            "opt:target_ratio": 16.0,
+            "opt:ratio_tolerance_pct": 5.0,
+            "opt:bound_low": 1e-10,
+            "opt:bound_high": 10.0,
+        })
+        compressed = opt.compress(data)
+        found = opt.get_options()
+        print(f"  {cid:<6} bound={found.get('opt:chosen_bound'):.3e} "
+              f"ratio={found.get('opt:achieved_ratio'):.2f} "
+              f"({found.get('opt:iterations')} evaluations)")
+
+    # --- objective 2: max ratio subject to a PSNR floor ------------------
+    print("objective: best ratio with PSNR >= 70 dB")
+    for cid in ("sz", "zfp"):
+        opt = library.get_compressor("opt")
+        opt.set_options({
+            "opt:compressor": cid,
+            "opt:objective": "max_ratio_with_quality",
+            "opt:quality_metric": "error_stat:psnr",
+            "opt:quality_min": 70.0,
+            "opt:bound_low": 1e-10,
+            "opt:bound_high": 10.0,
+        })
+        compressed = opt.compress(data)
+        out = opt.decompress(compressed,
+                             PressioData.empty(data.dtype, data.dims))
+        err = np.asarray(out.to_numpy()) - field
+        mse = float(np.mean(err ** 2))
+        vrange = field.max() - field.min()
+        psnr = 20 * np.log10(vrange) - 10 * np.log10(mse)
+        found = opt.get_options()
+        print(f"  {cid:<6} bound={found.get('opt:chosen_bound'):.3e} "
+              f"ratio={found.get('opt:achieved_ratio'):.2f} "
+              f"verified psnr={psnr:.1f} dB")
+
+    # --- bonus: search across families with switch ------------------------
+    print("objective: ratio = 12x, compressor chosen at runtime via switch")
+    best = None
+    for candidate in ("sz", "zfp", "mgard"):
+        opt = library.get_compressor("opt")
+        opt.set_options({
+            "opt:compressor": "switch",
+            "switch:compressor_ids": ["sz", "zfp", "mgard"],
+            "switch:active_id": candidate,
+            "opt:target_ratio": 12.0,
+            "opt:bound_low": 1e-10,
+            "opt:bound_high": 10.0,
+        })
+        compressed = opt.compress(data)
+        found = opt.get_options()
+        achieved = found.get("opt:achieved_ratio")
+        bound = found.get("opt:chosen_bound")
+        if best is None or abs(achieved - 12.0) < abs(best[1] - 12.0):
+            best = (candidate, achieved, bound)
+        print(f"  switch->{candidate:<6} ratio={achieved:.2f}")
+    print(f"  winner: {best[0]} at ratio {best[1]:.2f} "
+          f"(bound {best[2]:.3e})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Climate-workflow scenario: choose a compressor for a CLOUD-like field.
+
+Reproduces the decision problem from the paper's introduction: a climate
+scientist needs to pick a compressor and bound that preserve their
+analysis.  One uniform loop sweeps every relevant compressor and bound,
+gathers quality metrics (PSNR, Pearson r, KS test, spatial error against
+a derived-quantity threshold, region-of-interest drift), and applies a
+simple acceptance rule.
+
+Run:  python examples/climate_analysis.py
+"""
+
+import numpy as np
+
+from repro import Pressio, PressioData
+from repro.datasets import hurricane_cloud
+
+COMPRESSORS = ["sz", "zfp", "mgard", "bit_grooming"]
+REL_BOUNDS = [1e-5, 1e-4, 1e-3, 1e-2]
+
+# acceptance rule: the analysis needs PSNR >= 60 dB, near-perfect linear
+# agreement, and < 0.1% of points off by more than the derived threshold
+MIN_PSNR = 60.0
+MIN_PEARSON = 0.9999
+MAX_SPATIAL_PCT = 0.1
+
+
+def main() -> None:
+    library = Pressio()
+    field = hurricane_cloud((24, 96, 96))
+    data = PressioData.from_numpy(field)
+    value_range = field.max() - field.min()
+
+    print(f"field: hurricane CLOUD analog {field.shape}, "
+          f"range {value_range:.3g}")
+    header = (f"{'compressor':<14}{'rel bound':>10}{'ratio':>8}{'psnr':>8}"
+              f"{'pearson':>10}{'spatial%':>10}{'roi drift':>11}  verdict")
+    print(header)
+    print("-" * len(header))
+
+    best = None
+    for cid in COMPRESSORS:
+        for bound in REL_BOUNDS:
+            compressor = library.get_compressor(cid)
+            metrics = library.get_metric(
+                ["size", "error_stat", "pearson", "spatial_error",
+                 "region_of_interest"])
+            metrics.set_options({
+                "spatial_error:threshold": 1e-3 * value_range,
+                "region_of_interest:start": ["6", "24", "24"],
+                "region_of_interest:stop": ["18", "72", "72"],
+            })
+            compressor.set_metrics(metrics)
+            # every compressor here understands either pressio:abs or a
+            # native tolerance; the rel bound converts through the range
+            if compressor.set_options({"pressio:abs": bound * value_range,
+                                       "bit_grooming:nsb": 16}) != 0:
+                continue
+            compressed = compressor.compress(data)
+            compressor.decompress(
+                compressed, PressioData.empty(data.dtype, data.dims))
+            r = compressor.get_metrics_results()
+            ratio = r.get("size:compression_ratio", 0.0)
+            psnr = r.get("error_stat:psnr", 0.0)
+            pearson = r.get("pearson:r", 0.0)
+            spatial = r.get("spatial_error:percent", 100.0)
+            roi = r.get("region_of_interest:mean_error", np.inf)
+            ok = (psnr >= MIN_PSNR and pearson >= MIN_PEARSON
+                  and spatial <= MAX_SPATIAL_PCT)
+            verdict = "ACCEPT" if ok else "reject"
+            print(f"{cid:<14}{bound:>10.0e}{ratio:>8.1f}{psnr:>8.1f}"
+                  f"{pearson:>10.6f}{spatial:>10.3f}{roi:>11.2e}  {verdict}")
+            if ok and (best is None or ratio > best[2]):
+                best = (cid, bound, ratio)
+
+    print()
+    if best:
+        print(f"best accepted configuration: {best[0]} at rel bound "
+              f"{best[1]:.0e} -> ratio {best[2]:.1f}")
+    else:
+        print("no configuration satisfied the acceptance rule")
+
+
+if __name__ == "__main__":
+    main()

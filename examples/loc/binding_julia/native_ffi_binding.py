@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""An FFI-style language binding over the NATIVE zfp API.
+
+The paper's "BindingJulia" row wraps one compressor (zfp_jll wraps the
+zfp shared library 1:1).  This file reproduces that labor: a flat,
+ccall-friendly function table that re-exports every zfp symbol a host
+language needs, marshals array arguments, translates the Fortran
+dimension convention, owns handle lifecycles, and converts error
+conventions — all for exactly one compressor.  Adding sz would mean
+writing the whole table again around sz's very different API.
+
+Compare with ``pressio_ffi_binding.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.native import zfp as native_zfp
+
+# ----------------------------------------------------------------------
+# handle tables: hosts hold integer ids, not Python objects
+# ----------------------------------------------------------------------
+_streams: dict[int, native_zfp.zfp_stream] = {}
+_fields: dict[int, native_zfp.zfp_field] = {}
+_next_handle = [1]
+
+
+def _new_handle() -> int:
+    handle = _next_handle[0]
+    _next_handle[0] += 1
+    return handle
+
+
+# ----------------------------------------------------------------------
+# the exported function table (one entry per zfp.h symbol)
+# ----------------------------------------------------------------------
+def ffi_zfp_stream_open() -> int:
+    handle = _new_handle()
+    _streams[handle] = native_zfp.zfp_stream_open()
+    return handle
+
+
+def ffi_zfp_stream_close(stream_handle: int) -> int:
+    stream = _streams.pop(stream_handle, None)
+    if stream is None:
+        return -1
+    native_zfp.zfp_stream_close(stream)
+    return 0
+
+
+def ffi_zfp_stream_set_accuracy(stream_handle: int, tolerance: float) -> float:
+    try:
+        return native_zfp.zfp_stream_set_accuracy(_streams[stream_handle],
+                                                  tolerance)
+    except (KeyError, ValueError):
+        return -1.0
+
+
+def ffi_zfp_stream_set_precision(stream_handle: int, precision: int) -> int:
+    try:
+        return native_zfp.zfp_stream_set_precision(_streams[stream_handle],
+                                                   precision)
+    except (KeyError, ValueError):
+        return -1
+
+
+def ffi_zfp_stream_set_rate(stream_handle: int, rate: float) -> float:
+    try:
+        return native_zfp.zfp_stream_set_rate(_streams[stream_handle], rate)
+    except (KeyError, ValueError):
+        return -1.0
+
+
+def ffi_zfp_stream_set_reversible(stream_handle: int) -> int:
+    stream = _streams.get(stream_handle)
+    if stream is None:
+        return -1
+    native_zfp.zfp_stream_set_reversible(stream)
+    return 0
+
+
+def ffi_zfp_field_alloc(dtype_code: int, nx: int, ny: int = 0,
+                        nz: int = 0) -> int:
+    """dtype_code: 3 = float, 4 = double (zfp_type values)."""
+    handle = _new_handle()
+    _fields[handle] = native_zfp.zfp_field(None, dtype_code, nx, ny, nz)
+    return handle
+
+
+def ffi_zfp_field_set_pointer(field_handle: int, buffer: np.ndarray) -> int:
+    field = _fields.get(field_handle)
+    if field is None:
+        return -1
+    field.data = np.ascontiguousarray(buffer).reshape(-1)
+    return 0
+
+
+def ffi_zfp_field_free(field_handle: int) -> int:
+    field = _fields.pop(field_handle, None)
+    if field is None:
+        return -1
+    native_zfp.zfp_field_free(field)
+    return 0
+
+
+def ffi_zfp_compress(stream_handle: int, field_handle: int) -> bytes | None:
+    stream = _streams.get(stream_handle)
+    field = _fields.get(field_handle)
+    if stream is None or field is None:
+        return None
+    try:
+        return native_zfp.zfp_compress(stream, field)
+    except (ValueError, TypeError):
+        return None
+
+
+def ffi_zfp_decompress(stream_handle: int, field_handle: int,
+                       buffer: bytes) -> np.ndarray | None:
+    stream = _streams.get(stream_handle)
+    field = _fields.get(field_handle)
+    if stream is None or field is None:
+        return None
+    try:
+        return native_zfp.zfp_decompress(stream, field, buffer)
+    except Exception:  # noqa: BLE001 - FFI boundary swallows to error code
+        return None
+
+
+def ffi_zfp_stream_maximum_size(stream_handle: int,
+                                field_handle: int) -> int:
+    stream = _streams.get(stream_handle)
+    field = _fields.get(field_handle)
+    if stream is None or field is None:
+        return -1
+    return native_zfp.zfp_stream_maximum_size(stream, field)
+
+
+# convenience layer hosts typically add on top of the raw table ---------
+def compress_array(array: np.ndarray, tolerance: float) -> bytes:
+    """High-level helper: the Julia-side ergonomic wrapper."""
+    dtype_code = (native_zfp.zfp_type_float if array.dtype == np.float32
+                  else native_zfp.zfp_type_double)
+    nxyz = tuple(reversed(array.shape)) + (0,) * (3 - array.ndim)
+    stream = ffi_zfp_stream_open()
+    field = ffi_zfp_field_alloc(dtype_code, *nxyz[:3])
+    try:
+        ffi_zfp_stream_set_accuracy(stream, tolerance)
+        ffi_zfp_field_set_pointer(field, array)
+        buf = ffi_zfp_compress(stream, field)
+        if buf is None:
+            raise RuntimeError("zfp compression failed")
+        return buf
+    finally:
+        ffi_zfp_field_free(field)
+        ffi_zfp_stream_close(stream)
+
+
+def decompress_array(buffer: bytes, shape: tuple[int, ...],
+                     dtype: np.dtype, tolerance: float) -> np.ndarray:
+    dtype_code = (native_zfp.zfp_type_float if dtype == np.float32
+                  else native_zfp.zfp_type_double)
+    nxyz = tuple(reversed(shape)) + (0,) * (3 - len(shape))
+    stream = ffi_zfp_stream_open()
+    field = ffi_zfp_field_alloc(dtype_code, *nxyz[:3])
+    try:
+        ffi_zfp_stream_set_accuracy(stream, tolerance)
+        out = ffi_zfp_decompress(stream, field, buffer)
+        if out is None:
+            raise RuntimeError("zfp decompression failed")
+        return np.asarray(out).reshape(shape)
+    finally:
+        ffi_zfp_field_free(field)
+        ffi_zfp_stream_close(stream)
+
+
+def main() -> int:
+    from repro.datasets import nyx
+
+    data = nyx((16, 16, 16))
+    buf = compress_array(data, 1e-3)
+    out = decompress_array(buf, data.shape, data.dtype, 1e-3)
+    print(f"zfp via ffi table: ratio {data.nbytes / len(buf):.2f}, "
+          f"max err {float(np.abs(out - data).max()):.3g}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

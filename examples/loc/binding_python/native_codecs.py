@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""NumCodecs-style codec classes written against NATIVE APIs.
+
+The paper's "BindingPython" row: exposing compressors to Python's codec
+ecosystems (numcodecs/zarr) historically meant one hand-written codec
+class per compressor.  Each class below re-implements configuration
+plumbing, dtype/shape framing, lifecycle management, and the codec
+protocol (``encode`` / ``decode`` / ``get_config`` / ``from_config``)
+for its one compressor.
+
+Compare with ``pressio_codec.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.native import sz as native_sz
+from repro.native import zfp as native_zfp
+from repro.native.sz import sz_params
+
+
+class SZCodec:
+    """numcodecs-protocol codec over the sz native API."""
+
+    codec_id = "sz"
+
+    def __init__(self, mode: str = "abs", abs_err_bound: float = 1e-4,
+                 rel_bound_ratio: float = 1e-4,
+                 pw_rel_bound_ratio: float = 1e-3):
+        if mode not in ("abs", "rel", "pw_rel"):
+            raise ValueError(f"sz codec: unknown mode {mode!r}")
+        self.mode = mode
+        self.abs_err_bound = abs_err_bound
+        self.rel_bound_ratio = rel_bound_ratio
+        self.pw_rel_bound_ratio = pw_rel_bound_ratio
+
+    def _mode_enum(self) -> int:
+        return {"abs": native_sz.ABS, "rel": native_sz.REL,
+                "pw_rel": native_sz.PW_REL}[self.mode]
+
+    def encode(self, buf) -> bytes:
+        array = np.asarray(buf)
+        if array.dtype == np.float32:
+            sz_type = native_sz.SZ_FLOAT
+        elif array.dtype == np.float64:
+            sz_type = native_sz.SZ_DOUBLE
+        else:
+            raise TypeError(f"sz codec: unsupported dtype {array.dtype}")
+        r = (0,) * (5 - array.ndim) + tuple(array.shape)
+        native_sz.SZ_Init(sz_params())
+        try:
+            payload = native_sz.SZ_compress_args(
+                sz_type, array.copy(), *r,
+                errBoundMode=self._mode_enum(),
+                absErrBound=self.abs_err_bound,
+                relBoundRatio=self.rel_bound_ratio,
+                pwrBoundRatio=self.pw_rel_bound_ratio)
+        finally:
+            native_sz.SZ_Finalize()
+        header = struct.pack("<BB", 0 if array.dtype == np.float32 else 1,
+                             array.ndim)
+        header += struct.pack(f"<{array.ndim}Q", *array.shape)
+        return header + payload
+
+    def decode(self, buf, out=None) -> np.ndarray:
+        blob = bytes(buf)
+        dtype_flag, ndims = struct.unpack_from("<BB", blob, 0)
+        dims = struct.unpack_from(f"<{ndims}Q", blob, 2)
+        np_dtype = np.float32 if dtype_flag == 0 else np.float64
+        sz_type = native_sz.SZ_FLOAT if dtype_flag == 0 else native_sz.SZ_DOUBLE
+        r = (0,) * (5 - ndims) + tuple(dims)
+        native_sz.SZ_Init(sz_params())
+        try:
+            decoded = native_sz.SZ_decompress(sz_type,
+                                              blob[2 + 8 * ndims:], *r)
+        finally:
+            native_sz.SZ_Finalize()
+        decoded = np.asarray(decoded, dtype=np_dtype).reshape(dims)
+        if out is not None:
+            np.copyto(np.asarray(out).reshape(dims), decoded)
+            return out
+        return decoded
+
+    def get_config(self) -> dict:
+        return {"id": self.codec_id, "mode": self.mode,
+                "abs_err_bound": self.abs_err_bound,
+                "rel_bound_ratio": self.rel_bound_ratio,
+                "pw_rel_bound_ratio": self.pw_rel_bound_ratio}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "SZCodec":
+        config = dict(config)
+        config.pop("id", None)
+        return cls(**config)
+
+
+class ZFPCodec:
+    """numcodecs-protocol codec over the zfp native API."""
+
+    codec_id = "zfp"
+
+    def __init__(self, mode: str = "accuracy", tolerance: float = 1e-4,
+                 precision: int = 24, rate: float = 8.0):
+        if mode not in ("accuracy", "precision", "rate", "reversible"):
+            raise ValueError(f"zfp codec: unknown mode {mode!r}")
+        self.mode = mode
+        self.tolerance = tolerance
+        self.precision = precision
+        self.rate = rate
+
+    def _stream(self) -> native_zfp.zfp_stream:
+        stream = native_zfp.zfp_stream_open()
+        if self.mode == "accuracy":
+            native_zfp.zfp_stream_set_accuracy(stream, self.tolerance)
+        elif self.mode == "precision":
+            native_zfp.zfp_stream_set_precision(stream, self.precision)
+        elif self.mode == "rate":
+            native_zfp.zfp_stream_set_rate(stream, self.rate)
+        else:
+            native_zfp.zfp_stream_set_reversible(stream)
+        return stream
+
+    @staticmethod
+    def _field(array: np.ndarray) -> native_zfp.zfp_field:
+        if array.dtype == np.float32:
+            t = native_zfp.zfp_type_float
+        elif array.dtype == np.float64:
+            t = native_zfp.zfp_type_double
+        else:
+            raise TypeError(f"zfp codec: unsupported dtype {array.dtype}")
+        flat = array.reshape(-1)
+        shape = array.shape
+        if len(shape) == 1:
+            return native_zfp.zfp_field_1d(flat, t, shape[0])
+        if len(shape) == 2:
+            return native_zfp.zfp_field_2d(flat, t, shape[1], shape[0])
+        if len(shape) == 3:
+            return native_zfp.zfp_field_3d(flat, t, shape[2], shape[1],
+                                           shape[0])
+        raise ValueError("zfp codec: 1-3 dims only")
+
+    def encode(self, buf) -> bytes:
+        array = np.asarray(buf)
+        stream = self._stream()
+        payload = native_zfp.zfp_compress(stream, self._field(array))
+        native_zfp.zfp_stream_close(stream)
+        header = struct.pack("<BB", 0 if array.dtype == np.float32 else 1,
+                             array.ndim)
+        header += struct.pack(f"<{array.ndim}Q", *array.shape)
+        return header + payload
+
+    def decode(self, buf, out=None) -> np.ndarray:
+        blob = bytes(buf)
+        dtype_flag, ndims = struct.unpack_from("<BB", blob, 0)
+        dims = struct.unpack_from(f"<{ndims}Q", blob, 2)
+        np_dtype = np.float32 if dtype_flag == 0 else np.float64
+        stream = self._stream()
+        field = self._field(np.zeros(dims, dtype=np_dtype))
+        decoded = native_zfp.zfp_decompress(stream, field,
+                                            blob[2 + 8 * ndims:])
+        native_zfp.zfp_stream_close(stream)
+        decoded = np.asarray(decoded, dtype=np_dtype).reshape(dims)
+        if out is not None:
+            np.copyto(np.asarray(out).reshape(dims), decoded)
+            return out
+        return decoded
+
+    def get_config(self) -> dict:
+        return {"id": self.codec_id, "mode": self.mode,
+                "tolerance": self.tolerance, "precision": self.precision,
+                "rate": self.rate}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "ZFPCodec":
+        config = dict(config)
+        config.pop("id", None)
+        return cls(**config)
+
+
+def main() -> int:
+    from repro.datasets import nyx
+
+    data = nyx((16, 16, 16))
+    for codec in (SZCodec(abs_err_bound=1e-3), ZFPCodec(tolerance=1e-3)):
+        restored = codec.from_config(codec.get_config())
+        out = restored.decode(restored.encode(data))
+        print(f"{codec.codec_id}: max err "
+              f"{float(np.abs(out - data).max()):.3g}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

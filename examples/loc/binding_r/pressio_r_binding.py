@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""A statistics-oriented (R-flavoured) binding over the uniform interface.
+
+The paper's "BindingR" row has no native multi-compressor comparator —
+it only exists because the uniform interface made it cheap.  This
+binding exposes compression assessment as data-frame-shaped results (a
+dict of equal-length columns, R's native idiom) so an R host can call
+one function and get a frame back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Pressio, PressioData
+
+
+def pressio_assess_frame(array: np.ndarray, compressor_ids: list[str],
+                         bounds: list[float]) -> dict[str, list]:
+    """Return a column-wise frame of (compressor, bound, ratio, psnr,
+    max_error) over the sweep — `as.data.frame`-ready."""
+    library = Pressio()
+    data = PressioData.from_numpy(np.asarray(array))
+    frame: dict[str, list] = {"compressor": [], "bound": [], "ratio": [],
+                              "psnr": [], "max_error": []}
+    for cid in compressor_ids:
+        for bound in bounds:
+            compressor = library.get_compressor(cid)
+            compressor.set_metrics(library.get_metric(["size",
+                                                       "error_stat"]))
+            if compressor.set_options({"pressio:abs": bound}) != 0:
+                continue
+            compressed = compressor.compress(data)
+            compressor.decompress(
+                compressed, PressioData.empty(data.dtype, data.dims))
+            r = compressor.get_metrics_results()
+            frame["compressor"].append(cid)
+            frame["bound"].append(bound)
+            frame["ratio"].append(r.get("size:compression_ratio"))
+            frame["psnr"].append(r.get("error_stat:psnr"))
+            frame["max_error"].append(r.get("error_stat:max_error"))
+    return frame
+
+
+def pressio_summary(frame: dict[str, list]) -> str:
+    """An R-style summary() of the assessment frame."""
+    lines = []
+    for cid in sorted(set(frame["compressor"])):
+        ratios = [r for c, r in zip(frame["compressor"], frame["ratio"])
+                  if c == cid]
+        lines.append(f"{cid}: ratio min={min(ratios):.2f} "
+                     f"median={sorted(ratios)[len(ratios) // 2]:.2f} "
+                     f"max={max(ratios):.2f}")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    from repro.datasets import nyx
+
+    frame = pressio_assess_frame(nyx((16, 16, 16)), ["sz", "zfp", "mgard"],
+                                 [1e-4, 1e-3, 1e-2])
+    print(pressio_summary(frame))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""A safety-wrapper binding over the NATIVE zfp API (the Rust pattern).
+
+The paper's "BindingRust" row (zfp-sys): a host language that demands
+explicit resource safety wraps the raw API in RAII types.  This file
+reproduces that: guard objects that own the stream/field lifecycles,
+check every precondition the raw API would let you violate, and expose
+a safe compress/decompress pair — for exactly one compressor.
+
+Compare with ``pressio_safe_wrapper.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.native import zfp as native_zfp
+
+
+class ZfpStreamGuard:
+    """RAII guard for a zfp_stream (Drop = close)."""
+
+    def __init__(self) -> None:
+        self._stream = native_zfp.zfp_stream_open()
+        self._open = True
+
+    def __enter__(self) -> "ZfpStreamGuard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._open:
+            native_zfp.zfp_stream_close(self._stream)
+            self._open = False
+
+    @property
+    def raw(self) -> native_zfp.zfp_stream:
+        if not self._open:
+            raise RuntimeError("use after close")
+        return self._stream
+
+    def set_accuracy(self, tolerance: float) -> None:
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        native_zfp.zfp_stream_set_accuracy(self.raw, tolerance)
+
+
+class ZfpFieldGuard:
+    """RAII guard for a zfp_field, validating shape/dtype invariants."""
+
+    def __init__(self, array: np.ndarray):
+        if array.ndim < 1 or array.ndim > 3:
+            raise ValueError("zfp supports 1-3 dimensions")
+        if array.dtype == np.float32:
+            t = native_zfp.zfp_type_float
+        elif array.dtype == np.float64:
+            t = native_zfp.zfp_type_double
+        else:
+            raise TypeError(f"unsupported dtype {array.dtype}")
+        nxyz = tuple(reversed(array.shape)) + (0,) * (3 - array.ndim)
+        self._field = native_zfp.zfp_field(
+            np.ascontiguousarray(array).reshape(-1), t, *nxyz[:3])
+        self.shape = array.shape
+        self.dtype = array.dtype
+
+    def __enter__(self) -> "ZfpFieldGuard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        native_zfp.zfp_field_free(self._field)
+
+    @property
+    def raw(self) -> native_zfp.zfp_field:
+        return self._field
+
+
+def compress(array: np.ndarray, tolerance: float) -> bytes:
+    """Safe one-shot compression (no leaked handles on any path)."""
+    with ZfpStreamGuard() as stream, ZfpFieldGuard(array) as field:
+        stream.set_accuracy(tolerance)
+        return native_zfp.zfp_compress(stream.raw, field.raw)
+
+
+def decompress(buffer: bytes, shape: tuple[int, ...], dtype,
+               tolerance: float) -> np.ndarray:
+    template = np.zeros(shape, dtype=dtype)
+    with ZfpStreamGuard() as stream, ZfpFieldGuard(template) as field:
+        stream.set_accuracy(tolerance)
+        out = native_zfp.zfp_decompress(stream.raw, field.raw, buffer)
+        return np.asarray(out).reshape(shape)
+
+
+def main() -> int:
+    from repro.datasets import nyx
+
+    data = nyx((16, 16, 16))
+    buf = compress(data, 1e-3)
+    out = decompress(buf, data.shape, data.dtype, 1e-3)
+    print(f"zfp via safe wrapper: ratio {data.nbytes / len(buf):.2f}, "
+          f"max err {float(np.abs(out - data).max()):.3g}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""A safety-wrapper binding over the uniform interface.
+
+Feature parity with ``native_safe_wrapper.py`` — the uniform API already
+owns lifecycles and validates inputs, so the safe wrapper collapses to a
+pair of functions that work for every compressor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Pressio, PressioData
+from repro.core.dtype import dtype_from_numpy
+
+
+def compress(compressor_id: str, array: np.ndarray, options: dict) -> bytes:
+    compressor = Pressio().get_compressor(compressor_id)
+    if compressor is None or compressor.set_options(options) != 0:
+        raise RuntimeError(f"cannot configure {compressor_id}")
+    return compressor.compress(PressioData.from_numpy(array)).to_bytes()
+
+
+def decompress(compressor_id: str, buffer: bytes, shape: tuple[int, ...],
+               dtype) -> np.ndarray:
+    compressor = Pressio().get_compressor(compressor_id)
+    out = compressor.decompress(
+        PressioData.from_bytes(buffer),
+        PressioData.empty(dtype_from_numpy(np.dtype(dtype)), shape))
+    return np.asarray(out.to_numpy())
+
+
+def main() -> int:
+    from repro.datasets import nyx
+
+    data = nyx((16, 16, 16))
+    buf = compress("zfp", data, {"zfp:accuracy": 1e-3})
+    out = decompress("zfp", buf, data.shape, data.dtype)
+    print(f"zfp via uniform wrapper: ratio {data.nbytes / len(buf):.2f}, "
+          f"max err {float(np.abs(out - data).max()):.3g}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

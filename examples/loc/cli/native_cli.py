@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Command-line compression tools written against NATIVE APIs.
+
+Real sz, zfp, and mgard each ship their own CLI with its own argument
+conventions; a user supporting all three maintains three tools.  This
+file reproduces that situation: three independent sub-tools, each with
+the argument style of the compressor it wraps, each re-implementing
+file IO, dimension handling, and verification.
+
+    native_cli.py sz   -i in.bin -o out.sz  -f -3 48 48 48 -M ABS -A 1e-4
+    native_cli.py zfp  -i in.bin -z out.zfp -d -3 48 48 48 -a 1e-4
+    native_cli.py mgard --infile in.bin --outfile out.mgd \
+                        --nrow 48 --ncol 48 --nfib 48 --tol 1e-4
+
+Compare with ``pressio_cli.py``, where one tool serves every compressor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.native import mgard as native_mgard
+from repro.native import sz as native_sz
+from repro.native import zfp as native_zfp
+from repro.native.sz import sz_params
+
+
+# ----------------------------------------------------------------------
+# sz-style tool: -f/-d dtype flags, five reversed dims, bound mode enums
+# ----------------------------------------------------------------------
+def sz_tool(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="sz",
+                                     description="sz-convention CLI")
+    parser.add_argument("-i", dest="input", required=True)
+    parser.add_argument("-o", dest="output", required=True)
+    parser.add_argument("-x", dest="decompress_output", default=None,
+                        help="also decompress to this path")
+    parser.add_argument("-f", dest="is_float", action="store_true",
+                        help="single precision (default double)")
+    parser.add_argument("-3", dest="dims3", nargs=3, type=int, default=None)
+    parser.add_argument("-2", dest="dims2", nargs=2, type=int, default=None)
+    parser.add_argument("-1", dest="dims1", nargs=1, type=int, default=None)
+    parser.add_argument("-M", dest="mode", default="ABS",
+                        choices=["ABS", "REL", "PW_REL", "PSNR"])
+    parser.add_argument("-A", dest="abs_bound", type=float, default=1e-4)
+    parser.add_argument("-R", dest="rel_bound", type=float, default=1e-4)
+    parser.add_argument("-P", dest="pw_bound", type=float, default=1e-3)
+    parser.add_argument("-S", dest="psnr", type=float, default=90.0)
+    args = parser.parse_args(argv)
+
+    dims = args.dims3 or args.dims2 or args.dims1
+    if dims is None:
+        print("sz: one of -1/-2/-3 is required", file=sys.stderr)
+        return 2
+    np_dtype = np.float32 if args.is_float else np.float64
+    sz_type = native_sz.SZ_FLOAT if args.is_float else native_sz.SZ_DOUBLE
+    data = np.fromfile(args.input, dtype=np_dtype)
+    expected = int(np.prod(dims))
+    if data.size != expected:
+        print(f"sz: file holds {data.size} values, dims need {expected}",
+              file=sys.stderr)
+        return 2
+    data = data.reshape(dims)
+
+    mode_map = {"ABS": native_sz.ABS, "REL": native_sz.REL,
+                "PW_REL": native_sz.PW_REL, "PSNR": native_sz.PSNR}
+    native_sz.SZ_Init(sz_params())
+    try:
+        r = (0,) * (5 - len(dims)) + tuple(dims)
+        stream = native_sz.SZ_compress_args(
+            sz_type, data.copy(), *r,
+            errBoundMode=mode_map[args.mode],
+            absErrBound=args.abs_bound, relBoundRatio=args.rel_bound,
+            pwrBoundRatio=args.pw_bound, psnr=args.psnr)
+        with open(args.output, "wb") as fh:
+            fh.write(stream)
+        print(f"sz: {data.nbytes} -> {len(stream)} bytes "
+              f"(ratio {data.nbytes / len(stream):.2f})")
+        if args.decompress_output:
+            out = native_sz.SZ_decompress(sz_type, stream, *r)
+            out.astype(np_dtype).tofile(args.decompress_output)
+    finally:
+        native_sz.SZ_Finalize()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# zfp-style tool: -d double flag, F-order dims, mode flags -a/-p/-r/-R
+# ----------------------------------------------------------------------
+def zfp_tool(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="zfp",
+                                     description="zfp-convention CLI")
+    parser.add_argument("-i", dest="input", required=True)
+    parser.add_argument("-z", dest="output", required=True)
+    parser.add_argument("-o", dest="decompress_output", default=None)
+    parser.add_argument("-f", dest="is_float", action="store_true")
+    parser.add_argument("-d", dest="dims", nargs="+", type=int,
+                        required=True,
+                        help="dimensions, nx (fastest) FIRST")
+    parser.add_argument("-a", dest="accuracy", type=float, default=None)
+    parser.add_argument("-p", dest="precision", type=int, default=None)
+    parser.add_argument("-r", dest="rate", type=float, default=None)
+    parser.add_argument("-R", dest="reversible", action="store_true")
+    args = parser.parse_args(argv)
+
+    np_dtype = np.float32 if args.is_float else np.float64
+    zfp_type = (native_zfp.zfp_type_float if args.is_float
+                else native_zfp.zfp_type_double)
+    data = np.fromfile(args.input, dtype=np_dtype)
+    expected = int(np.prod(args.dims))
+    if data.size != expected:
+        print(f"zfp: file holds {data.size} values, dims need {expected}",
+              file=sys.stderr)
+        return 2
+
+    stream = native_zfp.zfp_stream_open()
+    if args.reversible:
+        native_zfp.zfp_stream_set_reversible(stream)
+    elif args.precision is not None:
+        native_zfp.zfp_stream_set_precision(stream, args.precision)
+    elif args.rate is not None:
+        native_zfp.zfp_stream_set_rate(stream, args.rate)
+    else:
+        native_zfp.zfp_stream_set_accuracy(stream, args.accuracy or 1e-3)
+
+    nxyz = tuple(args.dims) + (0,) * (3 - len(args.dims))
+    if len(args.dims) == 1:
+        field = native_zfp.zfp_field_1d(data, zfp_type, nxyz[0])
+    elif len(args.dims) == 2:
+        field = native_zfp.zfp_field_2d(data, zfp_type, nxyz[0], nxyz[1])
+    elif len(args.dims) == 3:
+        field = native_zfp.zfp_field_3d(data, zfp_type, nxyz[0], nxyz[1],
+                                        nxyz[2])
+    else:
+        print("zfp: 1-3 dims only", file=sys.stderr)
+        return 2
+    buf = native_zfp.zfp_compress(stream, field)
+    with open(args.output, "wb") as fh:
+        fh.write(buf)
+    print(f"zfp: {data.nbytes} -> {len(buf)} bytes "
+          f"(ratio {data.nbytes / len(buf):.2f})")
+    if args.decompress_output:
+        out_field = native_zfp.zfp_field(None, zfp_type, *nxyz)
+        out = native_zfp.zfp_decompress(stream, out_field, buf)
+        np.asarray(out).astype(np_dtype).tofile(args.decompress_output)
+    native_zfp.zfp_stream_close(stream)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# mgard-style tool: long options, (nrow, ncol, nfib), tol + s
+# ----------------------------------------------------------------------
+def mgard_tool(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="mgard",
+                                     description="mgard-convention CLI")
+    parser.add_argument("--infile", required=True)
+    parser.add_argument("--outfile", required=True)
+    parser.add_argument("--datfile", default=None,
+                        help="also decompress to this path")
+    parser.add_argument("--double", action="store_true", default=True)
+    parser.add_argument("--float", dest="double", action="store_false")
+    parser.add_argument("--nrow", type=int, required=True)
+    parser.add_argument("--ncol", type=int, default=1)
+    parser.add_argument("--nfib", type=int, default=1)
+    parser.add_argument("--tol", type=float, required=True)
+    parser.add_argument("--s", type=float, default=0.0)
+    args = parser.parse_args(argv)
+
+    np_dtype = np.float64 if args.double else np.float32
+    itype = 1 if args.double else 0
+    data = np.fromfile(args.infile, dtype=np_dtype)
+    dims = [d for d in (args.nrow, args.ncol, args.nfib) if d > 1]
+    expected = int(np.prod(dims))
+    if data.size != expected:
+        print(f"mgard: file holds {data.size} values, dims need {expected}",
+              file=sys.stderr)
+        return 2
+    if any(d < 3 for d in dims):
+        print("mgard: every used dimension needs >= 3 samples",
+              file=sys.stderr)
+        return 2
+    stream = native_mgard.mgard_compress(itype, data.reshape(dims),
+                                         args.nrow, args.ncol, args.nfib,
+                                         args.tol, args.s)
+    with open(args.outfile, "wb") as fh:
+        fh.write(stream)
+    print(f"mgard: {data.nbytes} -> {len(stream)} bytes "
+          f"(ratio {data.nbytes / len(stream):.2f})")
+    if args.datfile:
+        out = native_mgard.mgard_decompress(itype, stream, args.nrow,
+                                            args.ncol, args.nfib)
+        np.asarray(out).astype(np_dtype).tofile(args.datfile)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ("sz", "zfp", "mgard"):
+        print("usage: native_cli.py {sz|zfp|mgard} [tool args...]",
+              file=sys.stderr)
+        return 2
+    tool = {"sz": sz_tool, "zfp": zfp_tool, "mgard": mgard_tool}[argv[0]]
+    return tool(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

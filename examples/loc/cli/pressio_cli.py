@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""One command-line compression tool for EVERY compressor, via the
+uniform interface.
+
+Feature parity with all three sub-tools of ``native_cli.py`` plus
+capabilities none of them have (any registered compressor, any error
+bound option, metrics on demand):
+
+    pressio_cli.py -z sz    -i in.bin -t float64 -d 48,48,48 \
+                   -o pressio:abs=1e-4 -c out.sz -w round.bin
+    pressio_cli.py -z zfp   -i in.bin -t float64 -d 48,48,48 \
+                   -o zfp:accuracy=1e-4 -c out.zfp
+    pressio_cli.py -z mgard -i in.bin -t float64 -d 48,48,48 \
+                   -o mgard:tolerance=1e-4 -c out.mgd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import Pressio, PressioData
+from repro.core.dtype import dtype_from_numpy
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-z", "--compressor", required=True)
+    parser.add_argument("-i", "--input", required=True)
+    parser.add_argument("-t", "--dtype", default="float64")
+    parser.add_argument("-d", "--dims", required=True)
+    parser.add_argument("-o", "--option", action="append", default=[],
+                        metavar="KEY=VALUE")
+    parser.add_argument("-c", "--compressed", default=None)
+    parser.add_argument("-w", "--decompressed", default=None)
+    parser.add_argument("-M", "--print-metrics", action="store_true")
+    args = parser.parse_args(argv)
+
+    library = Pressio()
+    compressor = library.get_compressor(args.compressor)
+    if compressor is None:
+        print(f"error: {library.error_msg()}", file=sys.stderr)
+        return 2
+    options = {}
+    for entry in args.option:
+        key, _, raw = entry.partition("=")
+        try:
+            options[key] = float(raw) if "." in raw or "e" in raw else int(raw)
+        except ValueError:
+            options[key] = raw
+    if options and compressor.set_options(options) != 0:
+        print(f"error: {compressor.error_msg()}", file=sys.stderr)
+        return 2
+    compressor.set_metrics(library.get_metric(["size", "time",
+                                               "error_stat"]))
+
+    dims = tuple(int(d) for d in args.dims.split(","))
+    np_dtype = np.dtype(args.dtype)
+    raw = np.fromfile(args.input, dtype=np_dtype)
+    if raw.size != int(np.prod(dims)):
+        print(f"error: file holds {raw.size} values, dims need "
+              f"{int(np.prod(dims))}", file=sys.stderr)
+        return 2
+    data = PressioData.from_numpy(raw.reshape(dims), copy=False)
+
+    try:
+        compressed = compressor.compress(data)
+    except Exception:  # noqa: BLE001 - report through the status channel
+        print(f"error: {compressor.error_msg()}", file=sys.stderr)
+        return 2
+    print(f"{args.compressor}: {data.size_in_bytes} -> "
+          f"{compressed.size_in_bytes} bytes "
+          f"(ratio {data.size_in_bytes / compressed.size_in_bytes:.2f})")
+    if args.compressed:
+        with open(args.compressed, "wb") as fh:
+            fh.write(compressed.to_bytes())
+    if args.decompressed or args.print_metrics:
+        out = compressor.decompress(
+            compressed, PressioData.empty(dtype_from_numpy(np_dtype), dims))
+        if args.decompressed:
+            np.asarray(out.to_numpy()).tofile(args.decompressed)
+    if args.print_metrics:
+        for key, opt in sorted(compressor.get_metrics_results().items()):
+            print(f"  {key} = {opt.get()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""A compressor fuzzer in a few lines (uniform interface only).
+
+The paper's 24-line fuzzer: because every compressor shares one
+interface, one loop fuzzes them all.  No native comparator exists —
+fuzzing N native APIs means N harnesses.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Pressio, PressioData
+from repro.core import PressioError
+
+
+def fuzz(compressor_id: str, iterations: int = 50, seed: int = 0) -> int:
+    library = Pressio()
+    rng = np.random.default_rng(seed)
+    failures = 0
+    for i in range(iterations):
+        compressor = library.get_compressor(compressor_id)
+        shape = tuple(int(rng.integers(1, 16))
+                      for _ in range(int(rng.integers(1, 4))))
+        data = PressioData.from_numpy(rng.standard_normal(shape))
+        compressor.set_options({"pressio:abs": 10.0 ** -rng.integers(1, 7)})
+        try:
+            stream = bytearray(compressor.compress(data).to_bytes())
+            stream[int(rng.integers(0, len(stream)))] ^= 0xFF  # corrupt
+            compressor.decompress(PressioData.from_bytes(bytes(stream)),
+                                  PressioData.empty(data.dtype, data.dims))
+        except PressioError:
+            pass  # typed failures are the contract
+        except Exception as e:  # noqa: BLE001 - anything else is a finding
+            failures += 1
+            print(f"iter {i}: {type(e).__name__}: {e}")
+    return failures
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else "sz"
+    sys.exit(1 if fuzz(target) else 0)

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Fixed-ratio configuration optimizer against the NATIVE SZ API.
+
+The FRaZ predecessor: a bisection search for the error bound that hits
+a target compression ratio, written directly against sz's global-state
+API.  Everything the uniform interface would provide is hand-rolled:
+the init/finalize lifecycle around every evaluation (another library in
+the process may also be using sz, so the client re-initializes
+defensively), the reversed dimension arguments, dtype dispatch, the
+ratio measurement, and the quality verification.  Supporting a second
+compressor means duplicating all of it.
+
+Compare with ``pressio_optimizer.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.native import sz as native_sz
+from repro.native.sz import sz_params
+
+
+def _sz_type_of(arr: np.ndarray) -> int:
+    if arr.dtype == np.float32:
+        return native_sz.SZ_FLOAT
+    if arr.dtype == np.float64:
+        return native_sz.SZ_DOUBLE
+    raise TypeError(f"sz optimizer: unsupported dtype {arr.dtype}")
+
+
+def _reversed_dims(shape: tuple[int, ...]) -> tuple[int, int, int, int, int]:
+    return (0,) * (5 - len(shape)) + tuple(shape)  # type: ignore[return-value]
+
+
+def _evaluate(data: np.ndarray, bound: float) -> tuple[bytes, float]:
+    """One compression at ``bound``; returns (stream, achieved ratio)."""
+    sz_type = _sz_type_of(data)
+    r = _reversed_dims(data.shape)
+    native_sz.SZ_Init(sz_params())
+    try:
+        stream = native_sz.SZ_compress_args(
+            sz_type, data.copy(), *r,
+            errBoundMode=native_sz.ABS, absErrBound=bound)
+    finally:
+        native_sz.SZ_Finalize()
+    return stream, data.nbytes / len(stream)
+
+
+def _verify(data: np.ndarray, stream: bytes, bound: float) -> float:
+    """Decompress and measure the actual max error."""
+    sz_type = _sz_type_of(data)
+    r = _reversed_dims(data.shape)
+    native_sz.SZ_Init(sz_params())
+    try:
+        out = native_sz.SZ_decompress(sz_type, stream, *r)
+    finally:
+        native_sz.SZ_Finalize()
+    return float(np.abs(np.asarray(out) - data).max())
+
+
+def optimize(data: np.ndarray, target_ratio: float,
+             bound_low: float = 1e-10, bound_high: float = 10.0,
+             tolerance_pct: float = 5.0, max_iterations: int = 24
+             ) -> dict:
+    """Bisection on log10(bound) toward ``target_ratio``."""
+    lo = np.log10(bound_low)
+    hi = np.log10(bound_high)
+    best: dict | None = None
+    for iteration in range(1, max_iterations + 1):
+        mid = 10.0 ** ((lo + hi) / 2.0)
+        stream, ratio = _evaluate(data, mid)
+        candidate = {"bound": mid, "ratio": ratio, "stream": stream,
+                     "iterations": iteration}
+        if best is None or (abs(ratio - target_ratio)
+                            < abs(best["ratio"] - target_ratio)):
+            best = candidate
+        if abs(ratio - target_ratio) <= target_ratio * tolerance_pct / 100:
+            break
+        if ratio < target_ratio:
+            lo = np.log10(mid)
+        else:
+            hi = np.log10(mid)
+    assert best is not None
+    best["max_error"] = _verify(data, best["stream"], best["bound"])
+    return best
+
+
+def _psnr(data: np.ndarray, decompressed: np.ndarray) -> float:
+    """Hand-rolled PSNR: the native world has no metrics layer."""
+    mse = float(np.mean((decompressed - data) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    value_range = float(data.max() - data.min())
+    return 20.0 * np.log10(value_range) - 10.0 * np.log10(mse)
+
+
+def optimize_for_quality(data: np.ndarray, min_psnr: float,
+                         bound_low: float = 1e-10, bound_high: float = 10.0,
+                         max_iterations: int = 24) -> dict:
+    """Largest-ratio configuration whose PSNR stays above the floor.
+
+    Every evaluation needs a full compress + decompress + hand-computed
+    PSNR; the init/finalize dance happens around each of them.
+    """
+    sz_type = _sz_type_of(data)
+    r = _reversed_dims(data.shape)
+    lo = np.log10(bound_low)
+    hi = np.log10(bound_high)
+    best: dict | None = None
+    for iteration in range(1, max_iterations + 1):
+        mid = 10.0 ** ((lo + hi) / 2.0)
+        stream, ratio = _evaluate(data, mid)
+        native_sz.SZ_Init(sz_params())
+        try:
+            out = native_sz.SZ_decompress(sz_type, stream, *r)
+        finally:
+            native_sz.SZ_Finalize()
+        psnr = _psnr(data, np.asarray(out))
+        if psnr >= min_psnr:
+            if best is None or ratio > best["ratio"]:
+                best = {"bound": mid, "ratio": ratio, "psnr": psnr,
+                        "iterations": iteration}
+            lo = np.log10(mid)  # try looser
+        else:
+            hi = np.log10(mid)  # too lossy
+    if best is None:
+        raise RuntimeError("no configuration satisfied the PSNR floor")
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--target-ratio", type=float, default=16.0)
+    parser.add_argument("--tolerance-pct", type=float, default=5.0)
+    parser.add_argument("--min-psnr", type=float, default=None,
+                        help="optimize ratio subject to a PSNR floor "
+                             "instead of targeting a fixed ratio")
+    args = parser.parse_args(argv)
+    from repro.datasets import nyx
+
+    data = nyx((24, 24, 24))
+    if args.min_psnr is not None:
+        result = optimize_for_quality(data, args.min_psnr)
+        print(f"sz: bound={result['bound']:.3e} "
+              f"ratio={result['ratio']:.2f} psnr={result['psnr']:.1f} "
+              f"({result['iterations']} evaluations)")
+        return 0
+    result = optimize(data, args.target_ratio,
+                      tolerance_pct=args.tolerance_pct)
+    print(f"sz: bound={result['bound']:.3e} ratio={result['ratio']:.2f} "
+          f"max_err={result['max_error']:.3g} "
+          f"({result['iterations']} evaluations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fixed-ratio configuration optimizer through the uniform interface.
+
+Feature parity with ``native_optimizer.py`` — and it optimizes *any*
+registered compressor, not just sz, because the search talks to the
+``opt`` meta-compressor and the cross-compressor ``pressio:abs`` option.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import Pressio, PressioData
+
+
+def optimize(data: np.ndarray, compressor_id: str, target_ratio: float,
+             tolerance_pct: float = 5.0) -> dict:
+    library = Pressio()
+    opt = library.get_compressor("opt")
+    opt.set_options({
+        "opt:compressor": compressor_id,
+        "opt:objective": "target_ratio",
+        "opt:target_ratio": target_ratio,
+        "opt:ratio_tolerance_pct": tolerance_pct,
+        "opt:bound_low": 1e-10,
+        "opt:bound_high": 10.0,
+    })
+    input_data = PressioData.from_numpy(data)
+    compressed = opt.compress(input_data)
+    out = opt.decompress(compressed,
+                         PressioData.empty(input_data.dtype, input_data.dims))
+    found = opt.get_options()
+    return {
+        "bound": found.get("opt:chosen_bound"),
+        "ratio": found.get("opt:achieved_ratio"),
+        "iterations": found.get("opt:iterations"),
+        "max_error": float(np.abs(np.asarray(out.to_numpy()) - data).max()),
+    }
+
+
+def optimize_for_quality(data: np.ndarray, compressor_id: str,
+                         min_psnr: float) -> dict:
+    library = Pressio()
+    opt = library.get_compressor("opt")
+    opt.set_options({
+        "opt:compressor": compressor_id,
+        "opt:objective": "max_ratio_with_quality",
+        "opt:quality_metric": "error_stat:psnr",
+        "opt:quality_min": min_psnr,
+        "opt:bound_low": 1e-10,
+        "opt:bound_high": 10.0,
+    })
+    opt.compress(PressioData.from_numpy(data))
+    found = opt.get_options()
+    return {"bound": found.get("opt:chosen_bound"),
+            "ratio": found.get("opt:achieved_ratio"),
+            "iterations": found.get("opt:iterations")}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compressor", default="sz")
+    parser.add_argument("--target-ratio", type=float, default=16.0)
+    parser.add_argument("--tolerance-pct", type=float, default=5.0)
+    parser.add_argument("--min-psnr", type=float, default=None)
+    args = parser.parse_args(argv)
+    from repro.datasets import nyx
+
+    data = nyx((24, 24, 24))
+    if args.min_psnr is not None:
+        result = optimize_for_quality(data, args.compressor, args.min_psnr)
+        print(f"{args.compressor}: bound={result['bound']:.3e} "
+              f"ratio={result['ratio']:.2f} "
+              f"({result['iterations']} evaluations)")
+        return 0
+    result = optimize(data, args.compressor, args.target_ratio,
+                      args.tolerance_pct)
+    print(f"{args.compressor}: bound={result['bound']:.3e} "
+          f"ratio={result['ratio']:.2f} max_err={result['max_error']:.3g} "
+          f"({result['iterations']} evaluations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,308 @@
+#!/usr/bin/env python
+"""Z-Checker-style quality assessment written against NATIVE compressor
+APIs — the per-compressor adapter code LibPressio eliminates.
+
+Supports seven compressors (sz, zfp, mgard, fpzip, zlib, bz2, lzma),
+each through its own incompatible interface:
+
+* sz needs global SZ_Init/SZ_Finalize, reversed dimension arguments,
+  an error-bound-mode enum, and defensive input copies;
+* zfp needs stream/field objects and Fortran-ordered (nx fastest) dims;
+* mgard is a one-shot call with (nrow, ncol, nfib) and a hard >=3 rule;
+* fpzip is float-only with a context API;
+* the byte codecs know nothing about dtype or dims, so this client must
+  carry that metadata itself.
+
+Every metric (ratio, PSNR, max error, Pearson) is computed by hand here
+because the native world has no shared metrics layer.  Compare with
+``pressio_zchecker.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bz2
+import lzma
+import sys
+import zlib
+
+import numpy as np
+
+from repro.native import fpzip as native_fpzip
+from repro.native import mgard as native_mgard
+from repro.native import sz as native_sz
+from repro.native import zfp as native_zfp
+from repro.native.sz import sz_params
+
+
+# ----------------------------------------------------------------------
+# per-compressor adapters: each native API needs different glue
+# ----------------------------------------------------------------------
+class SZAdapter:
+    name = "sz"
+    lossy = True
+
+    def __init__(self) -> None:
+        # sz keeps a process-global configuration store; the client is
+        # responsible for the init/finalize lifecycle
+        native_sz.SZ_Init(sz_params())
+        self._finalized = False
+
+    def close(self) -> None:
+        if not self._finalized:
+            native_sz.SZ_Finalize()
+            self._finalized = True
+
+    @staticmethod
+    def _dims_to_r(shape: tuple[int, ...]) -> tuple[int, int, int, int, int]:
+        # sz takes five reversed dimension arguments, r1 fastest
+        padded = (0,) * (5 - len(shape)) + tuple(shape)
+        return padded  # type: ignore[return-value]
+
+    @staticmethod
+    def _type_of(arr: np.ndarray) -> int:
+        if arr.dtype == np.float32:
+            return native_sz.SZ_FLOAT
+        if arr.dtype == np.float64:
+            return native_sz.SZ_DOUBLE
+        raise TypeError(f"sz adapter: unsupported dtype {arr.dtype}")
+
+    def compress(self, arr: np.ndarray, abs_bound: float) -> bytes:
+        r5, r4, r3, r2, r1 = self._dims_to_r(arr.shape)
+        # SZ may clobber its input: hand it a copy
+        return native_sz.SZ_compress_args(
+            self._type_of(arr), arr.copy(), r5, r4, r3, r2, r1,
+            errBoundMode=native_sz.ABS, absErrBound=abs_bound)
+
+    def decompress(self, stream: bytes, arr: np.ndarray) -> np.ndarray:
+        r5, r4, r3, r2, r1 = self._dims_to_r(arr.shape)
+        return native_sz.SZ_decompress(self._type_of(arr), stream,
+                                       r5, r4, r3, r2, r1)
+
+
+class ZFPAdapter:
+    name = "zfp"
+    lossy = True
+
+    def close(self) -> None:
+        pass
+
+    @staticmethod
+    def _type_of(arr: np.ndarray) -> int:
+        if arr.dtype == np.float32:
+            return native_zfp.zfp_type_float
+        if arr.dtype == np.float64:
+            return native_zfp.zfp_type_double
+        raise TypeError(f"zfp adapter: unsupported dtype {arr.dtype}")
+
+    def _field_for(self, arr: np.ndarray) -> native_zfp.zfp_field:
+        # zfp dimensions are Fortran ordered: nx is the FASTEST axis, so
+        # a C array of shape (a, b, c) becomes nx=c, ny=b, nz=a
+        shape = arr.shape
+        if len(shape) == 1:
+            return native_zfp.zfp_field_1d(arr.reshape(-1),
+                                           self._type_of(arr), shape[0])
+        if len(shape) == 2:
+            return native_zfp.zfp_field_2d(arr.reshape(-1),
+                                           self._type_of(arr),
+                                           shape[1], shape[0])
+        if len(shape) == 3:
+            return native_zfp.zfp_field_3d(arr.reshape(-1),
+                                           self._type_of(arr),
+                                           shape[2], shape[1], shape[0])
+        raise ValueError("zfp adapter: 1-3 dims only")
+
+    def compress(self, arr: np.ndarray, abs_bound: float) -> bytes:
+        stream = native_zfp.zfp_stream_open()
+        native_zfp.zfp_stream_set_accuracy(stream, abs_bound)
+        buf = native_zfp.zfp_compress(stream, self._field_for(arr))
+        native_zfp.zfp_stream_close(stream)
+        return buf
+
+    def decompress(self, stream_bytes: bytes, arr: np.ndarray) -> np.ndarray:
+        stream = native_zfp.zfp_stream_open()
+        out_field = self._field_for(np.zeros_like(arr))
+        out = native_zfp.zfp_decompress(stream, out_field, stream_bytes)
+        native_zfp.zfp_stream_close(stream)
+        return np.asarray(out).reshape(arr.shape)
+
+
+class MGARDAdapter:
+    name = "mgard"
+    lossy = True
+
+    def close(self) -> None:
+        pass
+
+    @staticmethod
+    def _nrcf(shape: tuple[int, ...]) -> tuple[int, int, int]:
+        # mgard's (nrow, ncol, nfib): unused trailing dims are 1
+        padded = tuple(shape) + (1,) * (3 - len(shape))
+        return padded  # type: ignore[return-value]
+
+    def compress(self, arr: np.ndarray, abs_bound: float) -> bytes:
+        if any(d < 3 for d in arr.shape):
+            raise ValueError("mgard requires >= 3 samples per dimension")
+        itype = 0 if arr.dtype == np.float32 else 1
+        nrow, ncol, nfib = self._nrcf(arr.shape)
+        return native_mgard.mgard_compress(itype, arr, nrow, ncol, nfib,
+                                           abs_bound)
+
+    def decompress(self, stream: bytes, arr: np.ndarray) -> np.ndarray:
+        itype = 0 if arr.dtype == np.float32 else 1
+        nrow, ncol, nfib = self._nrcf(arr.shape)
+        out = native_mgard.mgard_decompress(itype, stream, nrow, ncol, nfib)
+        return np.asarray(out).reshape(arr.shape)
+
+
+class FpzipAdapter:
+    name = "fpzip"
+    lossy = False
+
+    def close(self) -> None:
+        pass
+
+    def compress(self, arr: np.ndarray, abs_bound: float) -> bytes:
+        # fpzip is lossless: the bound is ignored, but the client must
+        # still special-case it in the sweep below
+        if arr.dtype not in (np.float32, np.float64):
+            raise TypeError("fpzip accepts floats only")
+        t = (native_fpzip.FPZIP_TYPE_FLOAT if arr.dtype == np.float32
+             else native_fpzip.FPZIP_TYPE_DOUBLE)
+        shape = tuple(arr.shape) + (1,) * (4 - arr.ndim)
+        ctx = native_fpzip.fpzip_write_ctx(t, shape[-1], shape[-2],
+                                           shape[-3], shape[-4])
+        return native_fpzip.fpzip_write(ctx, arr)
+
+    def decompress(self, stream: bytes, arr: np.ndarray) -> np.ndarray:
+        ctx = native_fpzip.fpzip_read_ctx(stream)
+        return native_fpzip.fpzip_read(ctx).reshape(arr.shape)
+
+
+class ByteCodecAdapter:
+    """zlib/bz2/lzma know nothing of dtype or dims: the client carries
+    that metadata around itself."""
+
+    lossy = False
+
+    def __init__(self, name: str):
+        self.name = name
+        self._encode = {"zlib": lambda b: zlib.compress(b, 6),
+                        "bz2": lambda b: bz2.compress(b, 9),
+                        "lzma": lambda b: lzma.compress(b, preset=1)}[name]
+        self._decode = {"zlib": zlib.decompress,
+                        "bz2": bz2.decompress,
+                        "lzma": lzma.decompress}[name]
+
+    def close(self) -> None:
+        pass
+
+    def compress(self, arr: np.ndarray, abs_bound: float) -> bytes:
+        return self._encode(np.ascontiguousarray(arr).tobytes())
+
+    def decompress(self, stream: bytes, arr: np.ndarray) -> np.ndarray:
+        raw = self._decode(stream)
+        return np.frombuffer(raw, dtype=arr.dtype).reshape(arr.shape)
+
+
+def make_adapter(name: str):
+    if name == "sz":
+        return SZAdapter()
+    if name == "zfp":
+        return ZFPAdapter()
+    if name == "mgard":
+        return MGARDAdapter()
+    if name == "fpzip":
+        return FpzipAdapter()
+    if name in ("zlib", "bz2", "lzma"):
+        return ByteCodecAdapter(name)
+    raise ValueError(f"unknown compressor {name}")
+
+
+# ----------------------------------------------------------------------
+# hand-rolled metrics: no shared metrics layer in the native world
+# ----------------------------------------------------------------------
+def psnr(original: np.ndarray, decompressed: np.ndarray) -> float:
+    mse = float(np.mean((decompressed - original) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    value_range = float(original.max() - original.min())
+    return 20.0 * np.log10(value_range) - 10.0 * np.log10(mse)
+
+
+def max_abs_error(original: np.ndarray, decompressed: np.ndarray) -> float:
+    return float(np.abs(decompressed - original).max())
+
+
+def pearson_r(original: np.ndarray, decompressed: np.ndarray) -> float:
+    a = original.reshape(-1) - original.mean()
+    b = decompressed.reshape(-1) - decompressed.mean()
+    denom = float(np.sqrt(np.dot(a, a) * np.dot(b, b)))
+    if denom == 0.0:
+        return 1.0
+    return float(np.dot(a, b)) / denom
+
+
+# ----------------------------------------------------------------------
+# the assessment sweep
+# ----------------------------------------------------------------------
+def assess(data: np.ndarray, compressors: list[str],
+           bounds: list[float]) -> list[dict]:
+    rows = []
+    for name in compressors:
+        adapter = make_adapter(name)
+        try:
+            sweep = bounds if adapter.lossy else [0.0]
+            for bound in sweep:
+                try:
+                    stream = adapter.compress(data, bound)
+                except (TypeError, ValueError) as e:
+                    rows.append({"compressor": name, "bound": bound,
+                                 "error": str(e)})
+                    continue
+                out = adapter.decompress(stream, data)
+                rows.append({
+                    "compressor": name,
+                    "bound": bound,
+                    "ratio": data.nbytes / len(stream),
+                    "psnr": psnr(data, out),
+                    "max_error": max_abs_error(data, out),
+                    "pearson": pearson_r(data, out),
+                })
+        finally:
+            adapter.close()
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    lines = [f"{'compressor':<10}{'bound':>10}{'ratio':>9}{'psnr':>9}"
+             f"{'max_err':>12}{'pearson':>10}"]
+    for r in rows:
+        if "error" in r:
+            lines.append(f"{r['compressor']:<10}{r['bound']:>10.1e}  "
+                         f"error: {r['error']}")
+        else:
+            lines.append(
+                f"{r['compressor']:<10}{r['bound']:>10.1e}{r['ratio']:>9.2f}"
+                f"{r['psnr']:>9.1f}{r['max_error']:>12.3g}"
+                f"{r['pearson']:>10.6f}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compressors",
+                        default="sz,zfp,mgard,fpzip,zlib,bz2,lzma")
+    parser.add_argument("--bounds", default="1e-5,1e-4,1e-3")
+    args = parser.parse_args(argv)
+    from repro.datasets import nyx
+
+    data = nyx((24, 24, 24))
+    rows = assess(data, args.compressors.split(","),
+                  [float(b) for b in args.bounds.split(",")])
+    print(format_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

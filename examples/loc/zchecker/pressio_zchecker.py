@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Z-Checker-style quality assessment through the uniform interface.
+
+Feature parity with ``native_zchecker.py`` — the same seven compressors,
+the same metrics — in a fraction of the code: dimension ordering, API
+lifecycles, type restrictions, and metric computation all live behind
+the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Pressio, PressioData
+
+
+def assess(data, compressors: list[str], bounds: list[float]) -> list[dict]:
+    library = Pressio()
+    input_data = PressioData.from_numpy(data)
+    rows = []
+    for name in compressors:
+        compressor = library.get_compressor(name)
+        lossy = bool(compressor.get_configuration().get("pressio:lossy"))
+        for bound in (bounds if lossy else [0.0]):
+            compressor.set_metrics(
+                library.get_metric(["size", "error_stat", "pearson"]))
+            if lossy and compressor.set_options({"pressio:abs": bound}) != 0:
+                rows.append({"compressor": name, "bound": bound,
+                             "error": compressor.error_msg()})
+                continue
+            compressed = compressor.compress(input_data)
+            compressor.decompress(
+                compressed, PressioData.empty(input_data.dtype,
+                                              input_data.dims))
+            r = compressor.get_metrics_results()
+            rows.append({
+                "compressor": name,
+                "bound": bound,
+                "ratio": r.get("size:compression_ratio"),
+                "psnr": r.get("error_stat:psnr"),
+                "max_error": r.get("error_stat:max_error"),
+                "pearson": r.get("pearson:r"),
+            })
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    lines = [f"{'compressor':<10}{'bound':>10}{'ratio':>9}{'psnr':>9}"
+             f"{'max_err':>12}{'pearson':>10}"]
+    for r in rows:
+        if "error" in r:
+            lines.append(f"{r['compressor']:<10}{r['bound']:>10.1e}  "
+                         f"error: {r['error']}")
+        else:
+            lines.append(
+                f"{r['compressor']:<10}{r['bound']:>10.1e}{r['ratio']:>9.2f}"
+                f"{r['psnr']:>9.1f}{r['max_error']:>12.3g}"
+                f"{r['pearson']:>10.6f}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compressors",
+                        default="sz,zfp,mgard,fpzip,zlib,bz2,lzma")
+    parser.add_argument("--bounds", default="1e-5,1e-4,1e-3")
+    args = parser.parse_args(argv)
+    from repro.datasets import nyx
+
+    data = nyx((24, 24, 24))
+    rows = assess(data, args.compressors.split(","),
+                  [float(b) for b in args.bounds.split(",")])
+    print(format_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""repro — a Python reproduction of LibPressio (SC 2021).
+
+LibPressio is a generic, low-overhead, introspectable interface for lossy
+and lossless compression of dense tensors.  This package reproduces the
+full system described in the paper:
+
+* :mod:`repro.core` — the uniform interface (data, options, compressor,
+  metrics, IO plugins, registries);
+* :mod:`repro.native` — from-scratch "native" compressor libraries with
+  deliberately divergent APIs (sz, zfp, mgard, fpzip, lossless codecs);
+* :mod:`repro.compressors` — LibPressio plugins wrapping the natives;
+* :mod:`repro.metrics`, :mod:`repro.io`, :mod:`repro.meta` — metrics, IO,
+  and meta-compressor plugins;
+* :mod:`repro.capi` — a C-style functional API mirroring the paper's
+  Appendix A;
+* :mod:`repro.tools` — CLI, fuzzer, and Z-checker-style analysis tools;
+* :mod:`repro.datasets` — synthetic SDRBench-analog datasets.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Pressio, PressioData
+
+    library = Pressio()
+    compressor = library.get_compressor("sz")
+    compressor.set_options({"sz:error_bound_mode_str": "abs",
+                            "sz:abs_err_bound": 0.5})
+
+    raw = np.random.default_rng(0).random((300, 300, 300))
+    input_data = PressioData.from_numpy(raw)
+    compressed = compressor.compress(input_data)
+    decompressed = compressor.decompress(
+        compressed, PressioData.empty(input_data.dtype, input_data.dims))
+"""
+
+from .core import (
+    DType,
+    Option,
+    OptionType,
+    Pressio,
+    PressioCompressor,
+    PressioData,
+    PressioError,
+    PressioIO,
+    PressioMetrics,
+    PressioOptions,
+    register_compressor,
+    register_io,
+    register_metric,
+)
+
+__version__ = "0.70.4"
+
+__all__ = [
+    "Pressio",
+    "PressioData",
+    "PressioOptions",
+    "Option",
+    "OptionType",
+    "DType",
+    "PressioCompressor",
+    "PressioMetrics",
+    "PressioIO",
+    "PressioError",
+    "register_compressor",
+    "register_metric",
+    "register_io",
+    "__version__",
+]

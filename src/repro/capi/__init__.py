@@ -1,0 +1,23 @@
+"""C-style functional API mirroring libpressio's ``libpressio.h``.
+
+Every function corresponds 1:1 with a symbol used in the paper's
+Appendix A example, so the C listing ports line-for-line::
+
+    library = pressio_instance()
+    compressor = pressio_get_compressor(library, "sz")
+    metrics = pressio_new_metrics(library, ["size"], 1)
+    pressio_compressor_set_metrics(compressor, metrics)
+    options = pressio_compressor_get_options(compressor)
+    pressio_options_set_string(options, "sz:error_bound_mode_str", "abs")
+    pressio_options_set_double(options, "sz:abs_err_bound", 0.5)
+    pressio_compressor_check_options(compressor, options)
+    pressio_compressor_set_options(compressor, options)
+    ...
+
+Error handling follows the C convention: functions return status codes
+or None instead of raising, and ``pressio_compressor_error_msg`` /
+``pressio_error_msg`` retrieve details.
+"""
+
+from .functions import *  # noqa: F401,F403
+from .functions import __all__  # noqa: F401

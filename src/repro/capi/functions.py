@@ -1,0 +1,436 @@
+"""The flat C-style function set (see package docstring)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.compressor import PressioCompressor
+from ..core.data import PressioData
+from ..core.dtype import DType, dtype_to_numpy
+from ..core.io import PressioIO
+from ..core.library import Pressio
+from ..core.metrics import PressioMetrics
+from ..core.options import Option, OptionType, PressioOptions
+
+__all__ = [
+    # library
+    "pressio_instance", "pressio_release", "pressio_version",
+    "pressio_error_code", "pressio_error_msg",
+    "pressio_get_compressor", "pressio_get_io", "pressio_new_metrics",
+    "pressio_supported_compressors", "pressio_supported_io",
+    "pressio_supported_metrics",
+    # dtype constants
+    "pressio_float_dtype", "pressio_double_dtype", "pressio_int8_dtype",
+    "pressio_int16_dtype", "pressio_int32_dtype", "pressio_int64_dtype",
+    "pressio_uint8_dtype", "pressio_uint16_dtype", "pressio_uint32_dtype",
+    "pressio_uint64_dtype", "pressio_byte_dtype",
+    # data
+    "pressio_data_new_empty", "pressio_data_new_owning",
+    "pressio_data_new_move", "pressio_data_new_nonowning",
+    "pressio_data_new_copy", "pressio_data_free", "pressio_data_ptr",
+    "pressio_data_dtype", "pressio_data_num_dimensions",
+    "pressio_data_get_dimension", "pressio_data_get_bytes",
+    "pressio_data_num_elements", "pressio_data_libc_free_fn",
+    # options
+    "pressio_options_new", "pressio_options_free", "pressio_options_copy",
+    "pressio_options_merge", "pressio_options_set_integer",
+    "pressio_options_set_uinteger", "pressio_options_set_double",
+    "pressio_options_set_float", "pressio_options_set_string",
+    "pressio_options_set_strings", "pressio_options_set_data",
+    "pressio_options_set_userptr", "pressio_options_get_integer",
+    "pressio_options_get_uinteger", "pressio_options_get_double",
+    "pressio_options_get_float", "pressio_options_get_string",
+    "pressio_options_get", "pressio_options_key_status",
+    "pressio_options_size",
+    # compressor
+    "pressio_compressor_get_options", "pressio_compressor_set_options",
+    "pressio_compressor_check_options", "pressio_compressor_get_configuration",
+    "pressio_compressor_get_documentation", "pressio_compressor_compress",
+    "pressio_compressor_decompress", "pressio_compressor_set_metrics",
+    "pressio_compressor_get_metrics_results", "pressio_compressor_release",
+    "pressio_compressor_error_code", "pressio_compressor_error_msg",
+    "pressio_compressor_version", "pressio_compressor_compress_many",
+    "pressio_compressor_decompress_many", "pressio_compressor_clone",
+    # metrics
+    "pressio_metrics_free",
+    # io
+    "pressio_io_read", "pressio_io_write", "pressio_io_set_options",
+    "pressio_io_free",
+]
+
+# ----------------------------------------------------------------------
+# dtype constants
+# ----------------------------------------------------------------------
+pressio_float_dtype = DType.FLOAT
+pressio_double_dtype = DType.DOUBLE
+pressio_int8_dtype = DType.INT8
+pressio_int16_dtype = DType.INT16
+pressio_int32_dtype = DType.INT32
+pressio_int64_dtype = DType.INT64
+pressio_uint8_dtype = DType.UINT8
+pressio_uint16_dtype = DType.UINT16
+pressio_uint32_dtype = DType.UINT32
+pressio_uint64_dtype = DType.UINT64
+pressio_byte_dtype = DType.BYTE
+
+
+# ----------------------------------------------------------------------
+# library handle
+# ----------------------------------------------------------------------
+def pressio_instance() -> Pressio:
+    """Create the library handle (``pressio_instance`` in C)."""
+    return Pressio()
+
+
+def pressio_release(library: Pressio) -> None:
+    """Release the handle (no-op: garbage collected)."""
+
+
+def pressio_version(library: Pressio) -> str:
+    return library.version()
+
+
+def pressio_error_code(library: Pressio) -> int:
+    return library.error_code()
+
+
+def pressio_error_msg(library: Pressio) -> str:
+    return library.error_msg()
+
+
+def pressio_get_compressor(library: Pressio, compressor_id: str
+                           ) -> PressioCompressor | None:
+    return library.get_compressor(compressor_id)
+
+
+def pressio_get_io(library: Pressio, io_id: str) -> PressioIO | None:
+    return library.get_io(io_id)
+
+
+def pressio_new_metrics(library: Pressio, metric_ids: Sequence[str],
+                        n: int | None = None) -> PressioMetrics | None:
+    ids = list(metric_ids)[: n if n is not None else None]
+    return library.get_metric(ids if len(ids) != 1 else ids[0])
+
+
+def pressio_supported_compressors(library: Pressio) -> list[str]:
+    return library.supported_compressors()
+
+
+def pressio_supported_io(library: Pressio) -> list[str]:
+    return library.supported_io()
+
+
+def pressio_supported_metrics(library: Pressio) -> list[str]:
+    return library.supported_metrics()
+
+
+# ----------------------------------------------------------------------
+# data
+# ----------------------------------------------------------------------
+def pressio_data_libc_free_fn(state: Any) -> None:
+    """Stand-in for passing ``free`` as the deleter in C."""
+
+
+def pressio_data_new_empty(dtype: DType, num_dims: int = 0,
+                           dims: Sequence[int] | None = None) -> PressioData:
+    return PressioData.empty(dtype, tuple(dims or ())[:num_dims]
+                             if dims else ())
+
+
+def pressio_data_new_owning(dtype: DType, num_dims: int,
+                            dims: Sequence[int]) -> PressioData:
+    return PressioData.owning(dtype, tuple(dims)[:num_dims])
+
+
+def pressio_data_new_move(dtype: DType, src: np.ndarray, num_dims: int,
+                          dims: Sequence[int], deleter=None,
+                          metadata: Any = None) -> PressioData:
+    arr = np.asarray(src, dtype=dtype_to_numpy(dtype))
+    return PressioData.move(arr, deleter or pressio_data_libc_free_fn,
+                            metadata, dtype, tuple(dims)[:num_dims])
+
+
+def pressio_data_new_nonowning(dtype: DType, src: np.ndarray, num_dims: int,
+                               dims: Sequence[int]) -> PressioData:
+    arr = np.asarray(src, dtype=dtype_to_numpy(dtype)).reshape(
+        tuple(dims)[:num_dims])
+    return PressioData.nonowning(arr)
+
+
+def pressio_data_new_copy(dtype: DType, src: np.ndarray, num_dims: int,
+                          dims: Sequence[int]) -> PressioData:
+    arr = np.asarray(src, dtype=dtype_to_numpy(dtype)).reshape(
+        tuple(dims)[:num_dims])
+    return PressioData.from_numpy(arr, copy=True)
+
+
+def pressio_data_free(data: PressioData) -> None:
+    data.release()
+
+
+def pressio_data_ptr(data: PressioData) -> np.ndarray:
+    """The C API returns void*; here, the ndarray view."""
+    return data.to_numpy()
+
+
+def pressio_data_dtype(data: PressioData) -> DType:
+    return data.dtype
+
+
+def pressio_data_num_dimensions(data: PressioData) -> int:
+    return data.num_dimensions
+
+
+def pressio_data_get_dimension(data: PressioData, idx: int) -> int:
+    return data.get_dimension(idx)
+
+
+def pressio_data_get_bytes(data: PressioData) -> bytes:
+    return data.to_bytes()
+
+
+def pressio_data_num_elements(data: PressioData) -> int:
+    return data.num_elements
+
+
+# ----------------------------------------------------------------------
+# options
+# ----------------------------------------------------------------------
+def pressio_options_new() -> PressioOptions:
+    return PressioOptions()
+
+
+def pressio_options_free(options: PressioOptions) -> None:
+    """No-op: garbage collected."""
+
+
+def pressio_options_copy(options: PressioOptions) -> PressioOptions:
+    return options.copy()
+
+
+def pressio_options_merge(lhs: PressioOptions, rhs: PressioOptions
+                          ) -> PressioOptions:
+    return lhs.merge(rhs)
+
+
+def pressio_options_set_integer(options: PressioOptions, name: str,
+                                value: int) -> None:
+    options.set(name, int(value), OptionType.INT32)
+
+
+def pressio_options_set_uinteger(options: PressioOptions, name: str,
+                                 value: int) -> None:
+    options.set(name, int(value), OptionType.UINT32)
+
+
+def pressio_options_set_double(options: PressioOptions, name: str,
+                               value: float) -> None:
+    options.set(name, float(value), OptionType.DOUBLE)
+
+
+def pressio_options_set_float(options: PressioOptions, name: str,
+                              value: float) -> None:
+    options.set(name, float(value), OptionType.FLOAT)
+
+
+def pressio_options_set_string(options: PressioOptions, name: str,
+                               value: str) -> None:
+    options.set(name, str(value), OptionType.STRING)
+
+
+def pressio_options_set_strings(options: PressioOptions, name: str,
+                                values: Sequence[str]) -> None:
+    options.set(name, [str(v) for v in values], OptionType.STRING_LIST)
+
+
+def pressio_options_set_data(options: PressioOptions, name: str,
+                             value: PressioData) -> None:
+    options.set(name, value, OptionType.DATA)
+
+
+def pressio_options_set_userptr(options: PressioOptions, name: str,
+                                value: Any) -> None:
+    options.set(name, value, OptionType.USERPTR)
+
+
+def _get(options: PressioOptions, name: str, type_: OptionType):
+    """C-style getter: (status, value) with status 0 on success."""
+    try:
+        return 0, options.get_as(name, type_)
+    except Exception:  # noqa: BLE001
+        return 1, None
+
+
+def pressio_options_get_integer(options: PressioOptions, name: str):
+    return _get(options, name, OptionType.INT32)
+
+
+def pressio_options_get_uinteger(options: PressioOptions, name: str):
+    return _get(options, name, OptionType.UINT32)
+
+
+def pressio_options_get_double(options: PressioOptions, name: str):
+    return _get(options, name, OptionType.DOUBLE)
+
+
+def pressio_options_get_float(options: PressioOptions, name: str):
+    return _get(options, name, OptionType.FLOAT)
+
+
+def pressio_options_get_string(options: PressioOptions, name: str):
+    return _get(options, name, OptionType.STRING)
+
+
+def pressio_options_get(options: PressioOptions, name: str):
+    opt = options.get_option(name)
+    if opt is None or not opt.has_value():
+        return 1, None
+    return 0, opt.get()
+
+
+def pressio_options_key_status(options: PressioOptions, name: str) -> str:
+    return options.key_status(name)
+
+
+def pressio_options_size(options: PressioOptions) -> int:
+    return len(options)
+
+
+# ----------------------------------------------------------------------
+# compressor
+# ----------------------------------------------------------------------
+def pressio_compressor_get_options(compressor: PressioCompressor
+                                   ) -> PressioOptions:
+    return compressor.get_options()
+
+
+def pressio_compressor_set_options(compressor: PressioCompressor,
+                                   options: PressioOptions) -> int:
+    return compressor.set_options(options)
+
+
+def pressio_compressor_check_options(compressor: PressioCompressor,
+                                     options: PressioOptions) -> int:
+    return compressor.check_options(options)
+
+
+def pressio_compressor_get_configuration(compressor: PressioCompressor
+                                         ) -> PressioOptions:
+    return compressor.get_configuration()
+
+
+def pressio_compressor_get_documentation(compressor: PressioCompressor
+                                         ) -> PressioOptions:
+    return compressor.get_documentation()
+
+
+def pressio_compressor_compress(compressor: PressioCompressor,
+                                input: PressioData,
+                                output: PressioData) -> int:
+    """Compress; output's buffer is replaced.  Returns 0 on success.
+
+    The Python output object is *mutated* to hold the compressed stream,
+    mirroring the C out-parameter convention.
+    """
+    try:
+        result = compressor.compress(input, output)
+    except Exception:  # noqa: BLE001 - status captured on compressor
+        return compressor.error_code() or 1
+    _assign(output, result)
+    return 0
+
+
+def pressio_compressor_decompress(compressor: PressioCompressor,
+                                  input: PressioData,
+                                  output: PressioData) -> int:
+    try:
+        result = compressor.decompress(input, output)
+    except Exception:  # noqa: BLE001
+        return compressor.error_code() or 1
+    _assign(output, result)
+    return 0
+
+
+def _assign(dest: PressioData, src: PressioData) -> None:
+    dest._dtype = src._dtype
+    dest._dims = src._dims
+    dest._array = src._array
+    dest._domain = src._domain
+
+
+def pressio_compressor_compress_many(compressor: PressioCompressor,
+                                     inputs: list[PressioData]
+                                     ) -> list[PressioData]:
+    return compressor.compress_many(inputs)
+
+
+def pressio_compressor_decompress_many(compressor: PressioCompressor,
+                                       inputs: list[PressioData],
+                                       outputs: list[PressioData]
+                                       ) -> list[PressioData]:
+    return compressor.decompress_many(inputs, outputs)
+
+
+def pressio_compressor_set_metrics(compressor: PressioCompressor,
+                                   metrics: PressioMetrics | None) -> None:
+    compressor.set_metrics(metrics)
+
+
+def pressio_compressor_get_metrics_results(compressor: PressioCompressor
+                                           ) -> PressioOptions:
+    return compressor.get_metrics_results()
+
+
+def pressio_compressor_release(compressor: PressioCompressor) -> None:
+    compressor.decref()
+
+
+def pressio_compressor_error_code(compressor: PressioCompressor) -> int:
+    return compressor.error_code()
+
+
+def pressio_compressor_error_msg(compressor: PressioCompressor) -> str:
+    return compressor.error_msg()
+
+
+def pressio_compressor_version(compressor: PressioCompressor) -> str:
+    return compressor.version()
+
+
+def pressio_compressor_clone(compressor: PressioCompressor
+                             ) -> PressioCompressor:
+    return compressor.clone()
+
+
+# ----------------------------------------------------------------------
+# metrics / io
+# ----------------------------------------------------------------------
+def pressio_metrics_free(metrics: PressioMetrics) -> None:
+    """No-op: garbage collected."""
+
+
+def pressio_io_read(io: PressioIO, template: PressioData | None
+                    ) -> PressioData | None:
+    try:
+        return io.read(template)
+    except Exception:  # noqa: BLE001
+        return None
+
+
+def pressio_io_write(io: PressioIO, data: PressioData) -> int:
+    try:
+        io.write(data)
+    except Exception:  # noqa: BLE001
+        return 1
+    return 0
+
+
+def pressio_io_set_options(io: PressioIO, options: PressioOptions) -> int:
+    return io.set_options(options)
+
+
+def pressio_io_free(io: PressioIO) -> None:
+    """No-op: garbage collected."""

@@ -1,0 +1,45 @@
+"""First-party compressor plugins.
+
+Importing this package registers every plugin with
+:mod:`repro.core.registry`; plugin ids:
+
+``sz``, ``sz_threadsafe``, ``sz_omp``, ``zfp``, ``mgard``, ``fpzip``,
+``tthresh`` — error-bounded/float compressors backed by the from-scratch
+natives;
+``zlib``, ``zlib-fast``, ``zlib-best``, ``bz2``, ``lzma``,
+``pressio-lz``, ``rle``, ``huffman-bytes`` — lossless byte codecs;
+``bit_grooming``, ``digit_rounding`` — precision-trimming compressors;
+``noop`` — identity baseline;
+``external`` — out-of-process compression (embedding experiments).
+
+Meta-compressors (chunking, parallel dispatch, transforms, the
+optimizer, ...) live in :mod:`repro.meta`.
+"""
+
+from . import external, fpzip, lossless, mgard, noop, rounding, sz, sz_variants, tthresh, zfp
+from .external import ExternalCompressor
+from .fpzip import FpzipCompressor
+from .lossless import LOSSLESS_PLUGIN_IDS, LosslessCompressor
+from .mgard import MGARDCompressor
+from .noop import NoopCompressor
+from .rounding import BitGroomingCompressor, DigitRoundingCompressor
+from .sz import SZCompressor
+from .sz_variants import SZOmpCompressor, SZThreadsafeCompressor
+from .tthresh import TthreshCompressor
+from .zfp import ZFPCompressor
+
+__all__ = [
+    "SZCompressor",
+    "SZThreadsafeCompressor",
+    "SZOmpCompressor",
+    "TthreshCompressor",
+    "ZFPCompressor",
+    "MGARDCompressor",
+    "FpzipCompressor",
+    "LosslessCompressor",
+    "LOSSLESS_PLUGIN_IDS",
+    "BitGroomingCompressor",
+    "DigitRoundingCompressor",
+    "NoopCompressor",
+    "ExternalCompressor",
+]

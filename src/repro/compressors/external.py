@@ -1,0 +1,133 @@
+"""The ``external`` compressor: out-of-process compression.
+
+Spawns a fresh Python interpreter per operation and moves data across
+the process boundary through the filesystem — the pattern used when
+compression is only available as a standalone tool (the paper's
+NumCodecs/Z-Checker embedding discussion, Section V).  Exists mainly so
+the embedding-overhead experiment can measure how much the exec-plus-
+copy pattern costs relative to in-process plugins.
+
+Options:
+
+* ``external:compressor`` — inner plugin id the worker uses;
+* ``external:config_json`` — JSON-encoded options for the inner plugin
+  (demonstrating the serialization restriction: opaque/userptr options
+  *cannot* cross the process boundary, which is the paper's argument for
+  embeddable designs);
+* ``external:init_cost_ms`` — simulated expensive startup (e.g. MPI
+  initialization), busy-waited in the worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from ..core.compressor import PressioCompressor
+from ..core.configurable import Stability, ThreadSafety
+from ..core.data import PressioData
+from ..core.options import OptionType, PressioOptions
+from ..core.registry import compressor_plugin
+from ..core.status import PressioError
+
+__all__ = ["ExternalCompressor"]
+
+
+@compressor_plugin("external")
+class ExternalCompressor(PressioCompressor):
+    """Out-of-process compression via a spawned worker interpreter."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._inner = "sz"
+        self._config_json = "{}"
+        self._init_cost_ms = 0.0
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("external:compressor", self._inner)
+        opts.set("external:config_json", self._config_json)
+        opts.set("external:init_cost_ms", float(self._init_cost_ms))
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        self._inner = str(self._take(options, "external:compressor",
+                                     OptionType.STRING, self._inner))
+        cfg = str(self._take(options, "external:config_json",
+                             OptionType.STRING, self._config_json))
+        json.loads(cfg)  # validate early
+        self._config_json = cfg
+        self._init_cost_ms = float(self._take(
+            options, "external:init_cost_ms", OptionType.DOUBLE,
+            self._init_cost_ms))
+
+    def _configuration(self) -> PressioOptions:
+        cfg = PressioOptions()
+        cfg.set("pressio:thread_safe", ThreadSafety.MULTIPLE)
+        cfg.set("pressio:stability", Stability.EXTERNAL)
+        cfg.set("pressio:lossy", True)
+        cfg.set("external:embeddable", False)
+        return cfg
+
+    def _documentation(self) -> PressioOptions:
+        docs = PressioOptions()
+        docs.set("pressio:description",
+                 "out-of-process compression (spawn + filesystem copy)")
+        docs.set("external:compressor", "inner plugin id run by the worker")
+        docs.set("external:config_json", "JSON options for the inner plugin")
+        docs.set("external:init_cost_ms", "simulated expensive worker init")
+        return docs
+
+    def version(self) -> str:
+        return "1.0.0.pyrepro"
+
+    # -- plumbing -----------------------------------------------------------
+    def _run_worker(self, action: str, in_path: str, out_path: str,
+                    dtype: str, dims: tuple[int, ...]) -> None:
+        cmd = [
+            sys.executable, "-m", "repro.tools.external_worker",
+            "--action", action,
+            "--compressor", self._inner,
+            "--config", self._config_json,
+            "--input", in_path,
+            "--output", out_path,
+            "--dtype", dtype,
+            "--dims", ",".join(str(d) for d in dims),
+            "--init-cost-ms", str(self._init_cost_ms),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise PressioError(
+                f"external worker failed (rc={proc.returncode}): "
+                f"{proc.stderr.strip()[-500:]}"
+            )
+
+    def _compress(self, input: PressioData) -> PressioData:
+        arr = input.to_numpy()
+        with tempfile.TemporaryDirectory(prefix="pressio_ext_") as tmp:
+            in_path = os.path.join(tmp, "input.bin")
+            out_path = os.path.join(tmp, "output.bin")
+            np.ascontiguousarray(arr).tofile(in_path)
+            self._run_worker("compress", in_path, out_path,
+                             str(arr.dtype), input.dims)
+            with open(out_path, "rb") as fh:
+                return PressioData.from_bytes(fh.read())
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        from ..core.dtype import dtype_to_numpy
+
+        np_dtype = dtype_to_numpy(output.dtype)
+        with tempfile.TemporaryDirectory(prefix="pressio_ext_") as tmp:
+            in_path = os.path.join(tmp, "input.bin")
+            out_path = os.path.join(tmp, "output.bin")
+            with open(in_path, "wb") as fh:
+                fh.write(input.to_bytes())
+            self._run_worker("decompress", in_path, out_path,
+                             str(np_dtype), output.dims)
+            arr = np.fromfile(out_path, dtype=np_dtype).reshape(output.dims)
+            return PressioData.from_numpy(arr, copy=False)

@@ -1,0 +1,93 @@
+"""LibPressio plugins for the byte-stream lossless codecs.
+
+One plugin id per codec (``zlib``, ``bz2``, ``lzma``, ``pressio-lz``,
+``rle``, ``huffman-bytes``, ``memcpy``/``noop``-style copies live in
+:mod:`repro.compressors.noop`).  These are the "type-oblivious" class of
+compressor from the paper's Table I discussion: they accept any dtype by
+flattening to bytes, and dtype/dims travel in a small stream header so
+decompression restores the typed, shaped buffer.
+"""
+
+from __future__ import annotations
+
+from ..core.compressor import PressioCompressor
+from ..core.configurable import Stability, ThreadSafety
+from ..core.data import PressioData
+from ..core.dtype import DType
+from ..core.options import PressioOptions
+from ..core.registry import register_compressor
+from ..core.status import CorruptStreamError
+from ..encoders.headers import read_header, write_header
+from ..native.lossless import codec_ids, get_codec
+
+__all__ = ["LosslessCompressor", "LOSSLESS_PLUGIN_IDS"]
+
+_MAGIC = b"LSL1"
+
+
+class LosslessCompressor(PressioCompressor):
+    """Generic wrapper turning a byte codec into a pressio plugin."""
+
+    codec_name = "zlib"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._codec = get_codec(self.codec_name)
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set(f"{self.prefix()}:codec", self._codec.name)
+        return opts
+
+    def _configuration(self) -> PressioOptions:
+        cfg = PressioOptions()
+        cfg.set("pressio:thread_safe", ThreadSafety.MULTIPLE)
+        cfg.set("pressio:stability", Stability.STABLE)
+        cfg.set("pressio:lossy", False)
+        return cfg
+
+    def _documentation(self) -> PressioOptions:
+        docs = PressioOptions()
+        docs.set("pressio:description",
+                 f"lossless byte-stream compression with {self.codec_name}")
+        return docs
+
+    def version(self) -> str:
+        return "1.0.0.pyrepro"
+
+    def _compress(self, input: PressioData) -> PressioData:
+        payload = self._codec.encode(input.to_bytes())
+        header = write_header(_MAGIC, input.dtype, input.dims)
+        return PressioData.from_bytes(header + payload)
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        import numpy as np
+
+        from ..core.dtype import dtype_to_numpy
+
+        stream = input.to_bytes()
+        dtype, dims, _d, _i, pos = read_header(stream, _MAGIC)
+        raw = self._codec.decode(stream[pos:])
+        np_dtype = dtype_to_numpy(dtype)
+        n = int(np.prod(dims, dtype=np.int64)) if dims else 0
+        arr = np.frombuffer(raw, dtype=np_dtype)
+        if arr.size != n:
+            raise CorruptStreamError(
+                f"decoded {arr.size} elements, header dims imply {n}"
+            )
+        return PressioData.from_numpy(arr.reshape(dims), copy=True)
+
+
+def _make_plugin(codec: str) -> type[LosslessCompressor]:
+    cls = type(
+        f"Lossless_{codec.replace('-', '_')}",
+        (LosslessCompressor,),
+        {"codec_name": codec, "plugin_id": codec},
+    )
+    return cls
+
+
+LOSSLESS_PLUGIN_IDS = tuple(c for c in codec_ids() if c != "memcpy")
+
+for _codec in LOSSLESS_PLUGIN_IDS:
+    register_compressor(_codec, _make_plugin(_codec))

@@ -1,0 +1,170 @@
+"""Bit Grooming and Digit Rounding compressors.
+
+Both are float "precision trimming" compressors from the paper's plugin
+glossary: they zero low-order mantissa bits so the result is more
+compressible by a lossless backend, guaranteeing a *relative* error
+determined by how many significant bits/digits are kept.
+
+* Bit Grooming keeps ``nsb`` explicit significand bits;
+* Digit Rounding keeps ``digits`` significant decimal digits, which maps
+  to ``ceil(digits * log2(10))`` significand bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.compressor import PressioCompressor
+from ..core.configurable import Stability, ThreadSafety
+from ..core.data import PressioData
+from ..core.dtype import DType, dtype_to_numpy
+from ..core.options import OptionType, PressioOptions
+from ..core.registry import compressor_plugin
+from ..core.status import CorruptStreamError, InvalidOptionError, InvalidTypeError
+from ..encoders.headers import read_header, write_header
+from ..native.lossless import get_codec
+
+__all__ = ["BitGroomingCompressor", "DigitRoundingCompressor", "mask_mantissa"]
+
+_MAGIC = b"RND1"
+
+_MANTISSA_BITS = {np.dtype(np.float32): 23, np.dtype(np.float64): 52}
+_UINT_FOR = {np.dtype(np.float32): np.uint32, np.dtype(np.float64): np.uint64}
+
+
+def mask_mantissa(arr: np.ndarray, keep_bits: int) -> np.ndarray:
+    """Zero all but the top ``keep_bits`` mantissa bits (groom to zero).
+
+    The masked value differs from the original by a relative error of at
+    most ``2**-keep_bits`` (one ulp at the kept precision).
+    """
+    mant = _MANTISSA_BITS.get(arr.dtype)
+    if mant is None:
+        raise InvalidTypeError(
+            f"bit grooming only supports float32/float64, got {arr.dtype}"
+        )
+    if keep_bits >= mant:
+        return arr.copy()
+    if keep_bits < 0:
+        raise InvalidOptionError("keep_bits must be non-negative")
+    utype = _UINT_FOR[arr.dtype]
+    drop = mant - keep_bits
+    mask = ~((np.array(1, dtype=utype) << np.array(drop, dtype=utype))
+             - np.array(1, dtype=utype))
+    u = np.ascontiguousarray(arr).view(utype)
+    return (u & mask).view(arr.dtype)
+
+
+class _RoundingBase(PressioCompressor):
+    """Shared machinery: mask mantissa, then lossless-pack the bytes."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._backend = "zlib"
+
+    def _keep_bits(self) -> int:
+        raise NotImplementedError
+
+    def _configuration(self) -> PressioOptions:
+        cfg = PressioOptions()
+        cfg.set("pressio:thread_safe", ThreadSafety.MULTIPLE)
+        cfg.set("pressio:stability", Stability.STABLE)
+        cfg.set("pressio:lossy", True)
+        return cfg
+
+    def version(self) -> str:
+        return "1.0.0.pyrepro"
+
+    def _compress(self, input: PressioData) -> PressioData:
+        if input.dtype not in (DType.FLOAT, DType.DOUBLE):
+            raise InvalidTypeError(
+                f"{self.plugin_id} requires float input, got {input.dtype.name}"
+            )
+        arr = input.to_numpy()
+        groomed = mask_mantissa(np.ascontiguousarray(arr), self._keep_bits())
+        codec = get_codec(self._backend)
+        payload = codec.encode(groomed.tobytes())
+        header = write_header(_MAGIC, input.dtype, input.dims,
+                              ints=(self._keep_bits(),))
+        return PressioData.from_bytes(header + payload)
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        stream = input.to_bytes()
+        dtype, dims, _d, _i, pos = read_header(stream, _MAGIC)
+        codec = get_codec(self._backend)
+        raw = codec.decode(stream[pos:])
+        arr = np.frombuffer(raw, dtype=dtype_to_numpy(dtype))
+        n = int(np.prod(dims, dtype=np.int64))
+        if arr.size != n:
+            raise CorruptStreamError(
+                f"decoded {arr.size} elements, header dims imply {n}"
+            )
+        return PressioData.from_numpy(arr.reshape(dims), copy=True)
+
+
+@compressor_plugin("bit_grooming")
+class BitGroomingCompressor(_RoundingBase):
+    """Keep ``bit_grooming:nsb`` significand bits, zeroing the rest."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._nsb = 12
+
+    def _keep_bits(self) -> int:
+        return self._nsb
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("bit_grooming:nsb", np.int32(self._nsb))
+        opts.set("bit_grooming:backend", self._backend)
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        nsb = int(self._take(options, "bit_grooming:nsb", OptionType.INT32,
+                             self._nsb))
+        if nsb < 0 or nsb > 52:
+            raise InvalidOptionError("bit_grooming:nsb must be in [0, 52]")
+        self._nsb = nsb
+        self._backend = str(self._take(options, "bit_grooming:backend",
+                                       OptionType.STRING, self._backend))
+
+    def _documentation(self) -> PressioOptions:
+        docs = PressioOptions()
+        docs.set("pressio:description",
+                 "bit grooming: keep nsb significand bits for compressibility")
+        docs.set("bit_grooming:nsb", "number of kept significand bits")
+        return docs
+
+
+@compressor_plugin("digit_rounding")
+class DigitRoundingCompressor(_RoundingBase):
+    """Keep ``digit_rounding:prec`` significant decimal digits."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._digits = 4
+
+    def _keep_bits(self) -> int:
+        return int(np.ceil(self._digits * np.log2(10.0)))
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("digit_rounding:prec", np.int32(self._digits))
+        opts.set("digit_rounding:backend", self._backend)
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        digits = int(self._take(options, "digit_rounding:prec",
+                                OptionType.INT32, self._digits))
+        if digits < 1 or digits > 15:
+            raise InvalidOptionError("digit_rounding:prec must be in [1, 15]")
+        self._digits = digits
+        self._backend = str(self._take(options, "digit_rounding:backend",
+                                       OptionType.STRING, self._backend))
+
+    def _documentation(self) -> PressioOptions:
+        docs = PressioOptions()
+        docs.set("pressio:description",
+                 "digit rounding: keep a number of significant decimal digits")
+        docs.set("digit_rounding:prec", "kept significant decimal digits")
+        return docs

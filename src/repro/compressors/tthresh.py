@@ -1,0 +1,86 @@
+"""LibPressio plugin for the tthresh (truncated HOSVD) native.
+
+tthresh's bound is a *relative L2* (Frobenius) target — a different
+bound family from abs/pointwise compressors, exercising the library's
+claim that bound semantics are per-plugin, discoverable through
+documentation and configuration rather than hard-coded.
+"""
+
+from __future__ import annotations
+
+from ..core.compressor import PressioCompressor
+from ..core.configurable import Stability, ThreadSafety
+from ..core.data import PressioData
+from ..core.dtype import DType, dtype_to_numpy
+from ..core.options import OptionType, PressioOptions
+from ..core.registry import compressor_plugin
+from ..core.status import InvalidOptionError, InvalidTypeError
+from ..native import tthresh as native_tthresh
+
+__all__ = ["TthreshCompressor"]
+
+
+@compressor_plugin("tthresh")
+class TthreshCompressor(PressioCompressor):
+    """SVD-principled lossy compression with a relative-L2 target."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._target = 1e-3
+        self._backend = "zlib"
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("tthresh:target_value", float(self._target))
+        opts.set("tthresh:target_str", "eps")  # relative L2, as tthresh
+        opts.set("tthresh:backend", self._backend)
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        target = float(self._take(options, "tthresh:target_value",
+                                  OptionType.DOUBLE, self._target))
+        if target <= 0:
+            raise InvalidOptionError("tthresh:target_value must be positive")
+        self._target = target
+        self._backend = str(self._take(options, "tthresh:backend",
+                                       OptionType.STRING, self._backend))
+
+    def _check_options(self, options: PressioOptions) -> None:
+        target = options.get("tthresh:target_value")
+        if target is not None and float(target) <= 0:
+            raise InvalidOptionError("tthresh:target_value must be positive")
+
+    def _configuration(self) -> PressioOptions:
+        cfg = PressioOptions()
+        cfg.set("pressio:thread_safe", ThreadSafety.MULTIPLE)
+        cfg.set("pressio:stability", Stability.STABLE)
+        cfg.set("pressio:lossy", True)
+        cfg.set("tthresh:norm", "relative_l2")
+        return cfg
+
+    def _documentation(self) -> PressioOptions:
+        docs = PressioOptions()
+        docs.set("pressio:description",
+                 "tthresh-style truncated-HOSVD compressor; bounds the "
+                 "RELATIVE L2 (Frobenius) error, not the pointwise max")
+        docs.set("tthresh:target_value", "relative L2 error target (eps)")
+        return docs
+
+    def version(self) -> str:
+        return "1.0.0.pyrepro"
+
+    def _compress(self, input: PressioData) -> PressioData:
+        arr = input.to_numpy()
+        if arr.dtype.kind not in "fiu":
+            raise InvalidTypeError(f"tthresh cannot compress {arr.dtype}")
+        stream = native_tthresh.compress(arr, self._target,
+                                         backend=self._backend)
+        return PressioData.from_bytes(stream)
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        expected = output.dims if output.num_dimensions else None
+        out = native_tthresh.decompress(input.as_memoryview(),
+                                        expected_dims=expected)
+        if output.dtype != DType.BYTE and output.dtype is not None:
+            out = out.astype(dtype_to_numpy(output.dtype), copy=False)
+        return PressioData.from_numpy(out, copy=False)

@@ -1,0 +1,116 @@
+"""The pressio data-type enumeration and its NumPy mapping.
+
+LibPressio describes buffers with an explicit dtype enum rather than
+relying on the host language's type system so that type information can
+cross the C ABI (Section IV-A of the paper).  We reproduce the same nine
+scalar types plus ``byte`` (opaque) used for compressed streams.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .status import InvalidTypeError
+
+__all__ = ["DType", "dtype_to_numpy", "dtype_from_numpy", "dtype_size"]
+
+
+class DType(enum.IntEnum):
+    """Scalar element types understood by every plugin.
+
+    The integer values are stable and are serialized into stream headers,
+    so they must never be renumbered.
+    """
+
+    INT8 = 0
+    INT16 = 1
+    INT32 = 2
+    INT64 = 3
+    UINT8 = 4
+    UINT16 = 5
+    UINT32 = 6
+    UINT64 = 7
+    FLOAT = 8
+    DOUBLE = 9
+    BYTE = 10
+    BOOL = 11
+
+    @property
+    def is_floating(self) -> bool:
+        return self in (DType.FLOAT, DType.DOUBLE)
+
+    @property
+    def is_signed(self) -> bool:
+        return self in (DType.INT8, DType.INT16, DType.INT32, DType.INT64)
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self in (
+            DType.UINT8,
+            DType.UINT16,
+            DType.UINT32,
+            DType.UINT64,
+            DType.BYTE,
+        )
+
+    @property
+    def is_integer(self) -> bool:
+        return self.is_signed or self.is_unsigned
+
+
+_TO_NUMPY: dict[DType, np.dtype] = {
+    DType.INT8: np.dtype(np.int8),
+    DType.INT16: np.dtype(np.int16),
+    DType.INT32: np.dtype(np.int32),
+    DType.INT64: np.dtype(np.int64),
+    DType.UINT8: np.dtype(np.uint8),
+    DType.UINT16: np.dtype(np.uint16),
+    DType.UINT32: np.dtype(np.uint32),
+    DType.UINT64: np.dtype(np.uint64),
+    DType.FLOAT: np.dtype(np.float32),
+    DType.DOUBLE: np.dtype(np.float64),
+    DType.BYTE: np.dtype(np.uint8),
+    DType.BOOL: np.dtype(np.bool_),
+}
+
+_FROM_NUMPY: dict[str, DType] = {
+    "int8": DType.INT8,
+    "int16": DType.INT16,
+    "int32": DType.INT32,
+    "int64": DType.INT64,
+    "uint8": DType.UINT8,
+    "uint16": DType.UINT16,
+    "uint32": DType.UINT32,
+    "uint64": DType.UINT64,
+    "float32": DType.FLOAT,
+    "float64": DType.DOUBLE,
+    "bool": DType.BOOL,
+}
+
+
+def dtype_to_numpy(dtype: DType) -> np.dtype:
+    """Return the NumPy dtype corresponding to a :class:`DType`."""
+    try:
+        return _TO_NUMPY[DType(dtype)]
+    except (ValueError, KeyError):
+        raise InvalidTypeError(f"unknown pressio dtype: {dtype!r}") from None
+
+
+def dtype_from_numpy(dtype: np.dtype | type | str) -> DType:
+    """Return the :class:`DType` for a NumPy dtype (or anything castable).
+
+    ``uint8`` maps to :attr:`DType.UINT8`; use :attr:`DType.BYTE`
+    explicitly for opaque compressed buffers.
+    """
+    name = np.dtype(dtype).name
+    try:
+        return _FROM_NUMPY[name]
+    except KeyError:
+        raise InvalidTypeError(f"unsupported numpy dtype: {name}") from None
+
+
+def dtype_size(dtype: DType) -> int:
+    """Size in bytes of one element of ``dtype``."""
+    return int(dtype_to_numpy(dtype).itemsize)

@@ -1,0 +1,147 @@
+"""The ``Pressio`` library handle: create and enumerate plugins.
+
+The analog of ``pressio_instance()`` from the paper's Appendix A.  All
+plugin subpackages are imported lazily on first use so that merely
+importing :mod:`repro.core` stays cheap, but every handle sees the full
+first-party plugin set plus anything registered by third parties.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+
+from . import registry
+from .compressor import PressioCompressor
+from .io import PressioIO
+from .metrics import PressioMetrics
+from .options import PressioOptions
+from .status import Status
+
+__all__ = ["Pressio", "PRESSIO_VERSION"]
+
+PRESSIO_MAJOR = 0
+PRESSIO_MINOR = 70
+PRESSIO_PATCH = 4
+PRESSIO_VERSION = f"{PRESSIO_MAJOR}.{PRESSIO_MINOR}.{PRESSIO_PATCH}"
+
+_FIRST_PARTY_MODULES = (
+    "repro.compressors",
+    "repro.metrics",
+    "repro.io",
+    "repro.meta",
+)
+
+_loaded = False
+_load_lock = threading.Lock()
+
+
+def load_first_party_plugins() -> None:
+    """Import all first-party plugin subpackages exactly once."""
+    global _loaded
+    if _loaded:
+        return
+    with _load_lock:
+        if _loaded:
+            return
+        for mod in _FIRST_PARTY_MODULES:
+            importlib.import_module(mod)
+        _loaded = True
+
+
+class Pressio:
+    """Entry point for creating compressors, metrics, and IO plugins.
+
+    Mirrors the C API's ``pressio`` object: it reports library version
+    information and records the last error raised during plugin creation
+    (``error_code`` / ``error_msg``).
+    """
+
+    def __init__(self) -> None:
+        load_first_party_plugins()
+        self.status = Status()
+
+    # -- creation --------------------------------------------------------
+    def get_compressor(self, compressor_id: str) -> PressioCompressor | None:
+        """Instantiate a compressor plugin; None + status on failure."""
+        self.status.clear()
+        try:
+            comp = registry.compressor_registry.create(compressor_id)
+            assert isinstance(comp, PressioCompressor)
+            return comp
+        except Exception as e:  # noqa: BLE001 - C-style status capture
+            self.status.set_from(e)
+            return None
+
+    def get_metric(self, metric_ids: str | list[str]) -> PressioMetrics | None:
+        """Instantiate one metric, or a composite over several ids."""
+        self.status.clear()
+        try:
+            if isinstance(metric_ids, str):
+                m = registry.metrics_registry.create(metric_ids)
+            else:
+                plugins = [registry.metrics_registry.create(mid) for mid in metric_ids]
+                from ..metrics.composite import CompositeMetrics
+
+                m = CompositeMetrics(plugins)
+            assert isinstance(m, PressioMetrics)
+            return m
+        except Exception as e:  # noqa: BLE001
+            self.status.set_from(e)
+            return None
+
+    # C API naming parity
+    new_metrics = get_metric
+
+    def get_io(self, io_id: str) -> PressioIO | None:
+        """Instantiate an IO plugin; None + status on failure."""
+        self.status.clear()
+        try:
+            io = registry.io_registry.create(io_id)
+            assert isinstance(io, PressioIO)
+            return io
+        except Exception as e:  # noqa: BLE001
+            self.status.set_from(e)
+            return None
+
+    # -- enumeration -------------------------------------------------------
+    def supported_compressors(self) -> list[str]:
+        return registry.compressor_registry.ids()
+
+    def supported_metrics(self) -> list[str]:
+        return registry.metrics_registry.ids()
+
+    def supported_io(self) -> list[str]:
+        return registry.io_registry.ids()
+
+    def features(self) -> PressioOptions:
+        """Library-level introspection used by the Table I bench."""
+        feats = PressioOptions()
+        feats.set("pressio:lossless", True)
+        feats.set("pressio:lossy", True)
+        feats.set("pressio:nd_data_aware", True)
+        feats.set("pressio:datatype_aware", True)
+        feats.set("pressio:embeddable", True)
+        feats.set("pressio:arbitrary_configuration", True)
+        feats.set("pressio:option_introspection", True)
+        feats.set("pressio:third_party_extensions", True)
+        return feats
+
+    # -- versioning / errors -------------------------------------------------
+    def version(self) -> str:
+        return PRESSIO_VERSION
+
+    def major_version(self) -> int:
+        return PRESSIO_MAJOR
+
+    def minor_version(self) -> int:
+        return PRESSIO_MINOR
+
+    def patch_version(self) -> int:
+        return PRESSIO_PATCH
+
+    def error_code(self) -> int:
+        return int(self.status.code)
+
+    def error_msg(self) -> str:
+        return self.status.msg

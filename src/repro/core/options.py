@@ -1,0 +1,363 @@
+"""Typed, introspectable configuration options (``pressio_options``).
+
+Section IV-C of the paper: each option reports one of the types below so
+users can *programmatically* discover what a compressor accepts and supply
+correctly-typed values.  Two conversion disciplines exist, as in
+libpressio:
+
+* **explicit** casts permit lossless widening (int32 -> int64,
+  float -> double, int -> double, ...);
+* **implicit** casts additionally permit narrowing when the value is
+  exactly representable.
+
+The ``USERPTR`` type carries opaque native handles (the paper's
+``MPI_Comm`` / ``sycl::queue`` argument) which string- or JSON-typed
+interfaces cannot express — this is what the "arbitrary configuration"
+column of Table I measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from .data import PressioData
+from .status import InvalidOptionError
+
+__all__ = ["OptionType", "Option", "PressioOptions", "CastLevel"]
+
+
+class OptionType(enum.IntEnum):
+    """The wire types an option can hold (paper Section IV-C)."""
+
+    INT8 = 0
+    INT16 = 1
+    INT32 = 2
+    INT64 = 3
+    UINT8 = 4
+    UINT16 = 5
+    UINT32 = 6
+    UINT64 = 7
+    FLOAT = 8
+    DOUBLE = 9
+    STRING = 10
+    STRING_LIST = 11
+    DATA = 12
+    USERPTR = 13
+    UNSET = 14
+    BOOL = 15
+
+
+class CastLevel(enum.IntEnum):
+    """How aggressively :meth:`Option.cast` may convert values."""
+
+    EXPLICIT = 0  # only lossless widening
+    IMPLICIT = 1  # also exact-value narrowing
+
+
+_INT_TYPES = {
+    OptionType.INT8: (-(2**7), 2**7 - 1),
+    OptionType.INT16: (-(2**15), 2**15 - 1),
+    OptionType.INT32: (-(2**31), 2**31 - 1),
+    OptionType.INT64: (-(2**63), 2**63 - 1),
+    OptionType.UINT8: (0, 2**8 - 1),
+    OptionType.UINT16: (0, 2**16 - 1),
+    OptionType.UINT32: (0, 2**32 - 1),
+    OptionType.UINT64: (0, 2**64 - 1),
+}
+
+_WIDENS: dict[OptionType, set[OptionType]] = {
+    OptionType.INT8: {OptionType.INT16, OptionType.INT32, OptionType.INT64,
+                      OptionType.FLOAT, OptionType.DOUBLE},
+    OptionType.INT16: {OptionType.INT32, OptionType.INT64, OptionType.FLOAT,
+                       OptionType.DOUBLE},
+    OptionType.INT32: {OptionType.INT64, OptionType.DOUBLE},
+    OptionType.INT64: set(),
+    OptionType.UINT8: {OptionType.UINT16, OptionType.UINT32, OptionType.UINT64,
+                       OptionType.INT16, OptionType.INT32, OptionType.INT64,
+                       OptionType.FLOAT, OptionType.DOUBLE},
+    OptionType.UINT16: {OptionType.UINT32, OptionType.UINT64, OptionType.INT32,
+                        OptionType.INT64, OptionType.FLOAT, OptionType.DOUBLE},
+    OptionType.UINT32: {OptionType.UINT64, OptionType.INT64, OptionType.DOUBLE},
+    OptionType.UINT64: set(),
+    OptionType.FLOAT: {OptionType.DOUBLE},
+    OptionType.DOUBLE: set(),
+    OptionType.BOOL: {OptionType.INT8, OptionType.INT16, OptionType.INT32,
+                      OptionType.INT64, OptionType.UINT8, OptionType.UINT16,
+                      OptionType.UINT32, OptionType.UINT64},
+}
+
+
+def _infer_type(value: Any) -> OptionType:
+    """Infer the option type of a raw Python/NumPy value."""
+    if value is None:
+        return OptionType.UNSET
+    if isinstance(value, Option):
+        return value.type
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return OptionType.BOOL
+    if isinstance(value, (int, np.integer)):
+        if isinstance(value, np.integer):
+            name = value.dtype.name
+            return {
+                "int8": OptionType.INT8, "int16": OptionType.INT16,
+                "int32": OptionType.INT32, "int64": OptionType.INT64,
+                "uint8": OptionType.UINT8, "uint16": OptionType.UINT16,
+                "uint32": OptionType.UINT32, "uint64": OptionType.UINT64,
+            }[name]
+        return OptionType.INT64
+    if isinstance(value, np.float32):
+        return OptionType.FLOAT
+    if isinstance(value, (float, np.floating)):
+        return OptionType.DOUBLE
+    if isinstance(value, str):
+        return OptionType.STRING
+    if isinstance(value, PressioData):
+        return OptionType.DATA
+    if isinstance(value, (list, tuple)) and all(isinstance(v, str) for v in value):
+        return OptionType.STRING_LIST
+    return OptionType.USERPTR
+
+
+def _normalize(value: Any, type_: OptionType) -> Any:
+    """Coerce a raw value into the canonical Python representation."""
+    if type_ == OptionType.UNSET:
+        return None
+    if type_ == OptionType.BOOL:
+        return bool(value)
+    if type_ in _INT_TYPES:
+        iv = int(value)
+        lo, hi = _INT_TYPES[type_]
+        if not (lo <= iv <= hi):
+            raise InvalidOptionError(
+                f"value {iv} out of range for {type_.name} [{lo}, {hi}]"
+            )
+        return iv
+    if type_ == OptionType.FLOAT:
+        return float(np.float32(value))
+    if type_ == OptionType.DOUBLE:
+        return float(value)
+    if type_ == OptionType.STRING:
+        if not isinstance(value, str):
+            raise InvalidOptionError(f"expected str, got {type(value).__name__}")
+        return value
+    if type_ == OptionType.STRING_LIST:
+        if not (isinstance(value, (list, tuple))
+                and all(isinstance(v, str) for v in value)):
+            raise InvalidOptionError("expected a list of str")
+        return list(value)
+    if type_ == OptionType.DATA:
+        if not isinstance(value, PressioData):
+            raise InvalidOptionError(
+                f"expected PressioData, got {type(value).__name__}"
+            )
+        return value
+    if type_ == OptionType.USERPTR:
+        return value
+    raise InvalidOptionError(f"unknown option type {type_!r}")
+
+
+class Option:
+    """One typed configuration value.
+
+    An option may exist with a type but no value (``has_value() == False``)
+    — this is how plugins *advertise* which options they accept and with
+    what type, enabling introspection before any value is supplied.
+    """
+
+    __slots__ = ("_type", "_value")
+
+    def __init__(self, value: Any = None, type: OptionType | None = None):
+        if type is None:
+            type = _infer_type(value)
+        self._type = OptionType(type)
+        self._value = None if value is None else _normalize(value, self._type)
+
+    @classmethod
+    def unset(cls, type: OptionType) -> "Option":
+        """An option advertising ``type`` but holding no value yet."""
+        opt = cls.__new__(cls)
+        opt._type = OptionType(type)
+        opt._value = None
+        return opt
+
+    @property
+    def type(self) -> OptionType:
+        return self._type
+
+    def has_value(self) -> bool:
+        return self._value is not None
+
+    def get(self) -> Any:
+        return self._value
+
+    def set(self, value: Any) -> None:
+        self._value = _normalize(value, self._type)
+
+    # ------------------------------------------------------------------
+    def cast(self, target: OptionType, level: CastLevel = CastLevel.EXPLICIT) -> "Option":
+        """Convert to ``target`` under the given discipline, or raise.
+
+        Explicit casts allow only identity and lossless widening.
+        Implicit casts also allow narrowing when the exact value survives
+        the round trip.
+        """
+        target = OptionType(target)
+        if not self.has_value():
+            raise InvalidOptionError("cannot cast an option with no value")
+        if target == self._type:
+            return Option(self._value, target)
+        allowed = target in _WIDENS.get(self._type, set())
+        if allowed:
+            return Option(self._convert_value(target), target)
+        if level == CastLevel.IMPLICIT:
+            converted = self._convert_value(target)
+            back = Option(converted, target)._convert_value(self._type)
+            if back == self._value:
+                return Option(converted, target)
+            raise InvalidOptionError(
+                f"implicit cast {self._type.name} -> {target.name} would lose "
+                f"value {self._value!r}"
+            )
+        raise InvalidOptionError(
+            f"explicit cast {self._type.name} -> {target.name} not permitted"
+        )
+
+    def _convert_value(self, target: OptionType) -> Any:
+        v = self._value
+        if target in _INT_TYPES or target == OptionType.BOOL:
+            if isinstance(v, str):
+                raise InvalidOptionError("cannot cast string to numeric")
+            if isinstance(v, float) and not float(v).is_integer():
+                raise InvalidOptionError(f"cannot cast non-integral {v} to int")
+            return _normalize(int(v), target) if target != OptionType.BOOL else bool(v)
+        if target in (OptionType.FLOAT, OptionType.DOUBLE):
+            if isinstance(v, str):
+                raise InvalidOptionError("cannot cast string to numeric")
+            return _normalize(float(v), target)
+        if target == OptionType.STRING:
+            return str(v)
+        raise InvalidOptionError(
+            f"no conversion path {self._type.name} -> {target.name}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Option):
+            return NotImplemented
+        return self._type == other._type and self._value == other._value
+
+    def __repr__(self) -> str:
+        return f"Option({self._value!r}, type={self._type.name})"
+
+
+class PressioOptions:
+    """An ordered mapping of option name -> :class:`Option`.
+
+    Names are hierarchical with a ``plugin:option`` convention
+    (``sz:abs_err_bound``, ``pressio:abs`` for cross-compressor common
+    options).  This class is deliberately permissive about unknown keys —
+    validation against what a plugin accepts happens in
+    :meth:`repro.core.configurable.Configurable.set_options`.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, values: Mapping[str, Any] | None = None):
+        self._entries: dict[str, Option] = {}
+        if values:
+            for k, v in values.items():
+                self.set(k, v)
+
+    # -- mutation ------------------------------------------------------
+    def set(self, name: str, value: Any, type: OptionType | None = None) -> None:
+        """Set ``name`` to ``value`` (type inferred unless given)."""
+        if isinstance(value, Option):
+            self._entries[name] = value
+        else:
+            self._entries[name] = Option(value, type)
+
+    def set_type(self, name: str, type: OptionType) -> None:
+        """Declare ``name`` with a type but no value (introspection)."""
+        self._entries[name] = Option.unset(type)
+
+    def clear(self, name: str) -> None:
+        """Remove ``name`` entirely."""
+        self._entries.pop(name, None)
+
+    # -- access --------------------------------------------------------
+    def get(self, name: str, default: Any = None) -> Any:
+        """Raw value for ``name`` or ``default`` when absent/unset."""
+        opt = self._entries.get(name)
+        if opt is None or not opt.has_value():
+            return default
+        return opt.get()
+
+    def get_option(self, name: str) -> Option | None:
+        return self._entries.get(name)
+
+    def get_as(self, name: str, type: OptionType,
+               level: CastLevel = CastLevel.IMPLICIT) -> Any:
+        """Value for ``name`` cast to ``type``; raises when absent."""
+        opt = self._entries.get(name)
+        if opt is None or not opt.has_value():
+            raise InvalidOptionError(f"option {name!r} is not set")
+        return opt.cast(type, level).get()
+
+    def key_status(self, name: str) -> str:
+        """'key_set', 'key_exists' (typed but valueless), or 'key_does_not_exist'."""
+        opt = self._entries.get(name)
+        if opt is None:
+            return "key_does_not_exist"
+        return "key_set" if opt.has_value() else "key_exists"
+
+    # -- set algebra ----------------------------------------------------
+    def merge(self, other: "PressioOptions") -> "PressioOptions":
+        """New options with ``other`` taking precedence (C API's merge)."""
+        out = PressioOptions()
+        out._entries.update(self._entries)
+        out._entries.update(other._entries)
+        return out
+
+    def subset(self, prefix: str) -> "PressioOptions":
+        """All entries whose name starts with ``prefix``."""
+        out = PressioOptions()
+        out._entries = {
+            k: v for k, v in self._entries.items() if k.startswith(prefix)
+        }
+        return out
+
+    def copy(self) -> "PressioOptions":
+        out = PressioOptions()
+        out._entries = dict(self._entries)
+        return out
+
+    # -- iteration / dunder ---------------------------------------------
+    def keys(self) -> Iterable[str]:
+        return self._entries.keys()
+
+    def items(self) -> Iterable[tuple[str, Option]]:
+        return self._entries.items()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict snapshot of set values (unset entries skipped)."""
+        return {k: o.get() for k, o in self._entries.items() if o.has_value()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PressioOptions):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={o!r}" for k, o in self._entries.items())
+        return f"PressioOptions({inner})"

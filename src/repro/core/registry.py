@@ -1,0 +1,147 @@
+"""Plugin registries with third-party extension support.
+
+Table I's final column: LibPressio allows third-party plugins to be
+registered *without modifying the library*.  Here, any code can call
+:func:`register_compressor` (or the metric/io variants, or the
+``@compressor_plugin`` decorators) with a new id; the tools, CLI, and
+meta-compressors immediately see it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Type, TypeVar
+
+from .status import UnsupportedPluginError
+
+__all__ = [
+    "Registry",
+    "compressor_registry",
+    "metrics_registry",
+    "io_registry",
+    "register_compressor",
+    "register_metric",
+    "register_io",
+    "compressor_plugin",
+    "metric_plugin",
+    "io_plugin",
+]
+
+T = TypeVar("T")
+
+
+class Registry:
+    """A named, thread-safe mapping of plugin id -> factory."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: dict[str, Callable[[], object]] = {}
+        self._lock = threading.Lock()
+
+    def register(self, plugin_id: str, factory: Callable[[], object],
+                 replace: bool = False) -> None:
+        """Add a factory; refuses to silently shadow unless ``replace``."""
+        with self._lock:
+            if plugin_id in self._factories and not replace:
+                raise ValueError(
+                    f"{self.kind} plugin {plugin_id!r} already registered"
+                )
+            self._factories[plugin_id] = factory
+
+    def unregister(self, plugin_id: str) -> None:
+        with self._lock:
+            self._factories.pop(plugin_id, None)
+
+    def create(self, plugin_id: str):
+        """Instantiate a plugin or raise :class:`UnsupportedPluginError`.
+
+        A miss first triggers the one-time first-party plugin load, so
+        substrates like :class:`~repro.io.hdf5mini.Hdf5MiniFile` work
+        without the caller having constructed a ``Pressio`` handle.
+        """
+        with self._lock:
+            factory = self._factories.get(plugin_id)
+        if factory is None:
+            from .library import load_first_party_plugins
+
+            load_first_party_plugins()
+            with self._lock:
+                factory = self._factories.get(plugin_id)
+        if factory is None:
+            known = ", ".join(sorted(self._factories))
+            raise UnsupportedPluginError(
+                f"no {self.kind} plugin {plugin_id!r}; known: {known}"
+            )
+        instance = factory()
+        return instance
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._factories)
+
+    def __contains__(self, plugin_id: str) -> bool:
+        with self._lock:
+            return plugin_id in self._factories
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._factories)
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self.ids())
+
+
+compressor_registry = Registry("compressor")
+metrics_registry = Registry("metric")
+io_registry = Registry("io")
+
+
+def register_compressor(plugin_id: str, factory: Callable[[], object],
+                        replace: bool = False) -> None:
+    """Register a compressor factory under ``plugin_id``."""
+    compressor_registry.register(plugin_id, factory, replace)
+
+
+def register_metric(plugin_id: str, factory: Callable[[], object],
+                    replace: bool = False) -> None:
+    """Register a metrics factory under ``plugin_id``."""
+    metrics_registry.register(plugin_id, factory, replace)
+
+
+def register_io(plugin_id: str, factory: Callable[[], object],
+                replace: bool = False) -> None:
+    """Register an IO factory under ``plugin_id``."""
+    io_registry.register(plugin_id, factory, replace)
+
+
+def compressor_plugin(plugin_id: str, replace: bool = False) -> Callable[[Type[T]], Type[T]]:
+    """Class decorator registering a compressor plugin."""
+
+    def deco(cls: Type[T]) -> Type[T]:
+        cls.plugin_id = plugin_id
+        register_compressor(plugin_id, cls, replace)
+        return cls
+
+    return deco
+
+
+def metric_plugin(plugin_id: str, replace: bool = False) -> Callable[[Type[T]], Type[T]]:
+    """Class decorator registering a metrics plugin."""
+
+    def deco(cls: Type[T]) -> Type[T]:
+        cls.plugin_id = plugin_id
+        register_metric(plugin_id, cls, replace)
+        return cls
+
+    return deco
+
+
+def io_plugin(plugin_id: str, replace: bool = False) -> Callable[[Type[T]], Type[T]]:
+    """Class decorator registering an IO plugin."""
+
+    def deco(cls: Type[T]) -> Type[T]:
+        cls.plugin_id = plugin_id
+        register_io(plugin_id, cls, replace)
+        return cls
+
+    return deco

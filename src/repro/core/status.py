@@ -1,0 +1,144 @@
+"""Error codes and exception hierarchy for the pressio core.
+
+LibPressio's C API reports errors through per-object ``error_code`` /
+``error_msg`` pairs (see the ``pressio`` component in Section IV of the
+paper).  The Python reproduction exposes both styles: plugins raise typed
+exceptions internally, and the :class:`~repro.core.library.Pressio` handle
+and :mod:`repro.capi` translate them back into code/message pairs for
+C-style callers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorCode(enum.IntEnum):
+    """Numeric error codes mirroring libpressio's conventions.
+
+    ``SUCCESS`` is zero; positive values are errors raised by the library
+    itself; negative values are reserved for plugin-specific errors, as in
+    the C library.
+    """
+
+    SUCCESS = 0
+    GENERAL = 1
+    INVALID_TYPE = 2
+    INVALID_DIMENSIONS = 3
+    INVALID_OPTION = 4
+    MISSING_OPTION = 5
+    UNSUPPORTED_COMPRESSOR = 6
+    UNSUPPORTED_METRIC = 7
+    UNSUPPORTED_IO = 8
+    IO_ERROR = 9
+    CORRUPT_STREAM = 10
+    BOUND_EXCEEDED = 11
+    NOT_THREAD_SAFE = 12
+    PLUGIN = -1
+
+
+class PressioError(Exception):
+    """Base class for all errors raised by the repro library.
+
+    Parameters
+    ----------
+    msg:
+        human readable message, stored verbatim as ``error_msg``.
+    code:
+        machine readable :class:`ErrorCode`, stored as ``error_code``.
+    """
+
+    default_code = ErrorCode.GENERAL
+
+    def __init__(self, msg: str, code: ErrorCode | int | None = None):
+        super().__init__(msg)
+        self.msg = msg
+        self.code = ErrorCode(code) if code is not None else self.default_code
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(code={int(self.code)}, msg={self.msg!r})"
+
+
+class InvalidTypeError(PressioError):
+    """The dtype of a buffer is not acceptable to the plugin."""
+
+    default_code = ErrorCode.INVALID_TYPE
+
+
+class InvalidDimensionsError(PressioError):
+    """The dimensions of a buffer are not acceptable to the plugin."""
+
+    default_code = ErrorCode.INVALID_DIMENSIONS
+
+
+class InvalidOptionError(PressioError):
+    """An option was set with an incompatible type or out-of-domain value."""
+
+    default_code = ErrorCode.INVALID_OPTION
+
+
+class MissingOptionError(PressioError):
+    """A required option was not provided before compress/decompress."""
+
+    default_code = ErrorCode.MISSING_OPTION
+
+
+class UnsupportedPluginError(PressioError):
+    """Requested plugin id is not present in the registry."""
+
+    default_code = ErrorCode.UNSUPPORTED_COMPRESSOR
+
+
+class IOError_(PressioError):
+    """An IO plugin failed to read or write."""
+
+    default_code = ErrorCode.IO_ERROR
+
+
+class CorruptStreamError(PressioError):
+    """A compressed stream failed validation during decompression."""
+
+    default_code = ErrorCode.CORRUPT_STREAM
+
+
+class BoundExceededError(PressioError):
+    """Internal check detected an error-bound violation (should not happen)."""
+
+    default_code = ErrorCode.BOUND_EXCEEDED
+
+
+class Status:
+    """Mutable (code, message) pair used by objects with C-style reporting.
+
+    The zero value (``SUCCESS`` / empty message) means "no error"; calling
+    :meth:`set_from` records an exception and :meth:`clear` resets.
+    """
+
+    __slots__ = ("code", "msg")
+
+    def __init__(self) -> None:
+        self.code: ErrorCode = ErrorCode.SUCCESS
+        self.msg: str = ""
+
+    def clear(self) -> None:
+        self.code = ErrorCode.SUCCESS
+        self.msg = ""
+
+    def set(self, code: ErrorCode | int, msg: str) -> None:
+        self.code = ErrorCode(code)
+        self.msg = msg
+
+    def set_from(self, exc: BaseException) -> None:
+        if isinstance(exc, PressioError):
+            self.code = exc.code
+            self.msg = exc.msg
+        else:
+            self.code = ErrorCode.GENERAL
+            self.msg = f"{type(exc).__name__}: {exc}"
+
+    @property
+    def ok(self) -> bool:
+        return self.code == ErrorCode.SUCCESS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Status(code={int(self.code)}, msg={self.msg!r})"

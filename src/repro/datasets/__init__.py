@@ -1,0 +1,32 @@
+"""Synthetic SDRBench-analog datasets.
+
+The paper evaluates on SDRBench fields (Hurricane CLOUD, NYX, HACC,
+ScaleLetKF) which are not redistributable here; these generators produce
+seeded, laptop-scale analogs with the *statistical structure* the
+compressors exploit (see DESIGN.md's substitution table):
+
+* smooth fields are Gaussian random fields synthesized in Fourier space
+  with a power-law spectrum — steeper spectra are smoother and more
+  compressible, mirroring how CLOUD differs from HACC;
+* HACC-like particle data is nearly incompressible coordinate noise
+  with large-scale drift;
+* ScaleLetKF-like ensembles stack correlated weather-ish slabs.
+"""
+
+from .synthetic import (
+    gaussian_random_field,
+    hacc,
+    hurricane_cloud,
+    nyx,
+    scale_letkf,
+    DATASET_GENERATORS,
+)
+
+__all__ = [
+    "gaussian_random_field",
+    "hurricane_cloud",
+    "nyx",
+    "hacc",
+    "scale_letkf",
+    "DATASET_GENERATORS",
+]

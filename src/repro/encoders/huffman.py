@@ -1,0 +1,186 @@
+"""Canonical Huffman coding.
+
+Code construction follows the canonical form (codes assigned in length
+order, then symbol order) so the table serializes as just the per-symbol
+code lengths.  Encoding is fully vectorized via
+:func:`~repro.encoders.bitstream.pack_varwidth`; decoding walks a flat
+two-array tree (left/right child indices) with a NumPy-backed inner loop
+— adequate for the moderate alphabet/stream sizes the tests and the
+``sz:entropy=huffman`` mode use, and documented as the slow path relative
+to the default two-stream residual codec.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .bitstream import pack_varwidth
+from .varint import varint_decode, varint_encode
+
+__all__ = ["HuffmanCodec", "huffman_encode", "huffman_decode"]
+
+_MAGIC = b"HUF1"
+
+
+def _code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
+    """Huffman code length per symbol from frequency counts."""
+    if not frequencies:
+        return {}
+    if len(frequencies) == 1:
+        return {next(iter(frequencies)): 1}
+    heap: list[tuple[int, int, tuple[int, ...]]] = [
+        (freq, sym, (sym,)) for sym, freq in frequencies.items()
+    ]
+    heapq.heapify(heap)
+    lengths = {sym: 0 for sym in frequencies}
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, t2, s2 = heapq.heappop(heap)
+        for sym in s1 + s2:
+            lengths[sym] += 1
+        heapq.heappush(heap, (f1 + f2, t2, s1 + s2))
+    return lengths
+
+
+def _canonical_codes(lengths: dict[int, int]) -> dict[int, int]:
+    """Assign canonical codes given per-symbol lengths."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: dict[int, int] = {}
+    code = 0
+    prev_len = 0
+    for sym, length in ordered:
+        code <<= length - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+class HuffmanCodec:
+    """A canonical Huffman codec over non-negative integer symbols."""
+
+    def __init__(self, lengths: dict[int, int]):
+        if any(l <= 0 or l > 64 for l in lengths.values()):
+            raise ValueError("code lengths must be in [1, 64]")
+        self.lengths = dict(lengths)
+        self.codes = _canonical_codes(lengths)
+
+    @classmethod
+    def from_data(cls, symbols: np.ndarray) -> "HuffmanCodec":
+        """Build a codec from observed symbol frequencies."""
+        syms, counts = np.unique(
+            np.ascontiguousarray(symbols, dtype=np.uint64), return_counts=True
+        )
+        freqs = {int(s): int(c) for s, c in zip(syms, counts)}
+        return cls(_code_lengths(freqs))
+
+    # -- serialization ----------------------------------------------------
+    def serialize_table(self) -> bytes:
+        """Serialize as (count, then per-symbol varint sym + 1-byte len)."""
+        out = bytearray(varint_encode(len(self.lengths)))
+        for sym in sorted(self.lengths):
+            out += varint_encode(sym)
+            out.append(self.lengths[sym])
+        return bytes(out)
+
+    @classmethod
+    def deserialize_table(cls, buf: bytes | memoryview, offset: int = 0
+                          ) -> tuple["HuffmanCodec", int]:
+        count, pos = varint_decode(buf, offset)
+        lengths: dict[int, int] = {}
+        view = memoryview(buf)
+        for _ in range(count):
+            sym, pos = varint_decode(buf, pos)
+            lengths[sym] = view[pos]
+            pos += 1
+        return cls(lengths), pos
+
+    # -- coding ----------------------------------------------------------
+    def encode(self, symbols: np.ndarray) -> tuple[bytes, int]:
+        """Encode symbols; returns (payload bytes, exact bit length)."""
+        s = np.ascontiguousarray(symbols, dtype=np.uint64).reshape(-1)
+        if s.size == 0:
+            return b"", 0
+        syms_sorted = np.array(sorted(self.codes), dtype=np.uint64)
+        idx = np.searchsorted(syms_sorted, s)
+        if np.any(idx >= syms_sorted.size) or np.any(syms_sorted[np.minimum(idx, syms_sorted.size - 1)] != s):
+            raise ValueError("symbol outside codec alphabet")
+        code_arr = np.array([self.codes[int(x)] for x in syms_sorted], dtype=np.uint64)
+        len_arr = np.array([self.lengths[int(x)] for x in syms_sorted], dtype=np.int64)
+        values = code_arr[idx]
+        widths = len_arr[idx]
+        return pack_varwidth(values, widths), int(widths.sum())
+
+    def decode(self, payload: bytes | memoryview, count: int) -> np.ndarray:
+        """Decode ``count`` symbols from ``payload``."""
+        if count == 0:
+            return np.zeros(0, dtype=np.uint64)
+        # flat tree: nodes[i] = (left, right); negative entries are leaves
+        left, right, leaf = self._build_tree()
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        out = np.empty(count, dtype=np.uint64)
+        node = 0
+        k = 0
+        bl = bits.tolist()
+        for b in bl:
+            node = right[node] if b else left[node]
+            if node < 0:
+                raise ValueError("corrupt huffman stream")
+            sym = leaf[node]
+            if sym >= 0:
+                out[k] = sym
+                k += 1
+                if k == count:
+                    return out
+                node = 0
+        raise ValueError("huffman stream exhausted before all symbols decoded")
+
+    def _build_tree(self) -> tuple[list[int], list[int], list[int]]:
+        left = [-1]
+        right = [-1]
+        leaf = [-1]
+        for sym, code in self.codes.items():
+            length = self.lengths[sym]
+            node = 0
+            for bitpos in range(length - 1, -1, -1):
+                bit = (code >> bitpos) & 1
+                children = right if bit else left
+                if children[node] == -1:
+                    left.append(-1)
+                    right.append(-1)
+                    leaf.append(-1)
+                    children[node] = len(left) - 1
+                node = children[node]
+            leaf[node] = sym
+        return left, right, leaf
+
+
+def huffman_encode(symbols: np.ndarray) -> bytes:
+    """One-shot: build a codec from data and emit a self-describing stream."""
+    s = np.ascontiguousarray(symbols, dtype=np.uint64).reshape(-1)
+    codec = HuffmanCodec.from_data(s)
+    payload, nbits = codec.encode(s)
+    table = codec.serialize_table()
+    return (
+        _MAGIC
+        + varint_encode(s.size)
+        + varint_encode(nbits)
+        + varint_encode(len(table))
+        + table
+        + payload
+    )
+
+
+def huffman_decode(stream: bytes | memoryview) -> np.ndarray:
+    """Inverse of :func:`huffman_encode`."""
+    view = memoryview(stream)
+    if bytes(view[:4]) != _MAGIC:
+        raise ValueError("not a huffman stream (bad magic)")
+    count, pos = varint_decode(stream, 4)
+    _nbits, pos = varint_decode(stream, pos)
+    table_len, pos = varint_decode(stream, pos)
+    codec, _ = HuffmanCodec.deserialize_table(stream, pos)
+    payload = bytes(view[pos + table_len:])
+    return codec.decode(payload, count)

@@ -1,0 +1,71 @@
+"""Lorenzo finite-difference predictors.
+
+The d-dimensional Lorenzo predictor predicts each value from its
+already-visited corner neighbors; its residual is exactly the composition
+of first differences along every axis.  On an *integer* field the
+prediction is exact arithmetic, so encoding and decoding are both fully
+vectorized:
+
+* encode: ``numpy.diff``-style differencing along each axis in turn;
+* decode: cumulative sums along the same axes in reverse order.
+
+This "quantize first, predict on integers" factorization is the
+dual-quantization scheme introduced by cuSZ (Tian et al., PACT 2020,
+cited by the paper) and keeps the hot loop at C speed rather than the
+value-by-value reconstruction loop classic SZ uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lorenzo_encode", "lorenzo_decode", "lorenzo_predict_floats"]
+
+
+def _diff_axis_int(arr: np.ndarray, axis: int) -> np.ndarray:
+    """First difference along ``axis`` keeping the leading element."""
+    out = arr.copy()
+    sl_hi = [slice(None)] * arr.ndim
+    sl_lo = [slice(None)] * arr.ndim
+    sl_hi[axis] = slice(1, None)
+    sl_lo[axis] = slice(None, -1)
+    out[tuple(sl_hi)] = arr[tuple(sl_hi)] - arr[tuple(sl_lo)]
+    return out
+
+
+def lorenzo_encode(quantized: np.ndarray) -> np.ndarray:
+    """Residuals of the d-dimensional Lorenzo predictor on an int field.
+
+    Works in wrap-around uint64 arithmetic internally so extreme inputs
+    cannot trip int64 overflow warnings; the decode side wraps back.
+    """
+    arr = np.ascontiguousarray(quantized, dtype=np.int64).view(np.uint64)
+    for axis in range(arr.ndim):
+        arr = _diff_axis_int(arr, axis)
+    return arr.view(np.int64)
+
+
+def lorenzo_decode(residuals: np.ndarray) -> np.ndarray:
+    """Invert :func:`lorenzo_encode` with per-axis cumulative sums."""
+    arr = np.ascontiguousarray(residuals, dtype=np.int64).view(np.uint64)
+    for axis in range(arr.ndim - 1, -1, -1):
+        arr = np.cumsum(arr, axis=axis, dtype=np.uint64)
+    return arr.view(np.int64)
+
+
+def lorenzo_predict_floats(values: np.ndarray) -> np.ndarray:
+    """Classic floating-point Lorenzo prediction residuals.
+
+    Used by the fpzip native, which predicts on the float values
+    themselves before integerizing the residual; the prediction here uses
+    the *original* neighbors (valid for lossless coding only).
+    """
+    arr = np.ascontiguousarray(values)
+    out = arr.astype(np.float64, copy=True)
+    for axis in range(arr.ndim):
+        sl_hi = [slice(None)] * arr.ndim
+        sl_lo = [slice(None)] * arr.ndim
+        sl_hi[axis] = slice(1, None)
+        sl_lo[axis] = slice(None, -1)
+        out[tuple(sl_hi)] = out[tuple(sl_hi)] - out[tuple(sl_lo)]
+    return out

@@ -1,0 +1,63 @@
+"""Linear quantization helpers shared by the lossy natives.
+
+``quantize_uniform`` maps reals onto integer bins of width ``2*eb`` so
+that dequantization reconstructs within ±eb — the textbook error-bounded
+quantizer every abs-bound lossy compressor in the paper builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quantize_uniform", "dequantize_uniform", "safe_quantizer_step"]
+
+# |code| beyond this risks int64 overflow in the Lorenzo stage, which sums
+# up to 2**ndim codes; stay far below 2**63.
+_MAX_CODE = 2**56
+
+
+def quantize_uniform(values: np.ndarray, error_bound: float) -> np.ndarray:
+    """Quantize to int64 codes with bin width ``2*error_bound``.
+
+    Guarantees ``|value - dequantize(code)| <= eb*(1+u) + u*|value|``
+    elementwise for finite inputs, where ``u`` is the double-precision
+    unit roundoff (2^-53) — i.e. the mathematical bound ``eb`` up to one
+    rounding of the scaled value.  Raises when the bound is so tight
+    relative to the value magnitudes that codes would overflow.
+    """
+    if error_bound <= 0:
+        raise ValueError(f"error_bound must be positive, got {error_bound}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError("cannot quantize non-finite values")
+    scaled = arr / (2.0 * error_bound)
+    if arr.size and float(np.abs(scaled).max()) >= _MAX_CODE:
+        raise ValueError(
+            "error bound too small relative to data magnitude: "
+            f"max |value/2eb| = {float(np.abs(scaled).max()):.3g} >= {_MAX_CODE:g}"
+        )
+    return np.rint(scaled).astype(np.int64)
+
+
+def dequantize_uniform(codes: np.ndarray, error_bound: float,
+                       dtype: np.dtype = np.dtype(np.float64)) -> np.ndarray:
+    """Reconstruct bin centers from int64 codes."""
+    if error_bound <= 0:
+        raise ValueError(f"error_bound must be positive, got {error_bound}")
+    with np.errstate(over="ignore", invalid="ignore"):
+        # absurd step values only arise from corrupted streams; the
+        # resulting inf/nan buffers fail later validation rather than
+        # spraying warnings here
+        scaled = np.asarray(codes, dtype=np.float64) * (2.0 * error_bound)
+        return scaled.astype(dtype)
+
+
+def safe_quantizer_step(values: np.ndarray, requested_eb: float) -> float:
+    """Largest usable error bound not exceeding ``requested_eb``.
+
+    Currently the identity with validation; kept as the single place a
+    platform-specific floor could be applied.
+    """
+    if requested_eb <= 0:
+        raise ValueError("error bound must be positive")
+    return float(requested_eb)

@@ -1,0 +1,93 @@
+"""Fast two-stream residual codec for prediction residuals.
+
+Prediction-based compressors (our sz, mgard, fpzip natives) produce
+signed residual arrays dominated by values near zero.  This codec maps
+them through zigzag and splits them into two fixed-layout streams:
+
+* stream A: one byte per value, ``min(code, 255)`` — 255 marks overflow;
+* stream B: the full 8-byte little-endian code of each overflowing value.
+
+Both encode and decode are single-pass vectorized NumPy; a final
+``zlib``-family lossless stage squeezes the entropy out of stream A
+(which is where the signal lives for well-predicted data).  The layout is
+deliberately branch-free so the decoder never scans byte-by-byte.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+
+import numpy as np
+
+from .zigzag import zigzag_decode, zigzag_encode
+
+__all__ = ["encode_residuals", "decode_residuals", "LOSSLESS_BACKENDS"]
+
+_MAGIC = b"RZC1"
+
+_COMPRESSORS = {
+    "zlib": lambda b, lvl: zlib.compress(b, lvl),
+    "bz2": lambda b, lvl: bz2.compress(b, min(max(lvl, 1), 9)),
+    "lzma": lambda b, lvl: lzma.compress(b, preset=min(max(lvl, 0), 9)),
+    "none": lambda b, lvl: b,
+}
+_DECOMPRESSORS = {
+    "zlib": zlib.decompress,
+    "bz2": bz2.decompress,
+    "lzma": lzma.decompress,
+    "none": lambda b: b,
+}
+
+LOSSLESS_BACKENDS = tuple(sorted(_COMPRESSORS))
+
+_BACKEND_IDS = {name: i for i, name in enumerate(sorted(_COMPRESSORS))}
+_BACKEND_NAMES = {i: name for name, i in _BACKEND_IDS.items()}
+
+
+def encode_residuals(residuals: np.ndarray, backend: str = "zlib",
+                     level: int = 1) -> bytes:
+    """Encode a signed int64 residual array to a self-describing stream."""
+    if backend not in _COMPRESSORS:
+        raise ValueError(f"unknown lossless backend {backend!r}; "
+                         f"choose from {LOSSLESS_BACKENDS}")
+    codes = zigzag_encode(np.ascontiguousarray(residuals, dtype=np.int64)).reshape(-1)
+    n = codes.size
+    stream_a = np.minimum(codes, np.uint64(255)).astype(np.uint8)
+    big = codes >= np.uint64(255)
+    stream_b = codes[big].astype("<u8").tobytes()
+    payload = stream_a.tobytes() + stream_b
+    compressed = _COMPRESSORS[backend](payload, level)
+    header = (
+        _MAGIC
+        + np.uint64(n).tobytes()
+        + np.uint64(int(big.sum())).tobytes()
+        + bytes([_BACKEND_IDS[backend]])
+    )
+    return header + compressed
+
+
+def decode_residuals(stream: bytes | memoryview) -> np.ndarray:
+    """Decode a stream produced by :func:`encode_residuals` to int64."""
+    view = memoryview(stream)
+    if bytes(view[:4]) != _MAGIC:
+        raise ValueError("not a residual stream (bad magic)")
+    n = int(np.frombuffer(view[4:12], dtype=np.uint64)[0])
+    n_big = int(np.frombuffer(view[12:20], dtype=np.uint64)[0])
+    backend_id = view[20]
+    backend = _BACKEND_NAMES.get(backend_id)
+    if backend is None:
+        raise ValueError(f"unknown lossless backend id {backend_id}")
+    payload = _DECOMPRESSORS[backend](bytes(view[21:]))
+    expected = n + 8 * n_big
+    if len(payload) != expected:
+        raise ValueError(
+            f"corrupt residual stream: payload {len(payload)} != {expected}"
+        )
+    stream_a = np.frombuffer(payload, dtype=np.uint8, count=n)
+    codes = stream_a.astype(np.uint64)
+    if n_big:
+        stream_b = np.frombuffer(payload, dtype="<u8", offset=n, count=n_big)
+        codes[stream_a == 255] = stream_b
+    return zigzag_decode(codes)

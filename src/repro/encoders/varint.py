@@ -1,0 +1,112 @@
+"""LEB128 variable-length unsigned integers.
+
+Used for stream headers and small metadata tables where a fixed 8-byte
+field would waste space.  Scalars use a simple loop; arrays use a
+vectorized two-pass construction (count bytes, then scatter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "varint_encode",
+    "varint_decode",
+    "varint_encode_array",
+    "varint_decode_array",
+]
+
+
+def varint_encode(value: int) -> bytes:
+    """Encode one non-negative integer as LEB128 bytes."""
+    if value < 0:
+        raise ValueError("varint_encode requires a non-negative value")
+    out = bytearray()
+    v = int(value)
+    while True:
+        byte = v & 0x7F
+        v >>= 7
+        if v:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def varint_decode(buf: bytes | memoryview, offset: int = 0) -> tuple[int, int]:
+    """Decode one LEB128 integer; returns (value, next_offset)."""
+    value = 0
+    shift = 0
+    pos = offset
+    view = memoryview(buf)
+    while True:
+        if pos >= len(view):
+            raise ValueError("truncated varint")
+        byte = view[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not (byte & 0x80):
+            return value, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("varint too long")
+
+
+def varint_encode_array(values: np.ndarray) -> bytes:
+    """Encode an array of non-negative integers as concatenated LEB128.
+
+    Vectorized: compute each value's byte length, then write each of the
+    (at most ten) byte positions with a masked scatter.
+    """
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    if v.size == 0:
+        return b""
+    # number of 7-bit groups per value (at least 1)
+    nbits = np.zeros(v.shape, dtype=np.int64)
+    tmp = v.copy()
+    nz = tmp > 0
+    while np.any(nz):
+        nbits[nz] += 1
+        tmp >>= np.uint64(7)
+        nz = tmp > 0
+    nbytes = np.maximum(nbits, 1)
+    offsets = np.concatenate(([0], np.cumsum(nbytes)))
+    total = int(offsets[-1])
+    out = np.zeros(total, dtype=np.uint8)
+    max_len = int(nbytes.max())
+    for k in range(max_len):
+        mask = nbytes > k
+        chunk = ((v[mask] >> np.uint64(7 * k)) & np.uint64(0x7F)).astype(np.uint8)
+        more = (nbytes[mask] > k + 1).astype(np.uint8) << 7
+        out[offsets[:-1][mask] + k] = chunk | more
+    return out.tobytes()
+
+
+def varint_decode_array(buf: bytes | memoryview, count: int) -> tuple[np.ndarray, int]:
+    """Decode ``count`` LEB128 integers; returns (array, bytes_consumed).
+
+    Vectorized: continuation bits identify value boundaries, after which
+    all 7-bit groups are combined with segmented shifts.
+    """
+    raw = np.frombuffer(buf, dtype=np.uint8)
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64), 0
+    is_last = (raw & 0x80) == 0
+    last_positions = np.flatnonzero(is_last)
+    if last_positions.size < count:
+        raise ValueError("truncated varint array")
+    end = int(last_positions[count - 1]) + 1
+    raw = raw[:end]
+    is_last = is_last[:end]
+    # value index of each byte
+    value_idx = np.concatenate(([0], np.cumsum(is_last)[:-1]))
+    starts = np.concatenate(([0], last_positions[: count - 1] + 1))
+    group_idx = np.arange(end) - starts[value_idx]
+    if np.any(group_idx > 9):
+        raise ValueError("varint too long")
+    contrib = (raw.astype(np.uint64) & np.uint64(0x7F)) << (
+        group_idx.astype(np.uint64) * np.uint64(7)
+    )
+    values = np.zeros(count, dtype=np.uint64)
+    np.add.at(values, value_idx, contrib)
+    return values, end

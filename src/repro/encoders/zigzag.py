@@ -1,0 +1,33 @@
+"""Zigzag mapping between signed and unsigned integers.
+
+Maps 0, -1, 1, -2, 2, ... to 0, 1, 2, 3, 4, ... so that residuals centered
+on zero become small unsigned values, which downstream byte/entropy coders
+exploit.  All operations are vectorized and overflow-safe for the full
+int64 range (the arithmetic is done in uint64 two's complement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zigzag_encode", "zigzag_decode"]
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map a signed integer array to unsigned zigzag codes.
+
+    ``v >= 0 -> 2v`` and ``v < 0 -> -2v - 1``; computed branch-free as
+    ``(v << 1) ^ (v >> 63)`` in two's complement.
+    """
+    v = np.ascontiguousarray(values, dtype=np.int64)
+    u = v.view(np.uint64)
+    sign = np.ascontiguousarray(v >> np.int64(63)).view(np.uint64)
+    return (u << np.uint64(1)) ^ sign
+
+
+def zigzag_decode(codes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    u = np.asarray(codes, dtype=np.uint64)
+    half = (u >> np.uint64(1)).view(np.int64)
+    sign = -(u & np.uint64(1)).view(np.int64)
+    return half ^ sign

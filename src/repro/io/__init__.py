@@ -1,0 +1,30 @@
+"""First-party IO plugins.
+
+Importing this package registers: ``posix``, ``mmap``, ``numpy``,
+``csv``, ``iota``, ``select``, ``noop``, ``hdf5mini``, ``adios_mini``, ``petsc``.
+"""
+
+from .adios_mini import AdiosEngine, AdiosMiniIO, AdiosMiniIOSystem, AdiosVariable
+from .formats import CsvIO, NumpyIO
+from .hdf5mini import DatasetInfo, Hdf5MiniFile, Hdf5MiniIO
+from .petsc import PetscIO
+from .posix import MmapIO, PosixIO
+from .synthetic import IotaIO, NoopIO, SelectIO
+
+__all__ = [
+    "PosixIO",
+    "PetscIO",
+    "MmapIO",
+    "NumpyIO",
+    "CsvIO",
+    "IotaIO",
+    "SelectIO",
+    "NoopIO",
+    "Hdf5MiniFile",
+    "Hdf5MiniIO",
+    "DatasetInfo",
+    "AdiosMiniIOSystem",
+    "AdiosVariable",
+    "AdiosEngine",
+    "AdiosMiniIO",
+]

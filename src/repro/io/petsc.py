@@ -1,0 +1,68 @@
+"""``petsc`` IO: the PETSc binary Vec format (paper glossary).
+
+PETSc writes vectors as big-endian binary: an int32 class id
+(1211214 for Vec), an int32 length, then the values as float64.  This
+plugin reads and writes that layout so data produced by "the Portable,
+Extensible Toolkit for Scientific Computation" flows straight into the
+compression pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.dtype import DType, dtype_to_numpy
+from ..core.io import PressioIO
+from ..core.registry import io_plugin
+from ..core.status import IOError_
+from .posix import _PathIO
+
+__all__ = ["PetscIO", "VEC_FILE_CLASSID"]
+
+VEC_FILE_CLASSID = 1211214
+
+
+@io_plugin("petsc")
+class PetscIO(_PathIO):
+    """PETSc binary Vec reader/writer (big-endian, float64)."""
+
+    def read(self, template: PressioData | None = None) -> PressioData:
+        path = self._require_path()
+        if not os.path.exists(path):
+            raise IOError_(f"no such file: {path}")
+        with open(path, "rb") as fh:
+            head = fh.read(8)
+            if len(head) < 8:
+                raise IOError_(f"{path} is too short for a PETSc header")
+            classid, n = struct.unpack(">ii", head)
+            if classid != VEC_FILE_CLASSID:
+                raise IOError_(
+                    f"{path} has class id {classid}, expected Vec "
+                    f"({VEC_FILE_CLASSID})")
+            if n < 0:
+                raise IOError_(f"{path} declares negative length {n}")
+            values = np.fromfile(fh, dtype=">f8", count=n)
+        if values.size != n:
+            raise IOError_(
+                f"{path} declares {n} values but holds {values.size}")
+        arr = values.astype(np.float64)
+        if template is not None and template.num_dimensions:
+            if template.num_elements != n:
+                raise IOError_(
+                    f"template needs {template.num_elements} values, "
+                    f"vec holds {n}")
+            arr = arr.reshape(template.dims)
+            if template.dtype != DType.DOUBLE:
+                arr = arr.astype(dtype_to_numpy(template.dtype))
+        return PressioData.from_numpy(arr, copy=False)
+
+    def write(self, data: PressioData) -> None:
+        path = self._require_path()
+        values = np.asarray(data.to_numpy(), dtype=np.float64).reshape(-1)
+        with open(path, "wb") as fh:
+            fh.write(struct.pack(">ii", VEC_FILE_CLASSID, values.size))
+            values.astype(">f8").tofile(fh)

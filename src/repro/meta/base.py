@@ -1,0 +1,92 @@
+"""Base class for meta-compressors.
+
+A meta-compressor implements the compressor interface but delegates the
+actual coding to an inner compressor plugin (paper Section IV-D).  The
+inner plugin is selected by the ``<id>:compressor`` option and receives
+every option set on the meta-compressor, so whole pipelines are
+configured through one options object.
+"""
+
+from __future__ import annotations
+
+from ..core.compressor import PressioCompressor
+from ..core.configurable import Stability, ThreadSafety
+from ..core.options import OptionType, PressioOptions
+from ..core.registry import compressor_registry
+
+__all__ = ["MetaCompressor"]
+
+
+class MetaCompressor(PressioCompressor):
+    """Holds and forwards to an inner compressor plugin."""
+
+    default_inner = "noop"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._inner_id = self.default_inner
+        self._inner: PressioCompressor = compressor_registry.create(
+            self.default_inner
+        )
+
+    # -- inner management -------------------------------------------------
+    @property
+    def inner(self) -> PressioCompressor:
+        return self._inner
+
+    def set_inner(self, compressor_id: str) -> None:
+        if compressor_id != self._inner_id:
+            self._inner_id = compressor_id
+            self._inner = compressor_registry.create(compressor_id)
+
+    def _option_key(self) -> str:
+        return f"{self.prefix()}:compressor"
+
+    # -- options -----------------------------------------------------------
+    def _meta_options(self) -> PressioOptions:
+        """Additional options of the concrete meta-compressor."""
+        return PressioOptions()
+
+    def _set_meta_options(self, options: PressioOptions) -> None:
+        """Apply the concrete meta-compressor's own options."""
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set(self._option_key(), self._inner_id)
+        opts = opts.merge(self._meta_options())
+        return opts.merge(self._inner.get_options())
+
+    def _set_options(self, options: PressioOptions) -> None:
+        inner_id = options.get(self._option_key())
+        if inner_id is not None:
+            self.set_inner(str(inner_id))
+        self._set_meta_options(options)
+        rc = self._inner.set_options(options)
+        if rc != 0:
+            from ..core.status import InvalidOptionError
+
+            raise InvalidOptionError(self._inner.error_msg())
+
+    def _check_options(self, options: PressioOptions) -> None:
+        rc = self._inner.check_options(options)
+        if rc != 0:
+            from ..core.status import InvalidOptionError
+
+            raise InvalidOptionError(self._inner.error_msg())
+
+    def _configuration(self) -> PressioOptions:
+        cfg = PressioOptions()
+        inner_cfg = self._inner.get_configuration()
+        # a pipeline is only as thread-safe as its leaf
+        cfg.set("pressio:thread_safe",
+                inner_cfg.get("pressio:thread_safe", ThreadSafety.SERIALIZED))
+        cfg.set("pressio:stability", Stability.STABLE)
+        cfg.set("pressio:lossy", inner_cfg.get("pressio:lossy", True))
+        cfg.set(f"{self.prefix()}:meta", True)
+        return cfg
+
+    def set_metrics(self, metrics) -> None:
+        super().set_metrics(metrics)
+
+    def version(self) -> str:
+        return "1.0.0.pyrepro"

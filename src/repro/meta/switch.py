@@ -1,0 +1,113 @@
+"""The ``switch`` meta-compressor: runtime compressor selection.
+
+Holds several candidate compressors and dispatches to the one named by
+``switch:active_id`` — the mechanism that lets tools like the optimizer
+search *across* compressor families dynamically (paper glossary).
+The compressed stream records which candidate produced it, so streams
+remain decompressible after the active id changes.
+"""
+
+from __future__ import annotations
+
+from ..core.compressor import PressioCompressor
+from ..core.configurable import Stability, ThreadSafety
+from ..core.data import PressioData
+from ..core.options import PressioOptions
+from ..core.registry import compressor_plugin, compressor_registry
+from ..core.status import CorruptStreamError, InvalidOptionError
+from ..core.dtype import DType
+from ..encoders.headers import read_header, write_header
+
+__all__ = ["SwitchCompressor"]
+
+_MAGIC = b"SWT1"
+
+
+@compressor_plugin("switch")
+class SwitchCompressor(PressioCompressor):
+    """Dispatches to one of several registered candidates at runtime."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._candidate_ids: list[str] = ["noop"]
+        self._candidates: dict[str, PressioCompressor] = {
+            "noop": compressor_registry.create("noop")
+        }
+        self._active = "noop"
+
+    # -- candidate management -----------------------------------------------
+    def _ensure(self, compressor_id: str) -> PressioCompressor:
+        if compressor_id not in self._candidates:
+            self._candidates[compressor_id] = compressor_registry.create(
+                compressor_id
+            )
+            if compressor_id not in self._candidate_ids:
+                self._candidate_ids.append(compressor_id)
+        return self._candidates[compressor_id]
+
+    @property
+    def active(self) -> PressioCompressor:
+        return self._candidates[self._active]
+
+    # -- options ----------------------------------------------------------
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("switch:active_id", self._active)
+        opts.set("switch:compressor_ids", list(self._candidate_ids))
+        for cid in self._candidate_ids:
+            opts = opts.merge(self._candidates[cid].get_options())
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        ids = options.get("switch:compressor_ids")
+        if ids is not None:
+            for cid in ids:
+                self._ensure(str(cid))
+        active = options.get("switch:active_id")
+        if active is not None:
+            active = str(active)
+            self._ensure(active)
+            self._active = active
+        for cid in self._candidate_ids:
+            rc = self._candidates[cid].set_options(options)
+            if rc != 0:
+                raise InvalidOptionError(self._candidates[cid].error_msg())
+
+    def _configuration(self) -> PressioOptions:
+        cfg = PressioOptions()
+        active_cfg = self.active.get_configuration()
+        cfg.set("pressio:thread_safe",
+                active_cfg.get("pressio:thread_safe",
+                               ThreadSafety.SERIALIZED))
+        cfg.set("pressio:stability", Stability.STABLE)
+        cfg.set("switch:candidates", list(self._candidate_ids))
+        return cfg
+
+    def _documentation(self) -> PressioOptions:
+        docs = PressioOptions()
+        docs.set("pressio:description",
+                 "runtime switch between candidate compressors")
+        docs.set("switch:active_id", "candidate that handles operations")
+        docs.set("switch:compressor_ids", "candidate plugin ids to prepare")
+        return docs
+
+    def version(self) -> str:
+        return "1.0.0.pyrepro"
+
+    # -- compression --------------------------------------------------------
+    def _compress(self, input: PressioData) -> PressioData:
+        inner_out = self.active.compress(input)
+        tag = self._active.encode("utf-8")
+        header = write_header(_MAGIC, DType.BYTE, (len(tag),),
+                              ints=(len(tag),))
+        return PressioData.from_bytes(header + tag + inner_out.to_bytes())
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        stream = input.to_bytes()
+        _dtype, _dims, _d, ints, pos = read_header(stream, _MAGIC)
+        tag_len = ints[0]
+        tag = stream[pos:pos + tag_len].decode("utf-8")
+        candidate = self._ensure(tag)
+        return candidate.decompress(
+            PressioData.from_bytes(stream[pos + tag_len:]), output
+        )

@@ -1,0 +1,309 @@
+"""Pre/post-processing meta-compressors.
+
+From the paper's plugin list (Section IV-D): ``transpose``, ``resize``,
+``delta_encoding``, ``linear_quantizer``, and ``sample``.  Each wraps an
+inner compressor with a reversible (or deliberately reducing, for
+``sample``) data transformation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.dtype import DType, dtype_to_numpy
+from ..core.options import OptionType, PressioOptions
+from ..core.registry import compressor_plugin
+from ..core.status import CorruptStreamError, InvalidDimensionsError, InvalidOptionError
+from ..encoders.headers import read_header, write_header
+from .base import MetaCompressor
+
+__all__ = [
+    "TransposeCompressor",
+    "ResizeCompressor",
+    "DeltaEncodingCompressor",
+    "LinearQuantizerCompressor",
+    "SampleCompressor",
+]
+
+_MAGIC = b"MTA1"
+
+
+def _wrap(inner_stream: bytes, dtype: DType, dims: tuple[int, ...],
+          doubles: tuple[float, ...] = (), ints: tuple[int, ...] = ()) -> PressioData:
+    header = write_header(_MAGIC, dtype, dims, doubles, ints)
+    return PressioData.from_bytes(header + inner_stream)
+
+
+def _unwrap(data: PressioData):
+    stream = data.to_bytes()
+    dtype, dims, doubles, ints, pos = read_header(stream, _MAGIC)
+    return dtype, dims, doubles, ints, stream[pos:]
+
+
+@compressor_plugin("transpose")
+class TransposeCompressor(MetaCompressor):
+    """Transposes axes before compression and back after decompression.
+
+    ``transpose:axis_order`` is a string list of axis indices (empty =
+    full reversal).  This is the tool the dimension-ordering experiment
+    (Section V) uses to *deliberately* feed a compressor wrong-order
+    data through the uniform interface.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._axis_order: list[str] = []
+
+    def _meta_options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("transpose:axis_order", list(self._axis_order))
+        return opts
+
+    def _set_meta_options(self, options: PressioOptions) -> None:
+        order = options.get("transpose:axis_order")
+        if order is not None:
+            self._axis_order = [str(a) for a in order]
+
+    def _order_for(self, ndim: int) -> tuple[int, ...]:
+        if not self._axis_order:
+            return tuple(reversed(range(ndim)))
+        order = tuple(int(a) for a in self._axis_order)
+        if sorted(order) != list(range(ndim)):
+            raise InvalidOptionError(
+                f"transpose:axis_order {order} is not a permutation of "
+                f"0..{ndim - 1}"
+            )
+        return order
+
+    def _compress(self, input: PressioData) -> PressioData:
+        arr = np.asarray(input.to_numpy())
+        order = self._order_for(arr.ndim)
+        transposed = np.ascontiguousarray(arr.transpose(order))
+        inner_out = self._inner.compress(PressioData.from_numpy(transposed,
+                                                                copy=False))
+        return _wrap(inner_out.to_bytes(), input.dtype, input.dims,
+                     ints=tuple(order))
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        dtype, dims, _d, ints, inner_stream = _unwrap(input)
+        order = tuple(ints)
+        t_dims = tuple(dims[a] for a in order)
+        inner_template = PressioData.empty(dtype, t_dims)
+        out = self._inner.decompress(PressioData.from_bytes(inner_stream),
+                                     inner_template)
+        arr = np.asarray(out.to_numpy()).reshape(t_dims)
+        inverse = np.argsort(order)
+        restored = np.ascontiguousarray(arr.transpose(inverse))
+        return PressioData.from_numpy(restored, copy=False)
+
+
+@compressor_plugin("resize")
+class ResizeCompressor(MetaCompressor):
+    """Presents the data to the inner compressor with different dims.
+
+    ``resize:new_dims`` (string list) must preserve the element count —
+    e.g. squeeze an ``A x B x 1`` dataset to ``A x B`` so block-based
+    compressors avoid padding (the ZFP example from the glossary).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._new_dims: list[str] = []
+
+    def _meta_options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("resize:new_dims", list(self._new_dims))
+        return opts
+
+    def _set_meta_options(self, options: PressioOptions) -> None:
+        dims = options.get("resize:new_dims")
+        if dims is not None:
+            self._new_dims = [str(d) for d in dims]
+
+    def _compress(self, input: PressioData) -> PressioData:
+        if not self._new_dims:
+            raise InvalidOptionError("resize:new_dims is not set")
+        new_dims = tuple(int(d) for d in self._new_dims)
+        reshaped = input.reshape(new_dims)  # validates element count
+        inner_out = self._inner.compress(reshaped)
+        return _wrap(inner_out.to_bytes(), input.dtype, input.dims,
+                     ints=new_dims)
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        dtype, dims, _d, ints, inner_stream = _unwrap(input)
+        inner_template = PressioData.empty(dtype, tuple(ints))
+        out = self._inner.decompress(PressioData.from_bytes(inner_stream),
+                                     inner_template)
+        arr = np.asarray(out.to_numpy()).reshape(dims)
+        return PressioData.from_numpy(arr, copy=True)
+
+
+@compressor_plugin("delta_encoding")
+class DeltaEncodingCompressor(MetaCompressor):
+    """Applies adjacent-difference preprocessing before compression.
+
+    Exact for integer inputs (wrap-around arithmetic); floats are
+    delta-coded in float64 and restored by cumulative sum, which is
+    bit-exact only when the inner compressor is lossless and the values
+    round-trip the cumsum — integers are therefore the canonical use.
+    """
+
+    def _compress(self, input: PressioData) -> PressioData:
+        arr = np.asarray(input.to_numpy()).reshape(-1)
+        if arr.dtype.kind in "iu":
+            work = arr.astype(np.int64)
+            delta = np.empty_like(work)
+            delta[0:1] = work[0:1]
+            delta[1:] = work[1:] - work[:-1]
+            payload = PressioData.from_numpy(delta.reshape(input.dims),
+                                             copy=False)
+            kind = 0
+        else:
+            work = arr.astype(np.float64)
+            delta = np.empty_like(work)
+            delta[0:1] = work[0:1]
+            delta[1:] = np.diff(work)
+            payload = PressioData.from_numpy(delta.reshape(input.dims),
+                                             copy=False)
+            kind = 1
+        inner_out = self._inner.compress(payload)
+        return _wrap(inner_out.to_bytes(), input.dtype, input.dims,
+                     ints=(kind,))
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        dtype, dims, _d, ints, inner_stream = _unwrap(input)
+        kind = ints[0]
+        work_dtype = DType.INT64 if kind == 0 else DType.DOUBLE
+        inner_template = PressioData.empty(work_dtype, dims)
+        out = self._inner.decompress(PressioData.from_bytes(inner_stream),
+                                     inner_template)
+        delta = np.asarray(out.to_numpy()).reshape(-1)
+        with np.errstate(over="ignore", invalid="ignore"):
+            restored = np.cumsum(delta)
+            np_dtype = dtype_to_numpy(dtype)
+            if np_dtype.kind in "iu":
+                restored = np.rint(restored)
+            restored = restored.astype(np_dtype)
+        return PressioData.from_numpy(restored.reshape(dims), copy=False)
+
+
+@compressor_plugin("linear_quantizer")
+class LinearQuantizerCompressor(MetaCompressor):
+    """Quantizes to integers with a fixed step before lossless coding.
+
+    ``linear_quantizer:step`` is the reconstruction granularity; error
+    is bounded by ``step / 2``.  The quantized int64 field goes to the
+    inner compressor (default ``zlib``).
+    """
+
+    default_inner = "zlib"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._step = 1e-3
+
+    def _meta_options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("linear_quantizer:step", float(self._step))
+        return opts
+
+    def _set_meta_options(self, options: PressioOptions) -> None:
+        step = float(self._take(options, "linear_quantizer:step",
+                                OptionType.DOUBLE, self._step))
+        if step <= 0:
+            raise InvalidOptionError("linear_quantizer:step must be positive")
+        self._step = step
+
+    def _compress(self, input: PressioData) -> PressioData:
+        arr = np.asarray(input.to_numpy(), dtype=np.float64)
+        codes = np.rint(arr / self._step).astype(np.int64)
+        inner_out = self._inner.compress(
+            PressioData.from_numpy(codes, copy=False)
+        )
+        return _wrap(inner_out.to_bytes(), input.dtype, input.dims,
+                     doubles=(self._step,))
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        dtype, dims, doubles, _i, inner_stream = _unwrap(input)
+        step = doubles[0]
+        inner_template = PressioData.empty(DType.INT64, dims)
+        out = self._inner.decompress(PressioData.from_bytes(inner_stream),
+                                     inner_template)
+        codes = np.asarray(out.to_numpy(), dtype=np.float64)
+        return PressioData.from_numpy(
+            (codes * step).astype(dtype_to_numpy(dtype)).reshape(dims),
+            copy=False,
+        )
+
+
+@compressor_plugin("sample")
+class SampleCompressor(MetaCompressor):
+    """Subsamples before compression (irreversibly reducing).
+
+    ``sample:mode`` selects the technique from the paper's glossary
+    ("uniform sampling with and without replacement"):
+
+    * ``decimate`` (default) — keep every ``sample:rate``-th element
+      along the leading axis (deterministic);
+    * ``wor`` — uniform random sample *without* replacement of
+      ``n/rate`` leading-axis slices (sorted, so spatial order is kept);
+    * ``wr`` — uniform random sample *with* replacement.
+
+    Decompression returns the sampled grid (dims are in the stream).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rate = 2
+        self._mode = "decimate"
+        self._seed = 0
+
+    def _meta_options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("sample:rate", np.int64(self._rate))
+        opts.set("sample:mode", self._mode)
+        opts.set("sample:seed", np.int64(self._seed))
+        return opts
+
+    def _set_meta_options(self, options: PressioOptions) -> None:
+        rate = int(self._take(options, "sample:rate", OptionType.INT64,
+                              self._rate))
+        if rate < 1:
+            raise InvalidOptionError("sample:rate must be >= 1")
+        self._rate = rate
+        mode = str(self._take(options, "sample:mode", OptionType.STRING,
+                              self._mode))
+        if mode not in ("decimate", "wor", "wr"):
+            raise InvalidOptionError(
+                "sample:mode must be decimate, wor, or wr")
+        self._mode = mode
+        self._seed = int(self._take(options, "sample:seed",
+                                    OptionType.INT64, self._seed))
+
+    def _select(self, n: int) -> np.ndarray:
+        count = max(n // self._rate, 1)
+        if self._mode == "decimate":
+            return np.arange(0, n, self._rate)
+        rng = np.random.default_rng(self._seed)
+        replace = self._mode == "wr"
+        return np.sort(rng.choice(n, size=count, replace=replace))
+
+    def _compress(self, input: PressioData) -> PressioData:
+        arr = np.asarray(input.to_numpy())
+        if arr.ndim == 0 or arr.shape[0] < self._rate:
+            raise InvalidDimensionsError(
+                f"cannot sample every {self._rate} of leading dim "
+                f"{arr.shape[:1]}"
+            )
+        sampled = np.ascontiguousarray(arr[self._select(arr.shape[0])])
+        inner_out = self._inner.compress(
+            PressioData.from_numpy(sampled, copy=False)
+        )
+        return _wrap(inner_out.to_bytes(), input.dtype, sampled.shape)
+
+    def _decompress(self, input: PressioData, output: PressioData) -> PressioData:
+        dtype, dims, _d, _i, inner_stream = _unwrap(input)
+        inner_template = PressioData.empty(dtype, dims)
+        return self._inner.decompress(PressioData.from_bytes(inner_stream),
+                                      inner_template)

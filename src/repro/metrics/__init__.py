@@ -1,0 +1,43 @@
+"""First-party metrics plugins.
+
+Importing this package registers: ``size``, ``time``, ``error_stat``,
+``pearson``, ``autocorr``, ``ks_test``, ``kl_divergence``, ``diff_pdf``,
+``spatial_error``, ``kth_error``, ``region_of_interest``, ``mask``,
+``history``, ``ftk``, ``csv_logger`` — plus :class:`CompositeMetrics` for combining them.
+"""
+
+from .base import ComparisonMetrics
+from .composite import CompositeMetrics, HistoryMetrics
+from .correlation import AutocorrMetrics, PearsonMetrics
+from .distribution import DiffPdfMetrics, KLDivergenceMetrics, KSTestMetrics
+from .error_stat import ErrorStatMetrics
+from .features import FtkMetrics
+from .logger import CsvLoggerMetrics
+from .size import SizeMetrics
+from .spatial import (
+    KthErrorMetrics,
+    MaskMetrics,
+    RegionOfInterestMetrics,
+    SpatialErrorMetrics,
+)
+from .time_ import TimeMetrics
+
+__all__ = [
+    "ComparisonMetrics",
+    "CompositeMetrics",
+    "SizeMetrics",
+    "TimeMetrics",
+    "ErrorStatMetrics",
+    "FtkMetrics",
+    "CsvLoggerMetrics",
+    "PearsonMetrics",
+    "AutocorrMetrics",
+    "KSTestMetrics",
+    "KLDivergenceMetrics",
+    "DiffPdfMetrics",
+    "SpatialErrorMetrics",
+    "KthErrorMetrics",
+    "RegionOfInterestMetrics",
+    "MaskMetrics",
+    "HistoryMetrics",
+]

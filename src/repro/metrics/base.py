@@ -1,0 +1,52 @@
+"""Shared machinery for metrics that compare original vs decompressed.
+
+Mirrors libpressio's convention: the metrics plugin snapshots the
+uncompressed input at ``begin_compress`` and evaluates at
+``end_decompress``, so one attached plugin observes a full round trip
+without the application threading buffers around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.metrics import PressioMetrics
+
+__all__ = ["ComparisonMetrics"]
+
+
+class ComparisonMetrics(PressioMetrics):
+    """Base for metrics comparing the input with the decompressed output."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input: np.ndarray | None = None
+        self._computed = False
+
+    def begin_compress(self, input: PressioData) -> None:
+        self._input = np.asarray(input.to_numpy(), dtype=np.float64).reshape(-1)
+        self._computed = False
+
+    def begin_decompress(self, input: PressioData) -> None:
+        # allow decompress-only flows: the caller may have set the
+        # reference input through options instead
+        pass
+
+    def end_decompress(self, input: PressioData, output: PressioData) -> None:
+        if self._input is None:
+            return
+        decompressed = np.asarray(output.to_numpy(),
+                                  dtype=np.float64).reshape(-1)
+        if decompressed.size != self._input.size:
+            return
+        self._evaluate(self._input, decompressed)
+        self._computed = True
+
+    def _evaluate(self, original: np.ndarray, decompressed: np.ndarray) -> None:
+        """Compute and store results; both arrays are flat float64."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self._input = None
+        self._computed = False

@@ -1,0 +1,62 @@
+"""The ``error_stat`` metrics plugin: single-pass descriptive statistics.
+
+Computes the quality measures compression papers standardly report —
+min/max/range of the data, min/max/average error, MSE, RMSE, PSNR, and
+the value-range-relative error — in one vectorized pass, matching the
+"error statistics" module from the paper's plugin glossary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.options import PressioOptions
+from ..core.registry import metric_plugin
+from .base import ComparisonMetrics
+
+__all__ = ["ErrorStatMetrics"]
+
+
+@metric_plugin("error_stat")
+class ErrorStatMetrics(ComparisonMetrics):
+    """min/max/avg error, MSE, RMSE, PSNR, value range, relative error."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._results = PressioOptions()
+
+    def _evaluate(self, original: np.ndarray, decompressed: np.ndarray) -> None:
+        r = PressioOptions()
+        diff = decompressed - original
+        abs_diff = np.abs(diff)
+        n = original.size
+        vmin = float(original.min()) if n else 0.0
+        vmax = float(original.max()) if n else 0.0
+        value_range = vmax - vmin
+        mse = float(np.mean(diff * diff)) if n else 0.0
+        max_error = float(abs_diff.max()) if n else 0.0
+        r.set("error_stat:n", np.uint64(n))
+        r.set("error_stat:min", vmin)
+        r.set("error_stat:max", vmax)
+        r.set("error_stat:value_range", value_range)
+        r.set("error_stat:min_error", float(abs_diff.min()) if n else 0.0)
+        r.set("error_stat:max_error", max_error)
+        r.set("error_stat:average_error", float(abs_diff.mean()) if n else 0.0)
+        r.set("error_stat:average_difference", float(diff.mean()) if n else 0.0)
+        r.set("error_stat:mse", mse)
+        r.set("error_stat:rmse", float(np.sqrt(mse)))
+        if value_range > 0:
+            r.set("error_stat:max_rel_error", max_error / value_range)
+            if mse > 0:
+                psnr = 20.0 * np.log10(value_range) - 10.0 * np.log10(mse)
+                r.set("error_stat:psnr", float(psnr))
+            else:
+                r.set("error_stat:psnr", float("inf"))
+        self._results = r
+
+    def get_metrics_results(self) -> PressioOptions:
+        return self._results.copy()
+
+    def reset(self) -> None:
+        super().reset()
+        self._results = PressioOptions()

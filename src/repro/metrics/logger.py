@@ -1,0 +1,128 @@
+"""The ``csv_logger`` metrics plugin: append results to a CSV file.
+
+Experiment harnesses (the zchecker, the distributed experiment, batch
+sweeps) want a durable record of every operation.  This plugin wraps a
+set of child metrics and, after each round trip, appends one CSV row of
+their results to ``csv_logger:path`` — the experiment-logging pattern
+libpressio serves with its ``csv`` printer metric.
+
+Columns are the union of the child metrics' result keys, fixed at the
+first write (a header line is emitted); later rows leave missing
+entries blank.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from ..core.data import PressioData
+from ..core.metrics import PressioMetrics
+from ..core.options import OptionType, PressioOptions
+from ..core.registry import metric_plugin, metrics_registry
+from ..core.status import InvalidOptionError
+
+__all__ = ["CsvLoggerMetrics"]
+
+
+@metric_plugin("csv_logger")
+class CsvLoggerMetrics(PressioMetrics):
+    """Log child-metric results to a CSV file, one row per round trip."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._path = ""
+        self._child_ids = ["size", "time", "error_stat"]
+        self._children = [metrics_registry.create(mid)
+                          for mid in self._child_ids]
+        self._columns: list[str] | None = None
+        self._row_count = 0
+
+    # -- options ----------------------------------------------------------
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("csv_logger:path", self._path)
+        opts.set("csv_logger:metrics", list(self._child_ids))
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        self._path = str(self._take(options, "csv_logger:path",
+                                    OptionType.STRING, self._path))
+        ids = options.get("csv_logger:metrics")
+        if ids is not None:
+            ids = [str(i) for i in ids]
+            if ids != self._child_ids:
+                self._child_ids = ids
+                self._children = [metrics_registry.create(mid)
+                                  for mid in ids]
+                self._columns = None
+
+    def _check_options(self, options: PressioOptions) -> None:
+        ids = options.get("csv_logger:metrics")
+        if ids is not None:
+            for mid in ids:
+                if str(mid) not in metrics_registry:
+                    raise InvalidOptionError(
+                        f"unknown child metric {mid!r}")
+
+    # -- hook fan-out --------------------------------------------------------
+    def begin_compress(self, input: PressioData) -> None:
+        for child in self._children:
+            child.begin_compress(input)
+
+    def end_compress(self, input: PressioData, output: PressioData) -> None:
+        for child in self._children:
+            child.end_compress(input, output)
+
+    def begin_decompress(self, input: PressioData) -> None:
+        for child in self._children:
+            child.begin_decompress(input)
+
+    def end_decompress(self, input: PressioData, output: PressioData) -> None:
+        for child in self._children:
+            child.end_decompress(input, output)
+        self._append_row()
+
+    # -- logging ----------------------------------------------------------
+    def _gather(self) -> dict:
+        merged = PressioOptions()
+        for child in self._children:
+            merged = merged.merge(child.get_metrics_results())
+        return {k: v for k, v in merged.to_dict().items()
+                if isinstance(v, (int, float, str, bool))}
+
+    def _append_row(self) -> None:
+        if not self._path:
+            raise InvalidOptionError("csv_logger:path is not set")
+        row = self._gather()
+        new_file = not os.path.exists(self._path) or self._columns is None
+        if self._columns is None:
+            if os.path.exists(self._path):
+                with open(self._path, newline="") as fh:
+                    header = next(csv.reader(fh), None)
+                self._columns = header or sorted(row)
+                new_file = header is None
+            else:
+                self._columns = sorted(row)
+        with open(self._path, "a", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=self._columns,
+                                    extrasaction="ignore")
+            if new_file:
+                writer.writeheader()
+            writer.writerow(row)
+        self._row_count += 1
+
+    def get_metrics_results(self) -> PressioOptions:
+        results = PressioOptions()
+        results.set("csv_logger:rows_written", self._row_count)
+        results.set("csv_logger:path", self._path)
+        merged = PressioOptions()
+        for child in self._children:
+            merged = merged.merge(child.get_metrics_results())
+        return merged.merge(results)
+
+    def reset(self) -> None:
+        for child in self._children:
+            child.reset()
+        self._row_count = 0
+        self._columns = None

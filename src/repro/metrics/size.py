@@ -1,0 +1,59 @@
+"""The ``size`` metrics plugin: compression ratio and byte counts.
+
+This is the plugin the paper's Appendix A example attaches
+(``size:compression_ratio``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.metrics import PressioMetrics
+from ..core.options import PressioOptions
+from ..core.registry import metric_plugin
+
+__all__ = ["SizeMetrics"]
+
+
+@metric_plugin("size")
+class SizeMetrics(PressioMetrics):
+    """Tracks uncompressed/compressed/decompressed sizes per operation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._uncompressed: int | None = None
+        self._compressed: int | None = None
+        self._decompressed: int | None = None
+        self._elements: int | None = None
+
+    def end_compress(self, input: PressioData, output: PressioData) -> None:
+        self._uncompressed = input.size_in_bytes
+        self._compressed = output.size_in_bytes
+        self._elements = input.num_elements
+
+    def end_decompress(self, input: PressioData, output: PressioData) -> None:
+        self._compressed = input.size_in_bytes
+        self._decompressed = output.size_in_bytes
+
+    def get_metrics_results(self) -> PressioOptions:
+        results = PressioOptions()
+        if self._uncompressed is not None:
+            results.set("size:uncompressed_size", np.uint64(self._uncompressed))
+        if self._compressed is not None:
+            results.set("size:compressed_size", np.uint64(self._compressed))
+        if self._decompressed is not None:
+            results.set("size:decompressed_size", np.uint64(self._decompressed))
+        if self._uncompressed and self._compressed:
+            results.set("size:compression_ratio",
+                        self._uncompressed / self._compressed)
+        if self._elements and self._compressed:
+            results.set("size:bit_rate",
+                        8.0 * self._compressed / self._elements)
+        return results
+
+    def reset(self) -> None:
+        self._uncompressed = None
+        self._compressed = None
+        self._decompressed = None
+        self._elements = None

@@ -1,0 +1,228 @@
+"""Pointwise/region metrics: ``spatial_error``, ``kth_error``,
+``region_of_interest``, and ``mask``.
+
+* ``spatial_error`` — percentage of elements whose absolute error
+  exceeds a threshold (the glossary's "Spatial Error");
+* ``kth_error`` — the k-th largest absolute error (the glossary's
+  "k-th order error");
+* ``region_of_interest`` — arithmetic mean of a rectangular sub-region
+  of the decompressed data, compared against the original's;
+* ``mask`` — removes specified points before forwarding to a child
+  metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.metrics import PressioMetrics
+from ..core.options import OptionType, PressioOptions
+from ..core.registry import metric_plugin, metrics_registry
+from ..core.status import InvalidOptionError
+from .base import ComparisonMetrics
+
+__all__ = ["SpatialErrorMetrics", "KthErrorMetrics",
+           "RegionOfInterestMetrics", "MaskMetrics"]
+
+
+@metric_plugin("spatial_error")
+class SpatialErrorMetrics(ComparisonMetrics):
+    """Percent of elements exceeding ``spatial_error:threshold``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._threshold = 1e-4
+        self._percent: float | None = None
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("spatial_error:threshold", float(self._threshold))
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        thr = float(self._take(options, "spatial_error:threshold",
+                               OptionType.DOUBLE, self._threshold))
+        if thr < 0:
+            raise InvalidOptionError("spatial_error:threshold must be >= 0")
+        self._threshold = thr
+
+    def _evaluate(self, original: np.ndarray, decompressed: np.ndarray) -> None:
+        if original.size == 0:
+            self._percent = 0.0
+            return
+        exceed = np.abs(decompressed - original) > self._threshold
+        self._percent = 100.0 * float(exceed.mean())
+
+    def get_metrics_results(self) -> PressioOptions:
+        results = PressioOptions()
+        if self._percent is not None:
+            results.set("spatial_error:percent", self._percent)
+        return results
+
+    def reset(self) -> None:
+        super().reset()
+        self._percent = None
+
+
+@metric_plugin("kth_error")
+class KthErrorMetrics(ComparisonMetrics):
+    """The k-th largest absolute error (k = ``kth_error:k``, 1-based)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._k = 1
+        self._value: float | None = None
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("kth_error:k", np.int64(self._k))
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        k = int(self._take(options, "kth_error:k", OptionType.INT64, self._k))
+        if k < 1:
+            raise InvalidOptionError("kth_error:k must be >= 1")
+        self._k = k
+
+    def _evaluate(self, original: np.ndarray, decompressed: np.ndarray) -> None:
+        abs_err = np.abs(decompressed - original)
+        if abs_err.size == 0 or self._k > abs_err.size:
+            self._value = None
+            return
+        # partition is O(n); full sort would be O(n log n)
+        self._value = float(
+            np.partition(abs_err, abs_err.size - self._k)[abs_err.size - self._k]
+        )
+
+    def get_metrics_results(self) -> PressioOptions:
+        results = PressioOptions()
+        if self._value is not None:
+            results.set("kth_error:kth_error", self._value)
+        return results
+
+    def reset(self) -> None:
+        super().reset()
+        self._value = None
+
+
+@metric_plugin("region_of_interest")
+class RegionOfInterestMetrics(PressioMetrics):
+    """Mean of a rectangular region, original vs decompressed.
+
+    The region is given as flat ``start``/``stop`` string lists (one
+    entry per dimension), showing off the STRING_LIST option type.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._start: list[str] = []
+        self._stop: list[str] = []
+        self._orig: np.ndarray | None = None
+        self._orig_mean: float | None = None
+        self._dec_mean: float | None = None
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("region_of_interest:start", list(self._start))
+        opts.set("region_of_interest:stop", list(self._stop))
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        start = options.get("region_of_interest:start")
+        stop = options.get("region_of_interest:stop")
+        if start is not None:
+            self._start = [str(s) for s in start]
+        if stop is not None:
+            self._stop = [str(s) for s in stop]
+
+    def _region(self, arr: np.ndarray) -> np.ndarray:
+        if not self._start or len(self._start) != arr.ndim:
+            return arr
+        slices = tuple(
+            slice(int(a), int(b)) for a, b in zip(self._start, self._stop)
+        )
+        return arr[slices]
+
+    def begin_compress(self, input: PressioData) -> None:
+        arr = np.asarray(input.to_numpy(), dtype=np.float64)
+        region = self._region(arr)
+        self._orig_mean = float(region.mean()) if region.size else None
+
+    def end_decompress(self, input: PressioData, output: PressioData) -> None:
+        arr = np.asarray(output.to_numpy(), dtype=np.float64)
+        region = self._region(arr)
+        self._dec_mean = float(region.mean()) if region.size else None
+
+    def get_metrics_results(self) -> PressioOptions:
+        results = PressioOptions()
+        if self._orig_mean is not None:
+            results.set("region_of_interest:uncompressed_mean", self._orig_mean)
+        if self._dec_mean is not None:
+            results.set("region_of_interest:decompressed_mean", self._dec_mean)
+        if self._orig_mean is not None and self._dec_mean is not None:
+            results.set("region_of_interest:mean_error",
+                        abs(self._orig_mean - self._dec_mean))
+        return results
+
+    def reset(self) -> None:
+        self._orig_mean = self._dec_mean = None
+
+
+@metric_plugin("mask")
+class MaskMetrics(ComparisonMetrics):
+    """Excludes masked points, then forwards to a child metric.
+
+    ``mask:mask`` is a DATA option (a 0/1 buffer shaped like the input —
+    1 means *exclude*), demonstrating the DATA option type from Section
+    IV-C; ``mask:metric`` names the wrapped plugin.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: PressioData | None = None
+        self._child_id = "error_stat"
+        self._child: PressioMetrics = metrics_registry.create("error_stat")
+
+    def _options(self) -> PressioOptions:
+        opts = PressioOptions()
+        opts.set("mask:metric", self._child_id)
+        if self._mask is not None:
+            opts.set("mask:mask", self._mask)
+        else:
+            opts.set_type("mask:mask", OptionType.DATA)
+        return opts
+
+    def _set_options(self, options: PressioOptions) -> None:
+        child_id = options.get("mask:metric")
+        if child_id is not None and child_id != self._child_id:
+            self._child_id = str(child_id)
+            self._child = metrics_registry.create(self._child_id)
+        mask = options.get("mask:mask")
+        if mask is not None:
+            if not isinstance(mask, PressioData):
+                raise InvalidOptionError("mask:mask must be a PressioData")
+            self._mask = mask
+
+    def _evaluate(self, original: np.ndarray, decompressed: np.ndarray) -> None:
+        if self._mask is not None:
+            keep = np.asarray(self._mask.to_numpy()).reshape(-1) == 0
+            original = original[keep]
+            decompressed = decompressed[keep]
+        dims = (original.size,)
+        self._child.begin_compress(
+            PressioData.from_numpy(original.reshape(dims), copy=False))
+        self._child.end_decompress(
+            PressioData.from_bytes(b""),
+            PressioData.from_numpy(decompressed.reshape(dims), copy=False))
+
+    def get_metrics_results(self) -> PressioOptions:
+        inner = self._child.get_metrics_results()
+        results = PressioOptions()
+        for key, opt in inner.items():
+            results.set(f"mask:{key}", opt)
+        return results
+
+    def reset(self) -> None:
+        super().reset()
+        self._child.reset()

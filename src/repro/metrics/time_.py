@@ -1,0 +1,61 @@
+"""The ``time`` metrics plugin: wall-clock timing of each operation.
+
+Uses the monotonic high-resolution clock, as the paper's methodology
+does (``std::chrono::steady_clock``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.metrics import PressioMetrics
+from ..core.options import PressioOptions
+from ..core.registry import metric_plugin
+
+__all__ = ["TimeMetrics"]
+
+
+@metric_plugin("time")
+class TimeMetrics(PressioMetrics):
+    """Measures compress/decompress wall time in milliseconds."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._t0: float | None = None
+        self._compress_ms: float | None = None
+        self._decompress_ms: float | None = None
+        self._compress_many_ms: float | None = None
+
+    def begin_compress(self, input: PressioData) -> None:
+        self._t0 = time.perf_counter()
+
+    def end_compress(self, input: PressioData, output: PressioData) -> None:
+        if self._t0 is not None:
+            self._compress_ms = (time.perf_counter() - self._t0) * 1e3
+        self._t0 = None
+
+    def begin_decompress(self, input: PressioData) -> None:
+        self._t0 = time.perf_counter()
+
+    def end_decompress(self, input: PressioData, output: PressioData) -> None:
+        if self._t0 is not None:
+            self._decompress_ms = (time.perf_counter() - self._t0) * 1e3
+        self._t0 = None
+
+    def get_metrics_results(self) -> PressioOptions:
+        results = PressioOptions()
+        if self._compress_ms is not None:
+            results.set("time:compress", self._compress_ms)
+            results.set("time:compress_many", self._compress_ms)
+        if self._decompress_ms is not None:
+            results.set("time:decompress", self._decompress_ms)
+            results.set("time:decompress_many", self._decompress_ms)
+        return results
+
+    def reset(self) -> None:
+        self._t0 = None
+        self._compress_ms = None
+        self._decompress_ms = None

@@ -1,0 +1,23 @@
+"""From-scratch "native" compressor libraries with divergent APIs.
+
+The premise of the paper is that every compressor exposes a different —
+often mutually incompatible — interface, and LibPressio papers over the
+differences.  To reproduce that faithfully, each subpackage here
+implements a real compressor *and* mimics the API ergonomics of the
+library it stands in for:
+
+* :mod:`repro.native.sz` — ``SZ_Init``/``SZ_Finalize`` global config
+  store, ``SZ_compress_args(type, data, r5..r1, ...)`` with reversed
+  dimension arguments, single-threaded, clobbers its input;
+* :mod:`repro.native.zfp` — ``zfp_stream`` / ``zfp_field`` objects,
+  Fortran dimension ordering (``nx`` fastest), re-entrant;
+* :mod:`repro.native.mgard` — one-shot ``compress(dataset, tol, s)``,
+  raises on any dimension < 3;
+* :mod:`repro.native.fpzip` — header+context API, floats only, lossless;
+* :mod:`repro.native.lossless` — one-shot byte-stream codecs (zlib, bz2,
+  lzma, pressio-lz, rle, huffman-bytes).
+
+The benchmark in ``benchmarks/test_fig3_overhead.py`` calls these
+directly (the "native" arm) and through the LibPressio plugins (the
+"pressio" arm) in matched pairs, exactly as Section VI of the paper does.
+"""

@@ -1,0 +1,48 @@
+"""MGARD's one-shot C++-flavoured API surface.
+
+Real MGARD exposes templated free functions
+(``mgard::compress(const TensorMeshHierarchy&, ...)`` in later versions;
+``mgard_compress(int itype_flag, ...)`` in 0.1.0).  We mirror the 0.1.0
+flavour: a single call carrying data, dimensions, and the tolerance, with
+dimension arguments ``(nrow, ncol, nfib)`` and a hard failure when a
+dimension has fewer than 3 samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import core
+
+__all__ = ["mgard_compress", "mgard_decompress", "compress", "decompress",
+           "MIN_DIM", "max_levels"]
+
+MIN_DIM = core.MIN_DIM
+max_levels = core.max_levels
+compress = core.compress
+decompress = core.decompress
+
+
+def mgard_compress(itype_flag: int, data: np.ndarray, nrow: int, ncol: int,
+                   nfib: int, tol: float, s: float = 0.0) -> bytes:
+    """0.1.0-style entry point: ``itype_flag`` 0=float, 1=double.
+
+    ``(nrow, ncol, nfib)`` follow MGARD's convention: unused trailing
+    dims are 1 — note that *1 is an invalid size* for a used dimension,
+    so ``(nrow, ncol, 1)`` means a 2-D ``nrow x ncol`` problem.
+    """
+    np_dtype = np.float32 if itype_flag == 0 else np.float64
+    dims = [d for d in (nrow, ncol, nfib) if d > 1]
+    if not dims:
+        dims = [nrow]
+    arr = np.asarray(data, dtype=np_dtype).reshape(dims)
+    return core.compress(arr, tol, s)
+
+
+def mgard_decompress(itype_flag: int, stream: bytes, nrow: int, ncol: int,
+                     nfib: int) -> np.ndarray:
+    """Decompress; dimensions revalidated against the stream header."""
+    dims = tuple(d for d in (nrow, ncol, nfib) if d > 1) or (nrow,)
+    out = core.decompress(stream, expected_dims=dims)
+    np_dtype = np.float32 if itype_flag == 0 else np.float64
+    return out.astype(np_dtype, copy=False)

@@ -1,0 +1,194 @@
+"""SZ's C-style API: global configuration store, init/finalize lifecycle.
+
+This module mimics the ergonomics of SZ 2.1's ``sz.h``:
+
+* ``SZ_Init(params)`` installs a process-global configuration; calling
+  compression entry points before init (or after finalize) fails;
+* ``SZ_compress_args(type, data, r5, r4, r3, r2, r1, ...)`` takes the
+  dimensions as five reversed arguments with ``r1`` the fastest-varying —
+  the C-order/reversed-argument convention the paper highlights as a
+  usability hazard;
+* the library is **not thread safe**: one global parameter store.
+
+The LibPressio ``sz`` plugin wraps this and hides every one of those
+hazards behind the uniform interface.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from . import core
+from .params import (
+    SZ_DOUBLE,
+    SZ_FLOAT,
+    SZ_INT8,
+    SZ_INT16,
+    SZ_INT32,
+    SZ_INT64,
+    SZ_UINT8,
+    SZ_UINT16,
+    SZ_UINT32,
+    SZ_UINT64,
+    sz_params,
+)
+
+__all__ = [
+    "SZ_Init",
+    "SZ_Init_Params",
+    "SZ_Finalize",
+    "SZ_compress",
+    "SZ_compress_args",
+    "SZ_decompress",
+    "SZ_is_initialized",
+    "sz_datatype_to_numpy",
+    "SZNotInitializedError",
+]
+
+_TYPE_MAP = {
+    SZ_FLOAT: np.dtype(np.float32),
+    SZ_DOUBLE: np.dtype(np.float64),
+    SZ_UINT8: np.dtype(np.uint8),
+    SZ_INT8: np.dtype(np.int8),
+    SZ_UINT16: np.dtype(np.uint16),
+    SZ_INT16: np.dtype(np.int16),
+    SZ_UINT32: np.dtype(np.uint32),
+    SZ_INT32: np.dtype(np.int32),
+    SZ_UINT64: np.dtype(np.uint64),
+    SZ_INT64: np.dtype(np.int64),
+}
+
+# deliberately global, deliberately unguarded between threads: this models
+# SZ's shared configuration store (paper Section IV-B)
+_global_params: sz_params | None = None
+_init_lock = threading.Lock()
+
+
+class SZNotInitializedError(RuntimeError):
+    """Raised when a compression entry point runs outside init/finalize."""
+
+
+def SZ_Init(params: sz_params | None = None) -> int:
+    """Install the global configuration.  Returns 0 on success."""
+    global _global_params
+    with _init_lock:
+        p = params if params is not None else sz_params()
+        p.validate()
+        _global_params = p
+    return 0
+
+
+def SZ_Init_Params(params: sz_params) -> int:
+    """Alias matching SZ's second init entry point."""
+    return SZ_Init(params)
+
+
+def SZ_Finalize() -> int:
+    """Tear down the global configuration.
+
+    As the paper notes, a thread may only call this when it is confident
+    no other thread is still using SZ — nothing here enforces that.
+    """
+    global _global_params
+    with _init_lock:
+        _global_params = None
+    return 0
+
+
+def SZ_is_initialized() -> bool:
+    return _global_params is not None
+
+
+def _require_params() -> sz_params:
+    p = _global_params
+    if p is None:
+        raise SZNotInitializedError(
+            "SZ_Init must be called before compression entry points"
+        )
+    return p
+
+
+def sz_datatype_to_numpy(sz_type: int) -> np.dtype:
+    """Map an SZ type constant to the NumPy dtype."""
+    try:
+        return _TYPE_MAP[sz_type]
+    except KeyError:
+        raise ValueError(f"unknown SZ data type constant {sz_type}") from None
+
+
+def _resolve_dims(r5: int, r4: int, r3: int, r2: int, r1: int) -> tuple[int, ...]:
+    """Convert SZ's reversed five-argument dims to a C-order shape tuple.
+
+    ``r1`` is the fastest-varying dimension; zeros mean "unused".  The
+    C-order shape therefore lists the *used* arguments from slowest to
+    fastest: ``(r5, r4, r3, r2, r1)`` with leading zeros dropped.
+    """
+    dims = [d for d in (r5, r4, r3, r2, r1) if d]
+    if not dims:
+        raise ValueError("at least one dimension must be non-zero")
+    if any(d < 0 for d in (r5, r4, r3, r2, r1)):
+        raise ValueError("dimensions must be non-negative")
+    return tuple(dims)
+
+
+def SZ_compress(sz_type: int, data: np.ndarray,
+                r5: int = 0, r4: int = 0, r3: int = 0, r2: int = 0, r1: int = 0
+                ) -> bytes:
+    """Compress with the bounds currently stored in the global params."""
+    params = _require_params()
+    dims = _resolve_dims(r5, r4, r3, r2, r1)
+    np_dtype = sz_datatype_to_numpy(sz_type)
+    arr = np.asarray(data, dtype=np_dtype).reshape(dims)
+    return core.compress(arr, params)
+
+
+def SZ_compress_args(sz_type: int, data: np.ndarray,
+                     r5: int = 0, r4: int = 0, r3: int = 0, r2: int = 0,
+                     r1: int = 0, *, errBoundMode: int | None = None,
+                     absErrBound: float | None = None,
+                     relBoundRatio: float | None = None,
+                     pwrBoundRatio: float | None = None,
+                     psnr: float | None = None) -> bytes:
+    """Compress, overriding selected bound fields for this call.
+
+    Mirrors ``SZ_compress_args``: the overrides mutate a copy of the
+    global store for the duration of the call (real SZ writes into the
+    global ``confparams_cpr``; we keep that observable by updating the
+    global afterwards, matching its surprising-but-real semantics).
+    """
+    params = _require_params()
+    import dataclasses
+
+    call_params = dataclasses.replace(params)
+    if errBoundMode is not None:
+        call_params.errorBoundMode = errBoundMode
+    if absErrBound is not None:
+        call_params.absErrBound = absErrBound
+    if relBoundRatio is not None:
+        call_params.relBoundRatio = relBoundRatio
+    if pwrBoundRatio is not None:
+        call_params.pw_relBoundRatio = pwrBoundRatio
+    if psnr is not None:
+        call_params.psnr = psnr
+    dims = _resolve_dims(r5, r4, r3, r2, r1)
+    np_dtype = sz_datatype_to_numpy(sz_type)
+    arr = np.asarray(data, dtype=np_dtype).reshape(dims)
+    stream = core.compress(arr, call_params)
+    # real SZ_compress_args leaves the overridden bounds in the global
+    # config — reproduce that sharp edge
+    global _global_params
+    _global_params = call_params
+    return stream
+
+
+def SZ_decompress(sz_type: int, stream: bytes,
+                  r5: int = 0, r4: int = 0, r3: int = 0, r2: int = 0,
+                  r1: int = 0) -> np.ndarray:
+    """Decompress; dims are revalidated against the stream header."""
+    _require_params()
+    dims = _resolve_dims(r5, r4, r3, r2, r1)
+    out = core.decompress(stream, expected_dims=dims)
+    np_dtype = sz_datatype_to_numpy(sz_type)
+    return out.astype(np_dtype, copy=False)

@@ -1,0 +1,171 @@
+"""zfp's C-style API: streams, fields, and Fortran dimension ordering.
+
+Mimics the ergonomics of zfp 0.5.5's ``zfp.h``:
+
+* ``zfp_stream`` objects carry the compression mode — multiple
+  independent instances may exist (unlike SZ's global store), so this
+  native is re-entrant;
+* ``zfp_field_1d/2d/3d(data, type, nx[, ny[, nz]])`` describe buffers
+  with **nx the fastest-varying dimension** (Fortran ordering) — the
+  opposite convention from SZ, which is exactly the trap Section V of
+  the paper measures;
+* ``zfp_stream_set_accuracy`` / ``set_precision`` / ``set_rate`` /
+  ``set_reversible`` select the mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from . import core
+
+__all__ = [
+    "zfp_type_float", "zfp_type_double", "zfp_type_int32", "zfp_type_int64",
+    "zfp_stream", "zfp_field",
+    "zfp_stream_open", "zfp_stream_close",
+    "zfp_stream_set_accuracy", "zfp_stream_set_precision",
+    "zfp_stream_set_rate", "zfp_stream_set_reversible",
+    "zfp_field_1d", "zfp_field_2d", "zfp_field_3d", "zfp_field_4d",
+    "zfp_field_free",
+    "zfp_compress", "zfp_decompress", "zfp_stream_maximum_size",
+]
+
+zfp_type_int32 = 1
+zfp_type_int64 = 2
+zfp_type_float = 3
+zfp_type_double = 4
+
+_TYPE_MAP = {
+    zfp_type_int32: np.dtype(np.int32),
+    zfp_type_int64: np.dtype(np.int64),
+    zfp_type_float: np.dtype(np.float32),
+    zfp_type_double: np.dtype(np.float64),
+}
+
+
+@dataclasses.dataclass
+class zfp_stream:  # noqa: N801 - mimics the C struct name
+    """Per-instance compression configuration (re-entrant)."""
+
+    mode: int = core.MODE_ACCURACY
+    parameter: float = 1e-3
+    backend: str = "zlib"
+    level: int = 1
+    transform: bool = True  # ablation hook: skip the block transform
+
+
+@dataclasses.dataclass
+class zfp_field:  # noqa: N801 - mimics the C struct name
+    """A typed field description with Fortran-ordered dimensions."""
+
+    data: np.ndarray | None
+    zfp_type: int
+    nx: int
+    ny: int = 0
+    nz: int = 0
+    nw: int = 0
+
+    def c_order_dims(self) -> tuple[int, ...]:
+        """The C-order shape implied by (nx, ny, nz, nw)."""
+        dims = [d for d in (self.nw, self.nz, self.ny, self.nx) if d]
+        return tuple(dims)
+
+    def numpy_dtype(self) -> np.dtype:
+        try:
+            return _TYPE_MAP[self.zfp_type]
+        except KeyError:
+            raise ValueError(f"unknown zfp type {self.zfp_type}") from None
+
+
+def zfp_stream_open() -> zfp_stream:
+    """Create a new stream with default (accuracy 1e-3) settings."""
+    return zfp_stream()
+
+
+def zfp_stream_close(stream: zfp_stream) -> None:
+    """No-op resource release for API parity."""
+
+
+def zfp_stream_set_accuracy(stream: zfp_stream, tolerance: float) -> float:
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    stream.mode = core.MODE_ACCURACY
+    stream.parameter = float(tolerance)
+    return stream.parameter
+
+
+def zfp_stream_set_precision(stream: zfp_stream, precision: int) -> int:
+    if precision < 1 or precision > 64:
+        raise ValueError("precision must be in [1, 64]")
+    stream.mode = core.MODE_PRECISION
+    stream.parameter = int(precision)
+    return precision
+
+
+def zfp_stream_set_rate(stream: zfp_stream, rate: float, *_ignored) -> float:
+    if rate < 1:
+        raise ValueError("rate must be >= 1 bit per value")
+    stream.mode = core.MODE_RATE
+    stream.parameter = float(rate)
+    return stream.parameter
+
+
+def zfp_stream_set_reversible(stream: zfp_stream) -> None:
+    stream.mode = core.MODE_REVERSIBLE
+    stream.parameter = 0.0
+
+
+def zfp_field_1d(data: np.ndarray | None, zfp_type: int, nx: int) -> zfp_field:
+    return zfp_field(data, zfp_type, nx)
+
+
+def zfp_field_2d(data: np.ndarray | None, zfp_type: int, nx: int, ny: int) -> zfp_field:
+    """Note the argument order: nx (fastest) first, as in zfp."""
+    return zfp_field(data, zfp_type, nx, ny)
+
+
+def zfp_field_3d(data: np.ndarray | None, zfp_type: int,
+                 nx: int, ny: int, nz: int) -> zfp_field:
+    return zfp_field(data, zfp_type, nx, ny, nz)
+
+
+def zfp_field_4d(data: np.ndarray | None, zfp_type: int,
+                 nx: int, ny: int, nz: int, nw: int) -> zfp_field:
+    return zfp_field(data, zfp_type, nx, ny, nz, nw)
+
+
+def zfp_field_free(field: zfp_field) -> None:
+    field.data = None
+
+
+def zfp_stream_maximum_size(stream: zfp_stream, field: zfp_field) -> int:
+    """Worst-case stream size bound (generous, as the C API's is)."""
+    n = int(np.prod(field.c_order_dims(), dtype=np.int64))
+    return 9 * n * field.numpy_dtype().itemsize + 1024
+
+
+def zfp_compress(stream: zfp_stream, field: zfp_field) -> bytes:
+    """Compress the field's buffer under the stream's mode."""
+    if field.data is None:
+        raise ValueError("field has no data attached")
+    dims = field.c_order_dims()
+    arr = np.asarray(field.data, dtype=field.numpy_dtype()).reshape(dims)
+    return core.compress(arr, stream.mode, stream.parameter,
+                         backend=stream.backend, level=stream.level,
+                         transform=stream.transform)
+
+
+def zfp_decompress(stream: zfp_stream, field: zfp_field,
+                   buffer: bytes) -> np.ndarray:
+    """Decompress into (and return) the field's buffer."""
+    dims = field.c_order_dims()
+    out = core.decompress(buffer, expected_dims=dims)
+    out = out.astype(field.numpy_dtype(), copy=False)
+    if field.data is not None:
+        flat = np.asarray(field.data).reshape(-1)
+        flat[:] = out.reshape(-1)
+        return np.asarray(field.data).reshape(dims)
+    field.data = out
+    return out

@@ -1,0 +1,334 @@
+"""The ZFP-family transform compression pipeline.
+
+Like real zfp, data is processed in 4^d blocks (d = 1..4), each block is
+decorrelated with an exactly-invertible integer lifting transform, and
+precision is controlled by discarding low-order bits of the transform
+coefficients.  Differences from the C library are documented in
+DESIGN.md; the behaviourally load-bearing properties are preserved:
+
+* 4^d blocking with edge-replication padding of partial blocks (the
+  padding inefficiency for dims < 4 the paper calls out);
+* an integer decorrelating transform (two-level Haar lifting here vs
+  zfp's non-orthogonal lift; both are exact on integers);
+* fixed-accuracy / fixed-precision / fixed-rate / reversible modes with
+  the same error semantics (absolute bound, per-block relative planes,
+  approximate bits-per-value, bit-exact respectively).
+
+All block math is vectorized across every block simultaneously
+(``blocks`` has shape ``(nblocks, 4, ..., 4)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.dtype import dtype_from_numpy, dtype_to_numpy
+from ...core.status import CorruptStreamError, InvalidDimensionsError
+from ...encoders.headers import read_header, write_header
+from ...encoders.predictors import lorenzo_decode, lorenzo_encode
+from ...encoders.residual import decode_residuals, encode_residuals
+from ...encoders.quantize import quantize_uniform
+
+__all__ = ["compress", "decompress", "MODE_ACCURACY", "MODE_PRECISION",
+           "MODE_RATE", "MODE_REVERSIBLE", "BLOCK_SIDE"]
+
+_MAGIC = b"ZFP1"
+BLOCK_SIDE = 4
+
+MODE_ACCURACY = 0
+MODE_PRECISION = 1
+MODE_RATE = 2
+MODE_REVERSIBLE = 3
+
+# integer headroom: |codes| <= 2**_Q before the transform, whose lifting
+# steps grow magnitudes by at most 2 per level (4 per dimension)
+_Q = 48
+
+
+# ----------------------------------------------------------------------
+# blocking
+# ----------------------------------------------------------------------
+def _pad_to_blocks(arr: np.ndarray) -> np.ndarray:
+    pad = [(0, (-s) % BLOCK_SIDE) for s in arr.shape]
+    if any(p[1] for p in pad):
+        return np.pad(arr, pad, mode="edge")
+    return arr
+
+
+def _to_blocks(arr: np.ndarray) -> np.ndarray:
+    """(d1..dk) array -> (nblocks, 4, ..., 4) block view (copy)."""
+    d = arr.ndim
+    padded = _pad_to_blocks(arr)
+    inter = []
+    for s in padded.shape:
+        inter += [s // BLOCK_SIDE, BLOCK_SIDE]
+    view = padded.reshape(inter)
+    order = list(range(0, 2 * d, 2)) + list(range(1, 2 * d, 2))
+    return np.ascontiguousarray(view.transpose(order)).reshape(
+        (-1,) + (BLOCK_SIDE,) * d
+    )
+
+
+def _from_blocks(blocks: np.ndarray, dims: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`_to_blocks`, cropping the padding."""
+    d = len(dims)
+    padded_dims = tuple(s + ((-s) % BLOCK_SIDE) for s in dims)
+    grid = tuple(s // BLOCK_SIDE for s in padded_dims)
+    inter = blocks.reshape(grid + (BLOCK_SIDE,) * d)
+    # interleave block-grid and in-block axes back
+    order = []
+    for i in range(d):
+        order += [i, d + i]
+    padded = inter.transpose(order).reshape(padded_dims)
+    crop = tuple(slice(0, s) for s in dims)
+    return padded[crop]
+
+
+# ----------------------------------------------------------------------
+# the lifting transform (exactly invertible on int64)
+# ----------------------------------------------------------------------
+def _fwd_lift_axis(blocks: np.ndarray, axis: int) -> None:
+    """Two-level Haar lifting along a length-4 axis, in place."""
+    ix = [slice(None)] * blocks.ndim
+
+    def pick(i: int) -> tuple:
+        ix[axis] = i
+        return tuple(ix)
+
+    a = blocks[pick(0)].copy()
+    b = blocks[pick(1)].copy()
+    c = blocks[pick(2)].copy()
+    d = blocks[pick(3)].copy()
+    d1 = b - a
+    s1 = a + (d1 >> 1)
+    d2 = d - c
+    s2 = c + (d2 >> 1)
+    dd = s2 - s1
+    ss = s1 + (dd >> 1)
+    blocks[pick(0)] = ss   # smooth
+    blocks[pick(1)] = dd   # level-2 detail
+    blocks[pick(2)] = d1   # level-1 details
+    blocks[pick(3)] = d2
+
+
+def _inv_lift_axis(blocks: np.ndarray, axis: int) -> None:
+    """Exact inverse of :func:`_fwd_lift_axis`, in place."""
+    ix = [slice(None)] * blocks.ndim
+
+    def pick(i: int) -> tuple:
+        ix[axis] = i
+        return tuple(ix)
+
+    ss = blocks[pick(0)].copy()
+    dd = blocks[pick(1)].copy()
+    d1 = blocks[pick(2)].copy()
+    d2 = blocks[pick(3)].copy()
+    s1 = ss - (dd >> 1)
+    s2 = s1 + dd
+    a = s1 - (d1 >> 1)
+    b = a + d1
+    c = s2 - (d2 >> 1)
+    d = c + d2
+    blocks[pick(0)] = a
+    blocks[pick(1)] = b
+    blocks[pick(2)] = c
+    blocks[pick(3)] = d
+
+
+def _fwd_transform(blocks: np.ndarray) -> None:
+    for axis in range(1, blocks.ndim):
+        _fwd_lift_axis(blocks, axis)
+
+
+def _inv_transform(blocks: np.ndarray) -> None:
+    for axis in range(blocks.ndim - 1, 0, -1):
+        _inv_lift_axis(blocks, axis)
+
+
+# ----------------------------------------------------------------------
+# per-block bit management
+# ----------------------------------------------------------------------
+def _block_maxbits(blocks: np.ndarray) -> np.ndarray:
+    """Bit length of the largest |coefficient| in each block."""
+    flat = blocks.reshape(blocks.shape[0], -1)
+    mags = np.abs(flat).max(axis=1)
+    out = np.zeros(blocks.shape[0], dtype=np.int64)
+    nz = mags > 0
+    out[nz] = np.floor(np.log2(mags[nz].astype(np.float64))).astype(np.int64) + 1
+    return out
+
+
+def _rounding_rshift(blocks: np.ndarray, shifts: np.ndarray) -> np.ndarray:
+    """Per-block arithmetic right shift with round-half-up."""
+    s = shifts.reshape((-1,) + (1,) * (blocks.ndim - 1)).astype(np.int64)
+    half = np.where(s > 0, np.int64(1) << np.maximum(s - 1, 0), np.int64(0))
+    return (blocks + half) >> s
+
+
+def _lshift(blocks: np.ndarray, shifts: np.ndarray) -> np.ndarray:
+    s = shifts.reshape((-1,) + (1,) * (blocks.ndim - 1)).astype(np.int64)
+    return blocks << s
+
+
+# ----------------------------------------------------------------------
+# public pipeline
+# ----------------------------------------------------------------------
+def compress(data: np.ndarray, mode: int, parameter: float,
+             backend: str = "zlib", level: int = 1,
+             transform: bool = True) -> bytes:
+    """Compress ``data`` (C-order ndarray, 1-4 dims) under ``mode``.
+
+    ``parameter`` is the tolerance (accuracy), bit planes (precision), or
+    bits per value (rate); ignored for reversible.  ``transform=False``
+    skips the decorrelating transform (quantize-only ablation).
+    """
+    arr = np.asarray(data)
+    if arr.ndim < 1 or arr.ndim > 4:
+        raise InvalidDimensionsError(
+            f"zfp supports 1-4 dimensions, got {arr.ndim}"
+        )
+    if arr.dtype.kind not in "fiu":
+        raise TypeError(f"zfp cannot compress dtype {arr.dtype}")
+    dtype = dtype_from_numpy(arr.dtype)
+    if mode == MODE_REVERSIBLE:
+        payload = _compress_reversible(arr, backend, level)
+        header = write_header(_MAGIC, dtype, arr.shape, doubles=(0.0, 0.0),
+                              ints=(MODE_REVERSIBLE,))
+        return header + payload
+
+    values = arr.astype(np.float64, copy=False)
+    if mode == MODE_ACCURACY:
+        if parameter <= 0:
+            raise ValueError("accuracy tolerance must be positive")
+        step = float(parameter)
+        codes = quantize_uniform(values, step)
+    elif mode in (MODE_PRECISION, MODE_RATE):
+        vmax = float(np.abs(values).max()) if values.size else 0.0
+        if vmax == 0.0:
+            step = 1.0
+            codes = np.zeros(values.shape, dtype=np.int64)
+        else:
+            # scale so |codes| <= 2**_Q; quantize_uniform uses bin 2*eb
+            step = vmax / float(2**_Q)
+            codes = quantize_uniform(values, step)
+    else:
+        raise ValueError(f"unknown zfp mode {mode}")
+
+    blocks = _to_blocks(codes)
+    if transform:
+        _fwd_transform(blocks)
+
+    if mode == MODE_ACCURACY:
+        shifts = np.zeros(blocks.shape[0], dtype=np.int64)
+    elif mode == MODE_PRECISION:
+        planes = int(parameter)
+        if planes < 1:
+            raise ValueError("precision must be at least 1 bit plane")
+        shifts = np.maximum(_block_maxbits(blocks) - planes, 0)
+    else:  # MODE_RATE
+        width = int(round(parameter))
+        if width < 1:
+            raise ValueError("rate must be at least 1 bit per value")
+        shifts = np.maximum(_block_maxbits(blocks) - width, 0)
+
+    kept = _rounding_rshift(blocks, shifts)
+    import zlib as _zlib
+
+    shift_blob = _zlib.compress(shifts.astype(np.uint8).tobytes(), 1)
+    payload = encode_residuals(kept.reshape(-1), backend=backend, level=level)
+    header = write_header(
+        _MAGIC, dtype, arr.shape,
+        doubles=(step, float(parameter)),
+        ints=(mode, len(shift_blob), 1 if transform else 0),
+    )
+    return header + shift_blob + payload
+
+
+def decompress(stream: bytes | memoryview,
+               expected_dims: tuple[int, ...] | None = None) -> np.ndarray:
+    """Decompress a zfp stream back to an ndarray."""
+    dtype, dims, doubles, ints, pos = read_header(stream, _MAGIC)
+    if expected_dims is not None and tuple(expected_dims) != dims:
+        raise CorruptStreamError(
+            f"stream dims {dims} do not match expected {tuple(expected_dims)}"
+        )
+    view = memoryview(stream)
+    mode = ints[0]
+    np_dtype = dtype_to_numpy(dtype)
+    if mode == MODE_REVERSIBLE:
+        return _decompress_reversible(bytes(view[pos:]), dims, np_dtype)
+
+    step = doubles[0]
+    shift_len = ints[1]
+    transform = bool(ints[2]) if len(ints) > 2 else True
+    import zlib as _zlib
+
+    nblocks = int(np.prod([(s + BLOCK_SIDE - 1) // BLOCK_SIDE for s in dims],
+                          dtype=np.int64))
+    shifts = np.frombuffer(
+        _zlib.decompress(bytes(view[pos:pos + shift_len])), dtype=np.uint8
+    ).astype(np.int64)
+    if shifts.size != nblocks:
+        raise CorruptStreamError("shift table does not match block count")
+    d = len(dims)
+    kept = decode_residuals(bytes(view[pos + shift_len:]))
+    expected = nblocks * BLOCK_SIDE**d
+    if kept.size != expected:
+        raise CorruptStreamError(
+            f"coefficient payload holds {kept.size}, expected {expected}"
+        )
+    blocks = kept.reshape((nblocks,) + (BLOCK_SIDE,) * d)
+    blocks = _lshift(blocks, shifts)
+    if transform:
+        _inv_transform(blocks)
+    codes = _from_blocks(blocks, dims)
+    out = codes.astype(np.float64) * (2.0 * step)
+    if np_dtype.kind in "iu":
+        return np.rint(out).astype(np_dtype)
+    return out.astype(np_dtype)
+
+
+# ----------------------------------------------------------------------
+# reversible mode: bit-exact round trip via integerized floats + Lorenzo
+# ----------------------------------------------------------------------
+def _float_to_ordered_int(arr: np.ndarray) -> np.ndarray:
+    """Bit-cast floats to sign-magnitude-ordered int64 (monotonic map)."""
+    if arr.dtype == np.float32:
+        u = np.ascontiguousarray(arr).view(np.uint32).astype(np.uint64)
+        sign = (u >> np.uint64(31)) != 0
+        flipped = np.where(sign, np.uint64(0xFFFFFFFF) - u, u | np.uint64(0x80000000))
+        return flipped.view(np.int64) - np.int64(2**31)
+    u = np.ascontiguousarray(arr.astype(np.float64)).view(np.uint64)
+    sign = (u >> np.uint64(63)) != 0
+    flipped = np.where(sign, ~u, u | np.uint64(1) << np.uint64(63))
+    return flipped.view(np.int64)
+
+
+def _ordered_int_to_float(codes: np.ndarray, np_dtype: np.dtype) -> np.ndarray:
+    if np_dtype == np.float32:
+        u = (codes + np.int64(2**31)).view(np.uint64)
+        sign = (u & np.uint64(0x80000000)) == 0
+        back = np.where(sign, np.uint64(0xFFFFFFFF) - u, u & np.uint64(0x7FFFFFFF))
+        return back.astype(np.uint32).view(np.float32)
+    u = codes.view(np.uint64)
+    sign = (u >> np.uint64(63)) == 0
+    back = np.where(sign, ~u, u & ~(np.uint64(1) << np.uint64(63)))
+    return back.view(np.float64).astype(np_dtype)
+
+
+def _compress_reversible(arr: np.ndarray, backend: str, level: int) -> bytes:
+    if arr.dtype.kind == "f":
+        codes = _float_to_ordered_int(arr).reshape(arr.shape)
+    else:
+        codes = arr.astype(np.int64)
+    residuals = lorenzo_encode(codes)
+    return encode_residuals(residuals.reshape(-1), backend=backend, level=level)
+
+
+def _decompress_reversible(payload: bytes, dims: tuple[int, ...],
+                           np_dtype: np.dtype) -> np.ndarray:
+    residuals = decode_residuals(payload).reshape(dims)
+    codes = lorenzo_decode(residuals)
+    if np_dtype.kind == "f":
+        return _ordered_int_to_float(codes.reshape(-1), np_dtype).reshape(dims)
+    return codes.astype(np_dtype)

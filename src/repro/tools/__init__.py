@@ -1,0 +1,11 @@
+"""Command-line tools built on the uniform interface.
+
+* :mod:`repro.tools.cli` — the ``pressio`` command (compress/decompress/
+  analyze any registered compressor against any registered IO format);
+* :mod:`repro.tools.fuzzer` — random-input robustness fuzzer;
+* :mod:`repro.tools.zchecker` — compression-quality assessment harness;
+* :mod:`repro.tools.loc` — the normalized line-of-code counter used by
+  the Table II benchmark;
+* :mod:`repro.tools.external_worker` — subprocess entry point for the
+  ``external`` compressor.
+"""

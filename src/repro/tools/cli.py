@@ -1,0 +1,204 @@
+"""The ``pressio`` command line tool (LibPressio-Tools analog).
+
+One CLI serves *every* registered compressor, IO format, and metric —
+the compressor-agnostic tooling claim from the paper's introduction.
+Unlike the single-compressor CLIs it replaces (sz/zfp/mgard each ship
+their own), this one can also read/write container formats (hdf5mini)
+and print introspection data.
+
+Examples::
+
+    pressio --list
+    pressio --compressor sz --synthetic nyx --dims 48,48,48 \
+            --option sz:error_bound_mode_str=abs \
+            --option sz:abs_err_bound=1e-4 \
+            --metrics size,time,error_stat --print-metrics
+    pressio --compressor zfp --input data.npy --input-format numpy \
+            --option zfp:accuracy=1e-3 --save-compressed out.zfp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.dtype import dtype_from_numpy
+from ..core.library import Pressio
+from ..core.options import PressioOptions
+
+__all__ = ["main", "build_parser", "run"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pressio",
+        description="generic lossy/lossless compression for dense tensors",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list available compressors, metrics, and io")
+    parser.add_argument("--compressor", "-z", default=None,
+                        help="compressor plugin id")
+    parser.add_argument("--input", "-i", default=None, help="input path")
+    parser.add_argument("--input-format", "-I", default="posix",
+                        help="io plugin for reading (posix, numpy, csv, ...)")
+    parser.add_argument("--synthetic", default=None,
+                        help="use a synthetic dataset instead of --input "
+                             "(hurricane_cloud, nyx, hacc, scale_letkf)")
+    parser.add_argument("--dtype", "-t", default="float64",
+                        help="element type for typeless formats")
+    parser.add_argument("--dims", "-d", default=None,
+                        help="comma-separated dims for typeless formats")
+    parser.add_argument("--option", "-o", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="set a compressor option (repeatable)")
+    parser.add_argument("--metrics", "-m", default="size,time",
+                        help="comma-separated metric plugin ids")
+    parser.add_argument("--print-metrics", "-M", action="store_true",
+                        help="print metric results after the round trip")
+    parser.add_argument("--print-options", action="store_true",
+                        help="print the compressor's options and exit")
+    parser.add_argument("--print-config", action="store_true",
+                        help="print the compressor's configuration and exit")
+    parser.add_argument("--print-docs", action="store_true",
+                        help="print the compressor's documentation and exit")
+    parser.add_argument("--save-compressed", "-c", default=None,
+                        help="write the compressed stream to this path")
+    parser.add_argument("--save-decompressed", "-w", default=None,
+                        help="write the decompressed data to this path")
+    parser.add_argument("--output-format", "-W", default="posix",
+                        help="io plugin for --save-decompressed")
+    parser.add_argument("--no-decompress", action="store_true",
+                        help="skip the decompression phase")
+    return parser
+
+
+def _parse_option_value(raw: str):
+    """Infer int/float/string from a KEY=VALUE right-hand side."""
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def _load_input(args, library: Pressio) -> PressioData:
+    if args.synthetic:
+        from ..datasets import DATASET_GENERATORS
+
+        gen = DATASET_GENERATORS.get(args.synthetic)
+        if gen is None:
+            raise SystemExit(
+                f"unknown synthetic dataset {args.synthetic!r}; "
+                f"known: {sorted(DATASET_GENERATORS)}"
+            )
+        if args.dims and args.synthetic != "hacc":
+            dims = tuple(int(d) for d in args.dims.split(","))
+            arr = gen(dims)
+        else:
+            arr = gen()
+        return PressioData.from_numpy(np.asarray(arr), copy=False)
+    if not args.input:
+        raise SystemExit("one of --input or --synthetic is required")
+    io = library.get_io(args.input_format)
+    if io is None:
+        raise SystemExit(f"unknown io plugin: {library.error_msg()}")
+    io.set_options({"io:path": args.input})
+    template = None
+    if args.dims:
+        dims = tuple(int(d) for d in args.dims.split(","))
+        template = PressioData.empty(
+            dtype_from_numpy(np.dtype(args.dtype)), dims)
+    return io.read(template)
+
+
+def _print_options(title: str, options: PressioOptions) -> None:
+    print(f"{title}:")
+    for key in sorted(options.keys()):
+        opt = options.get_option(key)
+        value = opt.get() if opt.has_value() else "<unset>"
+        print(f"  {key} = {value!r} ({opt.type.name})")
+
+
+def run(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    library = Pressio()
+
+    if args.list:
+        print("compressors:", ", ".join(library.supported_compressors()))
+        print("metrics:    ", ", ".join(library.supported_metrics()))
+        print("io:         ", ", ".join(library.supported_io()))
+        return 0
+
+    if not args.compressor:
+        print("error: --compressor is required (or use --list)",
+              file=sys.stderr)
+        return 2
+    compressor = library.get_compressor(args.compressor)
+    if compressor is None:
+        print(f"error: {library.error_msg()}", file=sys.stderr)
+        return 2
+
+    if args.print_docs:
+        _print_options("documentation", compressor.get_documentation())
+        return 0
+    if args.print_config:
+        _print_options("configuration", compressor.get_configuration())
+        return 0
+
+    options = PressioOptions()
+    for entry in args.option:
+        if "=" not in entry:
+            print(f"error: bad --option {entry!r}, expected KEY=VALUE",
+                  file=sys.stderr)
+            return 2
+        key, _, raw = entry.partition("=")
+        options.set(key, _parse_option_value(raw))
+    if len(options):
+        if compressor.check_options(options) != 0:
+            print(f"error: {compressor.error_msg()}", file=sys.stderr)
+            return 2
+        if compressor.set_options(options) != 0:
+            print(f"error: {compressor.error_msg()}", file=sys.stderr)
+            return 2
+
+    if args.print_options:
+        _print_options("options", compressor.get_options())
+        return 0
+
+    metric_ids = [m for m in args.metrics.split(",") if m]
+    if metric_ids:
+        metrics = library.get_metric(metric_ids)
+        compressor.set_metrics(metrics)
+
+    input_data = _load_input(args, library)
+    compressed = compressor.compress(input_data)
+    if args.save_compressed:
+        with open(args.save_compressed, "wb") as fh:
+            fh.write(compressed.to_bytes())
+
+    if not args.no_decompress:
+        template = PressioData.empty(input_data.dtype, input_data.dims)
+        decompressed = compressor.decompress(compressed, template)
+        if args.save_decompressed:
+            out_io = library.get_io(args.output_format)
+            out_io.set_options({"io:path": args.save_decompressed})
+            out_io.write(decompressed)
+
+    if args.print_metrics:
+        _print_options("metrics", compressor.get_metrics_results())
+    return 0
+
+
+def main() -> None:
+    raise SystemExit(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Worker process for the ``external`` compressor.
+
+Runs in a fresh interpreter: the wall-clock cost of importing this
+module, NumPy, and the plugin registry is precisely the "loading an
+interpreter" overhead the paper's Section V quantifies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.dtype import dtype_from_numpy
+from ..core.library import Pressio
+
+
+def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--action", choices=("compress", "decompress"),
+                        required=True)
+    parser.add_argument("--compressor", required=True)
+    parser.add_argument("--config", default="{}")
+    parser.add_argument("--input", required=True)
+    parser.add_argument("--output", required=True)
+    parser.add_argument("--dtype", required=True)
+    parser.add_argument("--dims", required=True)
+    parser.add_argument("--init-cost-ms", type=float, default=0.0)
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+    if args.init_cost_ms > 0:
+        # simulate expensive initialization (e.g. MPI_Init) with a sleep
+        time.sleep(args.init_cost_ms / 1000.0)
+
+    dims = tuple(int(d) for d in args.dims.split(",") if d)
+    np_dtype = np.dtype(args.dtype)
+    library = Pressio()
+    compressor = library.get_compressor(args.compressor)
+    if compressor is None:
+        print(f"unknown compressor {args.compressor}", file=sys.stderr)
+        return 2
+    config = json.loads(args.config)
+    if config and compressor.set_options(config) != 0:
+        print(f"bad options: {compressor.error_msg()}", file=sys.stderr)
+        return 3
+
+    if args.action == "compress":
+        arr = np.fromfile(args.input, dtype=np_dtype).reshape(dims)
+        compressed = compressor.compress(PressioData.from_numpy(arr, copy=False))
+        with open(args.output, "wb") as fh:
+            fh.write(compressed.to_bytes())
+    else:
+        with open(args.input, "rb") as fh:
+            stream = fh.read()
+        template = PressioData.empty(dtype_from_numpy(np_dtype), dims)
+        out = compressor.decompress(PressioData.from_bytes(stream), template)
+        np.ascontiguousarray(out.to_numpy()).tofile(args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

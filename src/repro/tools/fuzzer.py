@@ -1,0 +1,182 @@
+"""``pressio-fuzz``: random-input robustness testing for compressors.
+
+The LibPressio-Fuzz analog: throws randomized inputs (shapes, dtypes,
+value distributions, degenerate sizes) and randomly corrupted streams at
+a compressor, checking three invariants:
+
+1. compression either succeeds or fails with a *typed* PressioError —
+   never an unhandled crash;
+2. successful round trips honor the configured absolute error bound;
+3. decompressing corrupted streams never returns silently wrong shapes —
+   it either raises PressioError or produces a buffer of the right
+   dtype/dims (value corruption is expected; memory-unsafety analogs are
+   not).
+
+Because every compressor shares one interface, this single fuzzer covers
+the entire plugin ecosystem — the paper's 24-line fuzzer (Table II).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.library import Pressio
+from ..core.status import PressioError
+
+__all__ = ["FuzzReport", "fuzz_compressor", "main"]
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome counts of one fuzzing campaign."""
+
+    compressor_id: str
+    iterations: int = 0
+    ok: int = 0
+    clean_rejections: int = 0
+    corrupt_detected: int = 0
+    corrupt_survived: int = 0
+    bound_violations: list[str] = dataclasses.field(default_factory=list)
+    crashes: list[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.bound_violations or self.crashes)
+
+    def summary(self) -> str:
+        return (
+            f"{self.compressor_id}: {self.iterations} iterations, "
+            f"{self.ok} ok, {self.clean_rejections} clean rejections, "
+            f"{self.corrupt_detected} corruptions detected, "
+            f"{self.corrupt_survived} corruptions tolerated, "
+            f"{len(self.bound_violations)} bound violations, "
+            f"{len(self.crashes)} crashes"
+        )
+
+
+def _random_input(rng: np.random.Generator) -> tuple[np.ndarray, float]:
+    """A random array and a value scale for bound selection."""
+    ndim = int(rng.integers(1, 4))
+    dims = tuple(int(rng.integers(1, 20)) for _ in range(ndim))
+    kind = rng.integers(0, 4)
+    scale = float(10.0 ** rng.integers(-3, 4))
+    if kind == 0:
+        arr = rng.standard_normal(dims) * scale
+    elif kind == 1:
+        arr = np.zeros(dims)
+    elif kind == 2:
+        arr = rng.uniform(-scale, scale, size=dims)
+    else:
+        arr = np.full(dims, scale)
+    dtype = np.float32 if rng.integers(0, 2) else np.float64
+    return arr.astype(dtype), scale
+
+
+def fuzz_compressor(compressor_id: str, iterations: int = 100,
+                    seed: int = 0, corrupt_every: int = 5) -> FuzzReport:
+    """Run a fuzzing campaign against one compressor plugin."""
+    library = Pressio()
+    report = FuzzReport(compressor_id)
+    rng = np.random.default_rng(seed)
+    for i in range(iterations):
+        report.iterations += 1
+        compressor = library.get_compressor(compressor_id)
+        arr, scale = _random_input(rng)
+        bound = scale * float(10.0 ** rng.integers(-6, -1))
+        compressor.set_options({"pressio:abs": bound})
+        # only check the abs bound against plugins that advertise it —
+        # compressors with other bound families (relative-L2 tthresh,
+        # relative bit_grooming, ...) ignore pressio:abs by design
+        checks_abs_bound = "pressio:abs" in compressor.get_options()
+        data = PressioData.from_numpy(arr)
+        try:
+            compressed = compressor.compress(data)
+        except PressioError:
+            report.clean_rejections += 1
+            continue
+        except Exception as e:  # noqa: BLE001 - this is the fuzz target
+            report.crashes.append(
+                f"iter {i}: compress raised {type(e).__name__}: {e} "
+                f"(shape={arr.shape}, dtype={arr.dtype})"
+            )
+            continue
+
+        corrupt = corrupt_every and (i % corrupt_every == corrupt_every - 1)
+        stream = bytearray(compressed.to_bytes())
+        if corrupt and len(stream) > 0:
+            n_flips = int(rng.integers(1, 8))
+            for _ in range(n_flips):
+                pos = int(rng.integers(0, len(stream)))
+                stream[pos] ^= 1 << int(rng.integers(0, 8))
+        template = PressioData.empty(data.dtype, data.dims)
+        try:
+            out = compressor.decompress(
+                PressioData.from_bytes(bytes(stream)), template)
+        except PressioError:
+            if corrupt:
+                report.corrupt_detected += 1
+            else:
+                report.crashes.append(
+                    f"iter {i}: pristine stream rejected "
+                    f"(shape={arr.shape}, bound={bound})"
+                )
+            continue
+        except Exception as e:  # noqa: BLE001
+            report.crashes.append(
+                f"iter {i}: decompress raised {type(e).__name__}: {e} "
+                f"(corrupt={corrupt})"
+            )
+            continue
+
+        if corrupt:
+            # surviving corruption is acceptable iff the shape contract held
+            if out.dims == data.dims:
+                report.corrupt_survived += 1
+            else:
+                report.crashes.append(
+                    f"iter {i}: corrupted stream produced wrong dims "
+                    f"{out.dims} != {data.dims}"
+                )
+            continue
+
+        recon = np.asarray(out.to_numpy(), dtype=np.float64)
+        err = float(np.abs(recon - arr.astype(np.float64)).max()) \
+            if arr.size else 0.0
+        lossy = bool(compressor.get_configuration().get("pressio:lossy", True))
+        # float32 data quantized against a float64 bound can pick up one
+        # extra half-ulp at the magnitude of the values
+        slack = 1.0 + 1e-6
+        magnitude = float(np.abs(arr).max()) if arr.size else 0.0
+        extra = 2.0 * float(np.finfo(arr.dtype).eps) * magnitude
+        if lossy and checks_abs_bound and err > bound * slack + extra:
+            report.bound_violations.append(
+                f"iter {i}: err {err:.3g} > bound {bound:.3g} "
+                f"(shape={arr.shape}, dtype={arr.dtype})"
+            )
+        else:
+            report.ok += 1
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="pressio-fuzz", description=__doc__)
+    parser.add_argument("--compressor", "-z", required=True)
+    parser.add_argument("--iterations", "-n", type=int, default=100)
+    parser.add_argument("--seed", "-s", type=int, default=0)
+    parser.add_argument("--corrupt-every", type=int, default=5,
+                        help="corrupt every k-th stream (0 = never)")
+    args = parser.parse_args(argv)
+    report = fuzz_compressor(args.compressor, args.iterations, args.seed,
+                             args.corrupt_every)
+    print(report.summary())
+    for line in report.bound_violations + report.crashes:
+        print(" !", line)
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Pressio, PressioData
+from repro.datasets import hacc, hurricane_cloud, nyx, scale_letkf
+
+
+@pytest.fixture(scope="session")
+def library() -> Pressio:
+    return Pressio()
+
+
+@pytest.fixture(scope="session")
+def smooth3d() -> np.ndarray:
+    """A small smooth 3-D field every lossy compressor handles well."""
+    x = np.linspace(0.0, 4.0 * np.pi, 24)
+    field = (np.sin(x)[:, None, None]
+             * np.cos(x)[None, :, None]
+             * np.sin(0.5 * x)[None, None, :])
+    rng = np.random.default_rng(42)
+    return (field + 0.01 * rng.standard_normal(field.shape)).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def cloud_small() -> np.ndarray:
+    return hurricane_cloud((24, 24, 24))
+
+
+@pytest.fixture(scope="session")
+def nyx_small() -> np.ndarray:
+    return nyx((24, 24, 24))
+
+
+@pytest.fixture(scope="session")
+def hacc_small() -> np.ndarray:
+    return hacc(8192)
+
+
+@pytest.fixture(scope="session")
+def letkf_small() -> np.ndarray:
+    return scale_letkf((12, 24, 24))
+
+
+@pytest.fixture()
+def smooth_data(smooth3d) -> PressioData:
+    return PressioData.from_numpy(smooth3d)
+
+
+def roundtrip(compressor, array: np.ndarray) -> np.ndarray:
+    """Compress + decompress an ndarray through a plugin."""
+    data = PressioData.from_numpy(np.asarray(array))
+    compressed = compressor.compress(data)
+    template = PressioData.empty(data.dtype, data.dims)
+    out = compressor.decompress(compressed, template)
+    return np.asarray(out.to_numpy())
+
+
+@pytest.fixture(scope="session")
+def roundtrip_fn():
+    return roundtrip

@@ -1,0 +1,162 @@
+"""Tests for the PressioCompressor base contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CorruptStreamError,
+    DType,
+    Pressio,
+    PressioData,
+    PressioError,
+)
+from repro.core.configurable import ThreadSafety
+
+
+@pytest.fixture()
+def sz(library):
+    return library.get_compressor("sz")
+
+
+@pytest.fixture()
+def zfp(library):
+    return library.get_compressor("zfp")
+
+
+class TestStatusReporting:
+    def test_error_recorded_on_status(self, library):
+        mgard = library.get_compressor("mgard")
+        bad = PressioData.from_numpy(np.zeros((2, 2)))  # dims < 3
+        with pytest.raises(PressioError):
+            mgard.compress(bad)
+        assert mgard.error_code() != 0
+        assert "3" in mgard.error_msg()
+
+    def test_status_clears_on_next_success(self, library, smooth3d):
+        mgard = library.get_compressor("mgard")
+        with pytest.raises(PressioError):
+            mgard.compress(PressioData.from_numpy(np.zeros((2, 2))))
+        mgard.compress(PressioData.from_numpy(smooth3d))
+        assert mgard.error_code() == 0
+
+    def test_corrupt_stream_is_typed(self, sz, smooth3d):
+        compressed = sz.compress(PressioData.from_numpy(smooth3d))
+        garbage = PressioData.from_bytes(b"\x00" * 64)
+        with pytest.raises(CorruptStreamError):
+            sz.decompress(garbage, PressioData.empty(DType.DOUBLE,
+                                                     smooth3d.shape))
+        # pristine stream still works afterwards
+        out = sz.decompress(compressed,
+                            PressioData.empty(DType.DOUBLE, smooth3d.shape))
+        assert out.dims == smooth3d.shape
+
+
+class TestConstInput:
+    """Paper Section IV-B: the interface must not clobber user buffers."""
+
+    def test_input_unmodified_through_plugin(self, library, smooth3d):
+        from repro.native.sz import sz_params
+        import repro.compressors.sz as szmod
+
+        sz = library.get_compressor("sz")
+        original = smooth3d.copy()
+        sz.compress(PressioData.from_numpy(smooth3d, copy=False))
+        assert np.array_equal(smooth3d, original)
+
+    def test_native_clobber_demonstrated(self, smooth3d):
+        """Direct native use with clobberInput mutates the caller's data."""
+        from repro.native import sz as native_sz
+        from repro.native.sz import sz_params
+
+        victim = smooth3d.copy()
+        params = sz_params(absErrBound=1e-4, clobberInput=1)
+        native_sz.compress(victim, params)
+        assert not np.array_equal(victim, smooth3d)
+
+
+class TestMetricsHooks:
+    def test_metrics_observe_roundtrip(self, library, sz, smooth3d):
+        metrics = library.get_metric(["size", "error_stat"])
+        sz.set_metrics(metrics)
+        data = PressioData.from_numpy(smooth3d)
+        compressed = sz.compress(data)
+        sz.decompress(compressed, PressioData.empty(data.dtype, data.dims))
+        results = sz.get_metrics_results()
+        assert results.get("size:compression_ratio") > 1.0
+        assert results.get("error_stat:max_error") <= 1e-4 * 1.0001
+
+    def test_no_metrics_returns_empty_results(self, sz):
+        sz.set_metrics(None)
+        assert len(sz.get_metrics_results()) == 0
+
+    def test_detach_metrics(self, library, sz, smooth3d):
+        metrics = library.get_metric("size")
+        sz.set_metrics(metrics)
+        sz.compress(PressioData.from_numpy(smooth3d))
+        sz.set_metrics(None)
+        assert len(sz.get_metrics_results()) == 0
+
+
+class TestThreadSafetyIntrospection:
+    def test_sz_reports_single(self, sz):
+        cfg = sz.get_configuration()
+        assert cfg.get("pressio:thread_safe") == ThreadSafety.SINGLE
+        assert sz.is_shared_instance()
+
+    def test_zfp_reports_multiple(self, zfp):
+        cfg = zfp.get_configuration()
+        assert cfg.get("pressio:thread_safe") == ThreadSafety.MULTIPLE
+        assert not zfp.is_shared_instance()
+
+    def test_configuration_includes_version(self, sz):
+        assert sz.get_configuration().get("pressio:version")
+
+
+class TestRefcounting:
+    def test_incref_decref(self, library):
+        comp = library.get_compressor("sz")
+        assert comp.incref() == 2
+        assert comp.decref() == 1
+        assert comp.decref() == 0
+
+    def test_clone_is_independent(self, library):
+        a = library.get_compressor("zfp")
+        a.set_options({"zfp:accuracy": 1e-5})
+        b = a.clone()
+        b.set_options({"zfp:accuracy": 1e-2})
+        assert a.get_options().get("zfp:accuracy") == 1e-5
+        assert b.get_options().get("zfp:accuracy") == 1e-2
+
+
+class TestCompressMany:
+    def test_default_compress_many_sequential(self, library, smooth3d):
+        zfp = library.get_compressor("zfp")
+        inputs = [PressioData.from_numpy(smooth3d),
+                  PressioData.from_numpy(smooth3d * 2)]
+        streams = zfp.compress_many(inputs)
+        assert len(streams) == 2
+        outputs = [PressioData.empty(DType.DOUBLE, smooth3d.shape)
+                   for _ in inputs]
+        results = zfp.decompress_many(streams, outputs)
+        assert np.allclose(results[0].to_numpy(), smooth3d, atol=2e-3)
+        assert np.allclose(results[1].to_numpy(), smooth3d * 2, atol=2e-3)
+
+
+class TestOptionsValidation:
+    def test_set_options_bad_value_returns_error(self, sz):
+        rc = sz.set_options({"sz:error_bound_mode_str": "bogus"})
+        assert rc != 0
+        assert "bogus" in sz.error_msg()
+
+    def test_check_options_does_not_apply(self, sz):
+        sz.set_options({"sz:abs_err_bound": 1e-3})
+        rc = sz.check_options({"sz:abs_err_bound": 1e-9})
+        assert rc == 0
+        assert sz.get_options().get("sz:abs_err_bound") == 1e-3
+
+    def test_unknown_keys_ignored(self, sz):
+        assert sz.set_options({"unrelated:thing": 1}) == 0
+
+    def test_wrong_type_for_known_key_rejected(self, sz):
+        rc = sz.set_options({"sz:abs_err_bound": "not-a-number"})
+        assert rc != 0

@@ -1,0 +1,182 @@
+"""Tests for PressioData: construction, ownership, conversions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DType,
+    InvalidDimensionsError,
+    InvalidTypeError,
+    PressioData,
+)
+
+
+class TestConstruction:
+    def test_empty_describes_without_allocating(self):
+        data = PressioData.empty(DType.DOUBLE, (10, 20))
+        assert not data.has_data()
+        assert data.dims == (10, 20)
+        assert data.dtype == DType.DOUBLE
+        assert data.num_elements == 200
+
+    def test_empty_with_no_dims(self):
+        data = PressioData.empty(DType.BYTE)
+        assert data.dims == ()
+        assert data.num_elements == 0
+
+    def test_owning_zero_initialized(self):
+        data = PressioData.owning(DType.FLOAT, (4, 5))
+        arr = data.to_numpy()
+        assert arr.shape == (4, 5)
+        assert arr.dtype == np.float32
+        assert np.all(arr == 0)
+
+    def test_from_numpy_copies_by_default(self):
+        src = np.arange(12.0).reshape(3, 4)
+        data = PressioData.from_numpy(src)
+        src[0, 0] = 999.0
+        assert data.to_numpy()[0, 0] == 0.0
+
+    def test_from_numpy_nocopy_views(self):
+        src = np.arange(12.0).reshape(3, 4)
+        data = PressioData.from_numpy(src, copy=False)
+        src[0, 0] = 999.0
+        assert data.to_numpy()[0, 0] == 999.0
+
+    def test_move_calls_deleter_with_state(self):
+        calls = []
+        src = np.arange(6, dtype=np.int32)
+        data = PressioData.move(src, calls.append, state="mystate")
+        data.release()
+        assert calls == ["mystate"]
+
+    def test_move_deleter_idempotent(self):
+        calls = []
+        data = PressioData.move(np.zeros(3), calls.append, state=1)
+        data.release()
+        data.release()
+        assert calls == [1]
+
+    def test_from_bytes_is_byte_typed(self):
+        data = PressioData.from_bytes(b"hello")
+        assert data.dtype == DType.BYTE
+        assert data.dims == (5,)
+        assert data.to_bytes() == b"hello"
+
+    def test_dims_mismatch_raises(self):
+        with pytest.raises(InvalidDimensionsError):
+            PressioData(DType.DOUBLE, (10,), np.zeros(5))
+
+    def test_dtype_mismatch_raises(self):
+        with pytest.raises(InvalidTypeError):
+            PressioData(DType.FLOAT, (5,), np.zeros(5, dtype=np.float64))
+
+    def test_negative_dim_raises(self):
+        with pytest.raises(InvalidDimensionsError):
+            PressioData.empty(DType.FLOAT, (3, -1))
+
+
+class TestAccessors:
+    def test_get_dimension_in_and_out_of_range(self):
+        data = PressioData.empty(DType.FLOAT, (7, 8, 9))
+        assert data.get_dimension(0) == 7
+        assert data.get_dimension(2) == 9
+        assert data.get_dimension(3) == 0  # C API parity: 0, not error
+        assert data.get_dimension(-1) == 0
+
+    def test_size_in_bytes(self):
+        data = PressioData.owning(DType.DOUBLE, (10, 10))
+        assert data.size_in_bytes == 800
+
+    def test_num_dimensions(self):
+        assert PressioData.empty(DType.FLOAT, (2, 3, 4)).num_dimensions == 3
+
+
+class TestConversions:
+    def test_to_numpy_readonly_by_default(self):
+        data = PressioData.owning(DType.DOUBLE, (5,))
+        view = data.to_numpy()
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+    def test_to_numpy_writable_on_request(self):
+        data = PressioData.owning(DType.DOUBLE, (5,))
+        view = data.to_numpy(writable=True)
+        view[0] = 1.0
+        assert data.to_numpy()[0] == 1.0
+
+    def test_to_numpy_on_empty_raises(self):
+        with pytest.raises(InvalidTypeError):
+            PressioData.empty(DType.DOUBLE, (5,)).to_numpy()
+
+    def test_cast_converts_values(self):
+        data = PressioData.from_numpy(np.array([1.7, 2.2]))
+        casted = data.cast(DType.INT32)
+        assert casted.dtype == DType.INT32
+        assert list(casted.to_numpy()) == [1, 2]
+
+    def test_reshape_preserves_elements(self):
+        data = PressioData.from_numpy(np.arange(12.0))
+        reshaped = data.reshape((3, 4))
+        assert reshaped.dims == (3, 4)
+        assert np.array_equal(reshaped.to_numpy().reshape(-1),
+                              np.arange(12.0))
+
+    def test_reshape_element_count_mismatch_raises(self):
+        data = PressioData.from_numpy(np.arange(12.0))
+        with pytest.raises(InvalidDimensionsError):
+            data.reshape((5, 5))
+
+    def test_clone_is_independent(self):
+        data = PressioData.from_numpy(np.zeros(4))
+        dup = data.clone()
+        data.to_numpy(writable=True)[0] = 7.0
+        assert dup.to_numpy()[0] == 0.0
+
+    def test_clone_of_empty(self):
+        dup = PressioData.empty(DType.FLOAT, (3,)).clone()
+        assert not dup.has_data()
+        assert dup.dims == (3,)
+
+    def test_to_bytes_roundtrip(self):
+        arr = np.arange(10, dtype=np.uint16)
+        data = PressioData.from_numpy(arr)
+        back = np.frombuffer(data.to_bytes(), dtype=np.uint16)
+        assert np.array_equal(back, arr)
+
+
+class TestEquality:
+    def test_equal_data(self):
+        a = PressioData.from_numpy(np.arange(5.0))
+        b = PressioData.from_numpy(np.arange(5.0))
+        assert a == b
+
+    def test_unequal_values(self):
+        a = PressioData.from_numpy(np.arange(5.0))
+        b = PressioData.from_numpy(np.arange(5.0) + 1)
+        assert a != b
+
+    def test_unequal_dims(self):
+        a = PressioData.from_numpy(np.zeros((2, 3)))
+        b = PressioData.from_numpy(np.zeros(6))
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(PressioData.from_numpy(np.zeros(2)))
+
+
+class TestMmap(object):
+    def test_from_file_mmap(self, tmp_path):
+        arr = np.arange(24.0)
+        path = tmp_path / "data.bin"
+        arr.tofile(path)
+        data = PressioData.from_file_mmap(str(path), DType.DOUBLE, (4, 6))
+        assert np.array_equal(data.to_numpy(), arr.reshape(4, 6))
+        data.release()
+
+    def test_from_file_mmap_too_small_raises(self, tmp_path):
+        path = tmp_path / "small.bin"
+        np.arange(4.0).tofile(path)
+        with pytest.raises(InvalidDimensionsError):
+            PressioData.from_file_mmap(str(path), DType.DOUBLE, (100,))

@@ -1,0 +1,88 @@
+"""Tests for memory domains and the Status/error machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CallbackDomain,
+    ErrorCode,
+    InvalidOptionError,
+    MallocDomain,
+    MmapDomain,
+    NonOwningDomain,
+    PressioError,
+    Status,
+)
+from repro.core.status import BoundExceededError, CorruptStreamError
+
+
+class TestDomains:
+    def test_malloc_owns(self):
+        assert MallocDomain().owns_memory
+
+    def test_nonowning_does_not_own(self):
+        assert not NonOwningDomain().owns_memory
+
+    def test_callback_domain_invokes_once(self):
+        calls = []
+        domain = CallbackDomain(calls.append, state="s")
+        domain.release()
+        domain.release()
+        assert calls == ["s"]
+
+    def test_mmap_domain_maps_and_releases(self, tmp_path):
+        path = tmp_path / "f.bin"
+        np.arange(10.0).tofile(path)
+        domain, view = MmapDomain.map_file(path)
+        arr = np.frombuffer(view, dtype=np.float64)
+        assert arr[3] == 3.0
+        del arr, view
+        domain.release()
+        domain.release()  # idempotent
+
+    def test_mmap_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.touch()
+        with pytest.raises(PressioError):
+            MmapDomain.map_file(path)
+
+
+class TestStatus:
+    def test_initially_ok(self):
+        s = Status()
+        assert s.ok
+        assert s.code == ErrorCode.SUCCESS
+
+    def test_set_from_pressio_error(self):
+        s = Status()
+        s.set_from(InvalidOptionError("bad"))
+        assert s.code == ErrorCode.INVALID_OPTION
+        assert s.msg == "bad"
+
+    def test_set_from_foreign_exception(self):
+        s = Status()
+        s.set_from(RuntimeError("boom"))
+        assert s.code == ErrorCode.GENERAL
+        assert "boom" in s.msg
+
+    def test_clear(self):
+        s = Status()
+        s.set(ErrorCode.IO_ERROR, "x")
+        s.clear()
+        assert s.ok
+
+
+class TestErrorHierarchy:
+    def test_default_codes(self):
+        assert InvalidOptionError("x").code == ErrorCode.INVALID_OPTION
+        assert CorruptStreamError("x").code == ErrorCode.CORRUPT_STREAM
+        assert BoundExceededError("x").code == ErrorCode.BOUND_EXCEEDED
+
+    def test_explicit_code_override(self):
+        err = PressioError("x", ErrorCode.IO_ERROR)
+        assert err.code == ErrorCode.IO_ERROR
+
+    def test_all_are_pressio_errors(self):
+        for cls in (InvalidOptionError, CorruptStreamError,
+                    BoundExceededError):
+            assert issubclass(cls, PressioError)

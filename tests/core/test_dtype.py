@@ -1,0 +1,89 @@
+"""Tests for the pressio dtype enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.core import DType, InvalidTypeError, dtype_from_numpy, dtype_size, dtype_to_numpy
+
+
+class TestDTypeMapping:
+    @pytest.mark.parametrize("dtype,np_dtype", [
+        (DType.INT8, np.int8),
+        (DType.INT16, np.int16),
+        (DType.INT32, np.int32),
+        (DType.INT64, np.int64),
+        (DType.UINT8, np.uint8),
+        (DType.UINT16, np.uint16),
+        (DType.UINT32, np.uint32),
+        (DType.UINT64, np.uint64),
+        (DType.FLOAT, np.float32),
+        (DType.DOUBLE, np.float64),
+        (DType.BYTE, np.uint8),
+        (DType.BOOL, np.bool_),
+    ])
+    def test_to_numpy(self, dtype, np_dtype):
+        assert dtype_to_numpy(dtype) == np.dtype(np_dtype)
+
+    @pytest.mark.parametrize("np_dtype,expected", [
+        (np.float32, DType.FLOAT),
+        (np.float64, DType.DOUBLE),
+        (np.int32, DType.INT32),
+        (np.uint64, DType.UINT64),
+        ("int16", DType.INT16),
+        (bool, DType.BOOL),
+    ])
+    def test_from_numpy(self, np_dtype, expected):
+        assert dtype_from_numpy(np_dtype) == expected
+
+    def test_roundtrip_all_numeric(self):
+        for dtype in DType:
+            if dtype == DType.BYTE:
+                continue  # BYTE aliases uint8 and cannot round trip
+            assert dtype_from_numpy(dtype_to_numpy(dtype)) == dtype
+
+    def test_byte_maps_to_uint8(self):
+        assert dtype_to_numpy(DType.BYTE) == np.dtype(np.uint8)
+
+    def test_unsupported_numpy_dtype_raises(self):
+        with pytest.raises(InvalidTypeError):
+            dtype_from_numpy(np.complex128)
+
+    def test_invalid_enum_value_raises(self):
+        with pytest.raises(InvalidTypeError):
+            dtype_to_numpy(999)
+
+
+class TestDTypeProperties:
+    def test_floating_classification(self):
+        assert DType.FLOAT.is_floating
+        assert DType.DOUBLE.is_floating
+        assert not DType.INT32.is_floating
+
+    def test_signed_classification(self):
+        assert DType.INT8.is_signed
+        assert not DType.UINT8.is_signed
+        assert not DType.FLOAT.is_signed
+
+    def test_unsigned_includes_byte(self):
+        assert DType.BYTE.is_unsigned
+        assert DType.UINT32.is_unsigned
+
+    def test_integer_classification(self):
+        assert DType.INT64.is_integer
+        assert DType.UINT16.is_integer
+        assert not DType.DOUBLE.is_integer
+
+    @pytest.mark.parametrize("dtype,size", [
+        (DType.INT8, 1), (DType.INT16, 2), (DType.INT32, 4),
+        (DType.INT64, 8), (DType.FLOAT, 4), (DType.DOUBLE, 8),
+        (DType.BYTE, 1),
+    ])
+    def test_sizes(self, dtype, size):
+        assert dtype_size(dtype) == size
+
+    def test_enum_values_are_stable(self):
+        """Serialized into stream headers: renumbering breaks streams."""
+        assert int(DType.INT8) == 0
+        assert int(DType.FLOAT) == 8
+        assert int(DType.DOUBLE) == 9
+        assert int(DType.BYTE) == 10

@@ -1,0 +1,196 @@
+"""Tests for the typed options system (paper Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CastLevel,
+    InvalidOptionError,
+    Option,
+    OptionType,
+    PressioData,
+    PressioOptions,
+)
+
+
+class TestOptionTypeInference:
+    @pytest.mark.parametrize("value,expected", [
+        (True, OptionType.BOOL),
+        (3, OptionType.INT64),
+        (3.5, OptionType.DOUBLE),
+        ("abs", OptionType.STRING),
+        (["a", "b"], OptionType.STRING_LIST),
+        (None, OptionType.UNSET),
+        (np.int32(5), OptionType.INT32),
+        (np.uint16(5), OptionType.UINT16),
+        (np.float32(1.0), OptionType.FLOAT),
+        (np.float64(1.0), OptionType.DOUBLE),
+    ])
+    def test_inference(self, value, expected):
+        assert Option(value).type == expected
+
+    def test_pressio_data_infers_data_type(self):
+        data = PressioData.from_numpy(np.zeros(3))
+        assert Option(data).type == OptionType.DATA
+
+    def test_opaque_object_infers_userptr(self):
+        class FakeComm:
+            pass
+
+        assert Option(FakeComm()).type == OptionType.USERPTR
+
+    def test_explicit_type_overrides_inference(self):
+        opt = Option(3, OptionType.UINT8)
+        assert opt.type == OptionType.UINT8
+        assert opt.get() == 3
+
+
+class TestOptionValues:
+    def test_unset_has_type_but_no_value(self):
+        opt = Option.unset(OptionType.DOUBLE)
+        assert opt.type == OptionType.DOUBLE
+        assert not opt.has_value()
+
+    def test_out_of_range_int_raises(self):
+        with pytest.raises(InvalidOptionError):
+            Option(300, OptionType.INT8)
+
+    def test_negative_to_unsigned_raises(self):
+        with pytest.raises(InvalidOptionError):
+            Option(-1, OptionType.UINT32)
+
+    def test_wrong_type_string_raises(self):
+        with pytest.raises(InvalidOptionError):
+            Option(42, OptionType.STRING)
+
+    def test_string_list_rejects_non_strings(self):
+        with pytest.raises(InvalidOptionError):
+            Option([1, 2], OptionType.STRING_LIST)
+
+    def test_float_stores_float32_precision(self):
+        opt = Option(1.0 / 3.0, OptionType.FLOAT)
+        assert opt.get() == pytest.approx(float(np.float32(1.0 / 3.0)))
+
+    def test_userptr_stores_anything(self):
+        sentinel = object()
+        opt = Option(sentinel, OptionType.USERPTR)
+        assert opt.get() is sentinel
+
+
+class TestCasts:
+    def test_explicit_widening_int32_to_int64(self):
+        assert Option(5, OptionType.INT32).cast(OptionType.INT64).get() == 5
+
+    def test_explicit_float_to_double(self):
+        opt = Option(1.5, OptionType.FLOAT).cast(OptionType.DOUBLE)
+        assert opt.type == OptionType.DOUBLE
+
+    def test_explicit_narrowing_rejected(self):
+        with pytest.raises(InvalidOptionError):
+            Option(5, OptionType.INT64).cast(OptionType.INT32,
+                                             CastLevel.EXPLICIT)
+
+    def test_implicit_narrowing_exact_value_ok(self):
+        opt = Option(5, OptionType.INT64).cast(OptionType.INT32,
+                                               CastLevel.IMPLICIT)
+        assert opt.get() == 5
+        assert opt.type == OptionType.INT32
+
+    def test_implicit_narrowing_lossy_rejected(self):
+        with pytest.raises(InvalidOptionError):
+            Option(1.5, OptionType.DOUBLE).cast(OptionType.INT32,
+                                                CastLevel.IMPLICIT)
+
+    def test_implicit_double_to_int_when_integral(self):
+        opt = Option(3.0, OptionType.DOUBLE).cast(OptionType.INT64,
+                                                  CastLevel.IMPLICIT)
+        assert opt.get() == 3
+
+    def test_string_to_numeric_rejected(self):
+        with pytest.raises(InvalidOptionError):
+            Option("1.5", OptionType.STRING).cast(OptionType.DOUBLE,
+                                                  CastLevel.IMPLICIT)
+
+    def test_cast_unset_rejected(self):
+        with pytest.raises(InvalidOptionError):
+            Option.unset(OptionType.INT32).cast(OptionType.INT64)
+
+    def test_uint8_widens_to_many(self):
+        for target in (OptionType.INT16, OptionType.UINT64,
+                       OptionType.DOUBLE):
+            assert Option(200, OptionType.UINT8).cast(target).get() == 200
+
+
+class TestPressioOptions:
+    def test_set_get_roundtrip(self):
+        opts = PressioOptions()
+        opts.set("sz:abs_err_bound", 0.5)
+        assert opts.get("sz:abs_err_bound") == 0.5
+
+    def test_get_default_when_missing(self):
+        assert PressioOptions().get("nope", 7) == 7
+
+    def test_constructor_from_mapping(self):
+        opts = PressioOptions({"a": 1, "b": "x"})
+        assert opts.get("a") == 1
+        assert opts.get("b") == "x"
+
+    def test_key_status_states(self):
+        opts = PressioOptions()
+        assert opts.key_status("k") == "key_does_not_exist"
+        opts.set_type("k", OptionType.DOUBLE)
+        assert opts.key_status("k") == "key_exists"
+        opts.set("k", 1.0)
+        assert opts.key_status("k") == "key_set"
+
+    def test_get_as_casts(self):
+        opts = PressioOptions({"n": 5})
+        assert opts.get_as("n", OptionType.INT32) == 5
+
+    def test_get_as_missing_raises(self):
+        with pytest.raises(InvalidOptionError):
+            PressioOptions().get_as("missing", OptionType.INT32)
+
+    def test_merge_right_takes_precedence(self):
+        a = PressioOptions({"x": 1, "y": 2})
+        b = PressioOptions({"y": 3, "z": 4})
+        merged = a.merge(b)
+        assert merged.get("x") == 1
+        assert merged.get("y") == 3
+        assert merged.get("z") == 4
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = PressioOptions({"x": 1})
+        b = PressioOptions({"x": 2})
+        a.merge(b)
+        assert a.get("x") == 1
+
+    def test_subset_by_prefix(self):
+        opts = PressioOptions({"sz:a": 1, "sz:b": 2, "zfp:c": 3})
+        sub = opts.subset("sz:")
+        assert set(sub.keys()) == {"sz:a", "sz:b"}
+
+    def test_clear_removes(self):
+        opts = PressioOptions({"a": 1})
+        opts.clear("a")
+        assert "a" not in opts
+
+    def test_copy_is_shallow_but_independent(self):
+        opts = PressioOptions({"a": 1})
+        dup = opts.copy()
+        dup.set("a", 2)
+        assert opts.get("a") == 1
+
+    def test_len_and_iter(self):
+        opts = PressioOptions({"a": 1, "b": 2})
+        assert len(opts) == 2
+        assert sorted(opts) == ["a", "b"]
+
+    def test_to_dict_skips_unset(self):
+        opts = PressioOptions({"a": 1})
+        opts.set_type("b", OptionType.DOUBLE)
+        assert opts.to_dict() == {"a": 1}
+
+    def test_equality(self):
+        assert PressioOptions({"a": 1}) == PressioOptions({"a": 1})
+        assert PressioOptions({"a": 1}) != PressioOptions({"a": 2})

@@ -1,0 +1,146 @@
+"""Tests for plugin registries, third-party extension, and the Pressio handle."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DType,
+    Pressio,
+    PressioCompressor,
+    PressioData,
+    PressioOptions,
+    UnsupportedPluginError,
+    compressor_registry,
+    register_compressor,
+)
+from repro.core.registry import Registry
+
+
+class TestRegistry:
+    def test_register_and_create(self):
+        reg = Registry("test")
+        reg.register("x", list)
+        assert isinstance(reg.create("x"), list)
+
+    def test_unknown_id_raises_with_known_list(self):
+        reg = Registry("test")
+        reg.register("alpha", list)
+        with pytest.raises(UnsupportedPluginError, match="alpha"):
+            reg.create("beta")
+
+    def test_duplicate_registration_refused(self):
+        reg = Registry("test")
+        reg.register("x", list)
+        with pytest.raises(ValueError):
+            reg.register("x", dict)
+
+    def test_replace_allows_shadowing(self):
+        reg = Registry("test")
+        reg.register("x", list)
+        reg.register("x", dict, replace=True)
+        assert isinstance(reg.create("x"), dict)
+
+    def test_unregister(self):
+        reg = Registry("test")
+        reg.register("x", list)
+        reg.unregister("x")
+        assert "x" not in reg
+
+    def test_ids_sorted(self):
+        reg = Registry("test")
+        for name in ("b", "a", "c"):
+            reg.register(name, list)
+        assert reg.ids() == ["a", "b", "c"]
+
+    def test_len_and_contains(self):
+        reg = Registry("test")
+        reg.register("x", list)
+        assert len(reg) == 1
+        assert "x" in reg
+
+
+class TestThirdPartyExtension:
+    """The Table I 'third party extensions' feature."""
+
+    def test_custom_compressor_usable_through_library(self):
+        class NegateCompressor(PressioCompressor):
+            """Third-party demo: stores the negated values verbatim."""
+
+            plugin_id = "test-negate"
+
+            def _compress(self, input):
+                arr = -np.asarray(input.to_numpy(), dtype=np.float64)
+                return PressioData.from_bytes(arr.tobytes())
+
+            def _decompress(self, input, output):
+                arr = -np.frombuffer(input.to_bytes(), dtype=np.float64)
+                return PressioData.from_numpy(arr.reshape(output.dims))
+
+        register_compressor("test-negate", NegateCompressor, replace=True)
+        try:
+            library = Pressio()
+            comp = library.get_compressor("test-negate")
+            assert comp is not None
+            src = np.arange(6.0).reshape(2, 3)
+            out = comp.decompress(
+                comp.compress(PressioData.from_numpy(src)),
+                PressioData.empty(DType.DOUBLE, (2, 3)),
+            )
+            assert np.array_equal(out.to_numpy(), src)
+            assert "test-negate" in library.supported_compressors()
+        finally:
+            compressor_registry.unregister("test-negate")
+
+
+class TestPressioHandle:
+    def test_version_info(self, library):
+        assert library.version() == "0.70.4"
+        assert library.major_version() == 0
+        assert library.minor_version() == 70
+        assert library.patch_version() == 4
+
+    def test_unknown_compressor_sets_status(self, library):
+        assert library.get_compressor("no-such-thing") is None
+        assert library.error_code() != 0
+        assert "no-such-thing" in library.error_msg()
+
+    def test_status_clears_on_success(self, library):
+        library.get_compressor("does-not-exist")
+        assert library.get_compressor("noop") is not None
+        assert library.error_code() == 0
+
+    def test_get_metric_single_and_composite(self, library):
+        single = library.get_metric("size")
+        assert single is not None
+        multi = library.get_metric(["size", "time"])
+        assert multi is not None
+        assert hasattr(multi, "plugins")
+
+    def test_unknown_metric_sets_status(self, library):
+        assert library.get_metric("no-such-metric") is None
+        assert library.error_code() != 0
+
+    def test_unknown_io_sets_status(self, library):
+        assert library.get_io("no-such-io") is None
+        assert library.error_code() != 0
+
+    def test_expected_plugins_present(self, library):
+        compressors = library.supported_compressors()
+        for expected in ("sz", "zfp", "mgard", "fpzip", "zlib", "noop",
+                         "transpose", "chunking", "opt", "switch"):
+            assert expected in compressors
+        metrics = library.supported_metrics()
+        for expected in ("size", "time", "error_stat", "pearson", "ks_test"):
+            assert expected in metrics
+        io = library.supported_io()
+        for expected in ("posix", "numpy", "csv", "iota", "hdf5mini"):
+            assert expected in io
+
+    def test_features_for_table1(self, library):
+        feats = library.features()
+        for key in ("pressio:lossless", "pressio:lossy",
+                    "pressio:nd_data_aware", "pressio:datatype_aware",
+                    "pressio:embeddable", "pressio:arbitrary_configuration",
+                    "pressio:option_introspection",
+                    "pressio:third_party_extensions"):
+            assert feats.get(key) is True

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the frozen golden streams for test_stream_stability.
+
+Run deliberately after an *intentional* stream-format change (and bump
+the format version byte in repro.encoders.headers first):
+
+    python tests/integration/regenerate_golden.py
+"""
+
+import base64
+import json
+import os
+import zlib
+
+from repro.native import fpzip as native_fpzip
+from repro.native import mgard as native_mgard
+from repro.native import sz as native_sz
+from repro.native import zfp as native_zfp
+from repro.native.sz import sz_params
+
+
+def main() -> None:
+    from test_stream_stability import golden_input
+
+    data = golden_input()
+
+    def pack(stream: bytes) -> str:
+        return base64.b64encode(zlib.compress(stream, 9)).decode("ascii")
+
+    blobs = {
+        "sz": pack(native_sz.compress(data.copy(),
+                                      sz_params(absErrBound=1e-6))),
+        "zfp": pack(native_zfp.compress(data, native_zfp.MODE_ACCURACY,
+                                        1e-6)),
+        "mgard": pack(native_mgard.compress(data, 1e-6)),
+        "fpzip": pack(native_fpzip.compress(data)),
+    }
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "golden_streams.json")
+    with open(path, "w") as fh:
+        json.dump(blobs, fh, indent=1)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    main()

@@ -1,0 +1,116 @@
+"""Concurrency stress tests: the thread-safety contracts under load."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DType, PressioData
+
+
+class TestConcurrentCompression:
+    def test_threadsafe_sz_clones_under_contention(self, library, smooth3d):
+        """Many threads, each with a clone, different bounds — results
+        must match what each clone would produce alone."""
+        base = library.get_compressor("sz_threadsafe")
+        bounds = [10.0 ** -(k % 5 + 2) for k in range(12)]
+        results: list[bytes | None] = [None] * len(bounds)
+        errors: list[Exception] = []
+
+        def work(idx: int) -> None:
+            try:
+                comp = base.clone()
+                assert comp.set_options({"pressio:abs": bounds[idx]}) == 0
+                data = PressioData.from_numpy(smooth3d)
+                for _ in range(3):  # repeat to increase interleaving
+                    stream = comp.compress(data)
+                results[idx] = stream.to_bytes()
+            except Exception as e:  # noqa: BLE001
+                errors.append(e)
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(len(bounds))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+        # every thread's stream matches a serial run at the same bound
+        for idx, bound in enumerate(bounds):
+            ref = library.get_compressor("sz_threadsafe")
+            ref.set_options({"pressio:abs": bound})
+            expected = ref.compress(
+                PressioData.from_numpy(smooth3d)).to_bytes()
+            assert results[idx] == expected, f"thread {idx} diverged"
+
+    def test_zfp_shared_instance_reentrant(self, library, smooth3d):
+        """zfp advertises multiple: one instance, many threads."""
+        comp = library.get_compressor("zfp")
+        comp.set_options({"zfp:accuracy": 1e-4})
+        data = PressioData.from_numpy(smooth3d)
+        outputs: list[bytes] = []
+        lock = threading.Lock()
+        errors: list[Exception] = []
+
+        def work() -> None:
+            try:
+                for _ in range(5):
+                    stream = comp.compress(data).to_bytes()
+                    with lock:
+                        outputs.append(stream)
+            except Exception as e:  # noqa: BLE001
+                errors.append(e)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(set(outputs)) == 1  # deterministic under contention
+
+    def test_decompress_under_contention(self, library, smooth3d):
+        comp = library.get_compressor("zfp")
+        comp.set_options({"zfp:accuracy": 1e-4})
+        data = PressioData.from_numpy(smooth3d)
+        stream = comp.compress(data)
+        errors: list[Exception] = []
+
+        def work() -> None:
+            try:
+                for _ in range(5):
+                    out = comp.decompress(
+                        stream, PressioData.empty(DType.DOUBLE,
+                                                  smooth3d.shape))
+                    err = np.abs(np.asarray(out.to_numpy())
+                                 - smooth3d).max()
+                    assert err <= 1e-4 * (1 + 1e-9)
+            except Exception as e:  # noqa: BLE001
+                errors.append(e)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_registry_concurrent_creation(self, library):
+        """Plugin creation is thread safe (shared registry lock)."""
+        errors: list[Exception] = []
+
+        def work() -> None:
+            try:
+                for cid in ("sz", "zfp", "mgard", "zlib", "noop"):
+                    comp = library.get_compressor(cid)
+                    assert comp is not None
+            except Exception as e:  # noqa: BLE001
+                errors.append(e)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

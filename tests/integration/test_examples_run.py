@@ -1,0 +1,32 @@
+"""Every top-level example must run to completion.
+
+Examples are documentation that executes; this keeps them from rotting.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "climate_analysis.py",
+    "parallel_timesteps.py",
+    "autotuning.py",
+    "io_integration.py",
+    "streaming_and_sparse.py",
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=420)
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{name} produced no output"

@@ -1,0 +1,172 @@
+"""Tests for the hdf5mini and adios_mini container substrates."""
+
+import numpy as np
+import pytest
+
+from repro.core import DType, IOError_, PressioData
+from repro.io.adios_mini import AdiosMiniIOSystem
+from repro.io.hdf5mini import Hdf5MiniFile
+
+
+class TestHdf5MiniFile:
+    def test_create_and_read_plain(self, tmp_path, smooth3d):
+        path = str(tmp_path / "f.h5m")
+        with Hdf5MiniFile(path, "w") as f:
+            f.create_dataset("temp", smooth3d)
+        out = Hdf5MiniFile(path).read_dataset("temp")
+        assert np.array_equal(out, smooth3d)
+
+    def test_multiple_datasets(self, tmp_path):
+        path = str(tmp_path / "multi.h5m")
+        a = np.arange(10.0)
+        b = np.arange(6, dtype=np.int32).reshape(2, 3)
+        with Hdf5MiniFile(path, "w") as f:
+            f.create_dataset("a", a)
+            f.create_dataset("b", b)
+        f = Hdf5MiniFile(path)
+        assert f.dataset_names() == ["a", "b"]
+        assert np.array_equal(f.read_dataset("a"), a)
+        assert np.array_equal(f.read_dataset("b"), b)
+        assert f.info("b").dtype == DType.INT32
+
+    def test_filter_pipeline_with_any_compressor(self, tmp_path, smooth3d):
+        """The HDF5-filter integration: one filter, every compressor."""
+        path = str(tmp_path / "filt.h5m")
+        with Hdf5MiniFile(path, "w") as f:
+            f.create_dataset("sz_field", smooth3d, filter="sz",
+                             filter_options={"pressio:abs": 1e-4})
+            f.create_dataset("zfp_field", smooth3d, filter="zfp",
+                             filter_options={"zfp:accuracy": 1e-4})
+            f.create_dataset("zlib_field", smooth3d, filter="zlib")
+        f = Hdf5MiniFile(path)
+        assert np.abs(f.read_dataset("sz_field")
+                      - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+        assert np.abs(f.read_dataset("zfp_field")
+                      - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+        assert np.array_equal(f.read_dataset("zlib_field"), smooth3d)
+
+    def test_filter_shrinks_payload(self, tmp_path, smooth3d):
+        path = str(tmp_path / "size.h5m")
+        with Hdf5MiniFile(path, "w") as f:
+            f.create_dataset("raw", smooth3d)
+            f.create_dataset("packed", smooth3d, filter="sz",
+                             filter_options={"pressio:abs": 1e-3})
+        f = Hdf5MiniFile(path)
+        assert f.info("packed").payload_len < f.info("raw").payload_len / 5
+
+    def test_attrs_roundtrip(self, tmp_path):
+        path = str(tmp_path / "attrs.h5m")
+        with Hdf5MiniFile(path, "w") as f:
+            f.attrs["experiment"] = "run-42"
+            f.create_dataset("d", np.zeros(3), attrs={"units": "K"})
+        f = Hdf5MiniFile(path)
+        assert f.attrs["experiment"] == "run-42"
+        assert f.info("d").attrs["units"] == "K"
+
+    def test_append_mode(self, tmp_path):
+        path = str(tmp_path / "append.h5m")
+        with Hdf5MiniFile(path, "w") as f:
+            f.create_dataset("first", np.arange(3.0))
+        with Hdf5MiniFile(path, "a") as f:
+            f.create_dataset("second", np.arange(4.0))
+        f = Hdf5MiniFile(path)
+        assert f.dataset_names() == ["first", "second"]
+
+    def test_missing_dataset_raises(self, tmp_path):
+        path = str(tmp_path / "m.h5m")
+        with Hdf5MiniFile(path, "w") as f:
+            f.create_dataset("x", np.zeros(2))
+        with pytest.raises(IOError_, match="x"):
+            Hdf5MiniFile(path).read_dataset("y")
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(IOError_):
+            Hdf5MiniFile(str(tmp_path / "nope.h5m"), "r")
+
+    def test_write_to_readonly_raises(self, tmp_path):
+        path = str(tmp_path / "ro.h5m")
+        with Hdf5MiniFile(path, "w") as f:
+            f.create_dataset("x", np.zeros(2))
+        f = Hdf5MiniFile(path, "r")
+        with pytest.raises(IOError_, match="read-only"):
+            f.create_dataset("y", np.zeros(2))
+
+
+class TestHdf5MiniIOPlugin:
+    def test_io_plugin_roundtrip_with_filter(self, library, tmp_path,
+                                             smooth3d):
+        path = str(tmp_path / "io.h5m")
+        io = library.get_io("hdf5mini")
+        io.set_options({
+            "io:path": path,
+            "hdf5:dataset": "field",
+            "hdf5:filter": "zfp",
+            "hdf5:filter_config_json": '{"zfp:accuracy": 1e-3}',
+        })
+        io.write(PressioData.from_numpy(smooth3d))
+        reader = library.get_io("hdf5mini")
+        reader.set_options({"io:path": path, "hdf5:dataset": "field"})
+        out = reader.read()
+        assert np.abs(np.asarray(out.to_numpy())
+                      - smooth3d).max() <= 1e-3 * (1 + 1e-9)
+
+
+class TestAdiosMini:
+    def test_step_based_write_read(self, tmp_path, smooth3d):
+        system = AdiosMiniIOSystem()
+        var = system.define_variable("temperature", np.float64,
+                                     smooth3d.shape)
+        path = str(tmp_path / "sim.bp")
+        with system.open(path, "w") as engine:
+            for step in range(3):
+                engine.begin_step()
+                engine.put(var, smooth3d + step)
+                engine.end_step()
+        reader = system.open(path, "r")
+        assert reader.steps() == 3
+        for step in range(3):
+            out = reader.get("temperature", step)
+            assert np.array_equal(out, smooth3d + step)
+
+    def test_operator_compresses_steps(self, tmp_path, smooth3d):
+        """The ADIOS2-operator integration path from Table II."""
+        system = AdiosMiniIOSystem()
+        var = system.define_variable("rho", np.float64, smooth3d.shape)
+        var.add_operation("sz", {"pressio:abs": 1e-4})
+        path = str(tmp_path / "op.bp")
+        with system.open(path, "w") as engine:
+            engine.begin_step()
+            engine.put(var, smooth3d)
+            engine.end_step()
+        out = system.open(path, "r").get("rho", 0)
+        assert np.abs(out - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        system = AdiosMiniIOSystem()
+        var = system.define_variable("v", np.float64, (4, 4))
+        with system.open(str(tmp_path / "x.bp"), "w") as engine:
+            engine.begin_step()
+            with pytest.raises(IOError_, match="expects"):
+                engine.put(var, np.zeros((2, 2)))
+            engine.end_step()
+
+    def test_inquire_variable(self):
+        system = AdiosMiniIOSystem()
+        system.define_variable("v", np.float32, (8,))
+        assert system.inquire_variable("v").dtype == np.float32
+        assert system.inquire_variable("w") is None
+
+    def test_read_missing_dataset_raises(self, tmp_path):
+        system = AdiosMiniIOSystem()
+        with pytest.raises(IOError_):
+            system.open(str(tmp_path / "missing.bp"), "r")
+
+    def test_io_plugin_roundtrip(self, library, tmp_path, smooth3d):
+        path = str(tmp_path / "plug.bp")
+        io = library.get_io("adios_mini")
+        io.set_options({"io:path": path, "adios:variable": "f",
+                        "adios:operator": "zlib"})
+        io.write(PressioData.from_numpy(smooth3d))
+        reader = library.get_io("adios_mini")
+        reader.set_options({"io:path": path, "adios:variable": "f"})
+        assert np.array_equal(np.asarray(reader.read().to_numpy()), smooth3d)

@@ -1,0 +1,190 @@
+"""Tests for the IO plugins: posix, mmap, numpy, csv, iota, select, noop."""
+
+import numpy as np
+import pytest
+
+from repro.core import DType, IOError_, PressioData
+
+
+class TestPosixIO:
+    def test_write_read_typed(self, library, tmp_path, smooth3d):
+        io = library.get_io("posix")
+        path = str(tmp_path / "data.bin")
+        io.set_options({"io:path": path})
+        io.write(PressioData.from_numpy(smooth3d))
+        template = PressioData.empty(DType.DOUBLE, smooth3d.shape)
+        out = io.read(template)
+        assert np.array_equal(out.to_numpy(), smooth3d)
+
+    def test_read_untyped_returns_bytes(self, library, tmp_path):
+        io = library.get_io("posix")
+        path = tmp_path / "raw.bin"
+        path.write_bytes(b"\x01\x02\x03")
+        io.set_options({"io:path": str(path)})
+        out = io.read()
+        assert out.dtype == DType.BYTE
+        assert out.to_bytes() == b"\x01\x02\x03"
+
+    def test_missing_path_option_raises(self, library):
+        with pytest.raises(IOError_, match="io:path"):
+            library.get_io("posix").read()
+
+    def test_missing_file_raises(self, library, tmp_path):
+        io = library.get_io("posix")
+        io.set_options({"io:path": str(tmp_path / "nope.bin")})
+        with pytest.raises(IOError_, match="no such file"):
+            io.read()
+
+    def test_size_mismatch_raises(self, library, tmp_path):
+        io = library.get_io("posix")
+        path = tmp_path / "small.bin"
+        np.zeros(4).tofile(path)
+        io.set_options({"io:path": str(path)})
+        with pytest.raises(IOError_, match="elements"):
+            io.read(PressioData.empty(DType.DOUBLE, (100,)))
+
+
+class TestMmapIO:
+    def test_mmap_read(self, library, tmp_path, smooth3d):
+        path = tmp_path / "m.bin"
+        smooth3d.tofile(path)
+        io = library.get_io("mmap")
+        io.set_options({"io:path": str(path)})
+        out = io.read(PressioData.empty(DType.DOUBLE, smooth3d.shape))
+        assert np.array_equal(out.to_numpy(), smooth3d)
+        assert out.domain.domain_id == "mmap"
+        out.release()
+
+    def test_mmap_requires_template(self, library, tmp_path):
+        path = tmp_path / "m.bin"
+        np.zeros(4).tofile(path)
+        io = library.get_io("mmap")
+        io.set_options({"io:path": str(path)})
+        with pytest.raises(IOError_, match="template"):
+            io.read()
+
+
+class TestNumpyIO:
+    def test_npy_roundtrip(self, library, tmp_path):
+        arr = np.random.default_rng(0).standard_normal((5, 7)).astype(np.float32)
+        io = library.get_io("numpy")
+        path = str(tmp_path / "a.npy")
+        io.set_options({"io:path": path})
+        io.write(PressioData.from_numpy(arr))
+        out = io.read()
+        assert out.dtype == DType.FLOAT
+        assert np.array_equal(out.to_numpy(), arr)
+
+    def test_template_shape_validated(self, library, tmp_path):
+        io = library.get_io("numpy")
+        path = str(tmp_path / "b.npy")
+        io.set_options({"io:path": path})
+        io.write(PressioData.from_numpy(np.zeros((3, 3))))
+        with pytest.raises(IOError_, match="shape"):
+            io.read(PressioData.empty(DType.DOUBLE, (4, 4)))
+
+    def test_invalid_file_raises(self, library, tmp_path):
+        path = tmp_path / "junk.npy"
+        path.write_bytes(b"not numpy at all")
+        io = library.get_io("numpy")
+        io.set_options({"io:path": str(path)})
+        with pytest.raises(IOError_):
+            io.read()
+
+
+class TestCsvIO:
+    def test_roundtrip_2d(self, library, tmp_path):
+        arr = np.arange(12.0).reshape(3, 4)
+        io = library.get_io("csv")
+        io.set_options({"io:path": str(tmp_path / "t.csv")})
+        io.write(PressioData.from_numpy(arr))
+        out = io.read()
+        assert np.allclose(out.to_numpy(), arr)
+
+    def test_custom_delimiter(self, library, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("1;2;3\n4;5;6\n")
+        io = library.get_io("csv")
+        io.set_options({"io:path": str(path), "csv:delimiter": ";"})
+        assert np.array_equal(io.read().to_numpy(),
+                              [[1.0, 2, 3], [4, 5, 6]])
+
+    def test_skip_rows(self, library, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("x,y\n1,2\n3,4\n")
+        io = library.get_io("csv")
+        io.set_options({"io:path": str(path), "csv:skip_rows": 1})
+        assert io.read().dims == (2, 2)
+
+    def test_3d_write_rejected(self, library, tmp_path):
+        io = library.get_io("csv")
+        io.set_options({"io:path": str(tmp_path / "x.csv")})
+        with pytest.raises(IOError_, match="2 dimensions"):
+            io.write(PressioData.from_numpy(np.zeros((2, 2, 2))))
+
+
+class TestIotaIO:
+    def test_generates_sequence(self, library):
+        io = library.get_io("iota")
+        out = io.read(PressioData.empty(DType.INT32, (2, 5)))
+        assert np.array_equal(out.to_numpy().reshape(-1), np.arange(10))
+
+    def test_start_option(self, library):
+        io = library.get_io("iota")
+        io.set_options({"iota:start": 100.0})
+        out = io.read(PressioData.empty(DType.DOUBLE, (4,)))
+        assert list(out.to_numpy()) == [100.0, 101.0, 102.0, 103.0]
+
+    def test_requires_template(self, library):
+        with pytest.raises(IOError_):
+            library.get_io("iota").read()
+
+
+class TestSelectIO:
+    def test_subregion_of_numpy_file(self, library, tmp_path):
+        arr = np.arange(100.0).reshape(10, 10)
+        np.save(tmp_path / "full.npy", arr)
+        io = library.get_io("select")
+        io.set_options({
+            "select:io": "numpy",
+            "io:path": str(tmp_path / "full.npy"),
+            "select:start": ["2", "3"],
+            "select:stop": ["5", "8"],
+        })
+        out = io.read()
+        assert np.array_equal(out.to_numpy(), arr[2:5, 3:8])
+
+    def test_step_selection(self, library, tmp_path):
+        arr = np.arange(16.0)
+        np.save(tmp_path / "v.npy", arr)
+        io = library.get_io("select")
+        io.set_options({
+            "select:io": "numpy",
+            "io:path": str(tmp_path / "v.npy"),
+            "select:step": ["4"],
+        })
+        assert np.array_equal(io.read().to_numpy(), arr[::4])
+
+    def test_empty_selection_raises(self, library, tmp_path):
+        np.save(tmp_path / "w.npy", np.arange(4.0))
+        io = library.get_io("select")
+        io.set_options({
+            "select:io": "numpy",
+            "io:path": str(tmp_path / "w.npy"),
+            "select:start": ["3"],
+            "select:stop": ["3"],
+        })
+        with pytest.raises(Exception):
+            io.read()
+
+
+class TestNoopIO:
+    def test_holds_buffer(self, library):
+        io = library.get_io("noop")
+        data = PressioData.from_numpy(np.ones(5))
+        io.write(data)
+        assert io.read() is data
+
+    def test_empty_read_raises(self, library):
+        with pytest.raises(IOError_):
+            library.get_io("noop").read()

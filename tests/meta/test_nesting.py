@@ -1,0 +1,130 @@
+"""Tests for composing meta-compressors into pipelines.
+
+The paper's Section IV-D: meta-compressors let users experiment with
+compressor designs assembled from functional parts.  These tests build
+multi-stage pipelines purely through the options system.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DType, PressioData
+from tests.conftest import roundtrip
+
+
+class TestTwoLevelPipelines:
+    def test_chunking_over_transpose_over_zfp(self, library, letkf_small):
+        """chunking -> transpose -> zfp configured via one options set."""
+        pipeline = library.get_compressor("chunking")
+        rc = pipeline.set_options({
+            "chunking:compressor": "transpose",
+            "chunking:chunk_size": 1 << 20,  # one chunk: keep dims intact
+            "transpose:compressor": "zfp",
+            "zfp:accuracy": 1e-4,
+        })
+        assert rc == 0
+        out = roundtrip(pipeline, letkf_small)
+        assert np.abs(out.reshape(letkf_small.shape)
+                      - letkf_small).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_sparse_over_delta_over_zlib(self, library):
+        """sparse -> delta_encoding -> zlib on scattered integer data."""
+        rng = np.random.default_rng(3)
+        arr = np.zeros(5000, dtype=np.int64)
+        idx = np.sort(rng.choice(arr.size, 200, replace=False))
+        arr[idx] = np.arange(200) * 10 + 1  # nonzero, drifting
+        pipeline = library.get_compressor("sparse")
+        rc = pipeline.set_options({
+            "sparse:compressor": "delta_encoding",
+            "delta_encoding:compressor": "zlib",
+        })
+        assert rc == 0
+        out = roundtrip(pipeline, arr)
+        assert np.array_equal(out.reshape(-1), arr)
+
+    def test_error_injector_over_linear_quantizer(self, library, smooth3d):
+        pipeline = library.get_compressor("error_injector")
+        pipeline.set_options({
+            "error_injector:compressor": "linear_quantizer",
+            "error_injector:scale": 0.0,  # injection disabled
+            "linear_quantizer:step": 1e-3,
+            "linear_quantizer:compressor": "zlib",
+        })
+        out = roundtrip(pipeline, smooth3d)
+        assert np.abs(out - smooth3d).max() <= 0.5e-3 * (1 + 1e-9)
+
+    def test_opt_over_transpose_over_sz(self, library, nyx_small):
+        """The optimizer searching a transposed pipeline end to end."""
+        opt = library.get_compressor("opt")
+        rc = opt.set_options({
+            "opt:compressor": "transpose",
+            "transpose:compressor": "sz",
+            "opt:objective": "target_ratio",
+            "opt:target_ratio": 8.0,
+            "opt:bound_low": 1e-10,
+            "opt:bound_high": 10.0,
+        })
+        assert rc == 0
+        data = PressioData.from_numpy(nyx_small)
+        compressed = opt.compress(data)
+        achieved = data.size_in_bytes / compressed.size_in_bytes
+        assert achieved == pytest.approx(8.0, rel=0.15)
+
+    def test_options_view_merges_all_levels(self, library):
+        pipeline = library.get_compressor("chunking")
+        pipeline.set_options({
+            "chunking:compressor": "transpose",
+            "transpose:compressor": "zfp",
+        })
+        opts = pipeline.get_options()
+        # one introspection call exposes every level of the pipeline
+        assert "chunking:chunk_size" in opts
+        assert "transpose:axis_order" in opts
+        assert "zfp:accuracy" in opts
+
+    def test_thread_safety_propagates_from_leaf(self, library):
+        from repro.core.configurable import ThreadSafety
+
+        pipeline = library.get_compressor("chunking")
+        pipeline.set_options({"chunking:compressor": "transpose",
+                              "transpose:compressor": "sz"})
+        cfg = pipeline.get_configuration()
+        assert cfg.get("pressio:thread_safe") == ThreadSafety.SINGLE
+        pipeline.set_options({"transpose:compressor": "zfp"})
+        cfg = pipeline.get_configuration()
+        assert cfg.get("pressio:thread_safe") == ThreadSafety.MULTIPLE
+
+
+class TestPipelinesInContainers:
+    def test_hdf5mini_filter_can_be_a_pipeline(self, tmp_path, smooth3d):
+        """A whole meta-pipeline as an HDF5-style filter id."""
+        from repro.io.hdf5mini import Hdf5MiniFile
+
+        path = str(tmp_path / "pipe.h5m")
+        with Hdf5MiniFile(path, "w") as f:
+            f.create_dataset(
+                "field", smooth3d, filter="transpose",
+                filter_options={"transpose:compressor": "sz",
+                                "pressio:abs": 1e-4})
+        out = Hdf5MiniFile(path).read_dataset("field")
+        assert np.abs(out - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_switch_inside_opt_inside_cli_options(self, library, nyx_small):
+        """Deep pipeline driven entirely by flat key=value options (the
+        CLI's configuration model)."""
+        flat_options = {
+            "opt:compressor": "switch",
+            "switch:compressor_ids": ["sz", "zfp"],
+            "switch:active_id": "zfp",
+            "opt:target_ratio": 6.0,
+            "opt:bound_low": 1e-9,
+            "opt:bound_high": 1.0,
+        }
+        opt = library.get_compressor("opt")
+        assert opt.set_options(flat_options) == 0
+        data = PressioData.from_numpy(nyx_small)
+        compressed = opt.compress(data)
+        out = opt.decompress(compressed,
+                             PressioData.empty(DType.DOUBLE,
+                                               nyx_small.shape))
+        assert out.dims == nyx_small.shape

@@ -1,0 +1,189 @@
+"""Tests for transform meta-compressors: transpose, resize, delta,
+linear_quantizer, sample."""
+
+import numpy as np
+import pytest
+
+from repro.core import DType, PressioData
+from tests.conftest import roundtrip
+
+
+class TestTranspose:
+    def test_default_full_reversal_roundtrip(self, library, letkf_small):
+        t = library.get_compressor("transpose")
+        t.set_options({"transpose:compressor": "sz", "pressio:abs": 1e-4})
+        out = roundtrip(t, letkf_small)
+        assert out.shape == letkf_small.shape
+        assert np.abs(out - letkf_small).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_custom_axis_order(self, library, letkf_small):
+        t = library.get_compressor("transpose")
+        t.set_options({
+            "transpose:compressor": "zfp",
+            "transpose:axis_order": ["1", "2", "0"],
+            "zfp:accuracy": 1e-4,
+        })
+        out = roundtrip(t, letkf_small)
+        assert np.abs(out - letkf_small).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_invalid_permutation_rejected(self, library, letkf_small):
+        t = library.get_compressor("transpose")
+        t.set_options({"transpose:axis_order": ["0", "0", "1"]})
+        with pytest.raises(Exception, match="permutation"):
+            t.compress(PressioData.from_numpy(letkf_small))
+
+    def test_changes_inner_compression(self, library, letkf_small):
+        """Transposing anisotropic data changes the inner stream size —
+        the mechanism behind the Section V dimension-order experiment."""
+        direct = library.get_compressor("sz")
+        direct.set_options({"pressio:abs": 1e-6})
+        straight = direct.compress(
+            PressioData.from_numpy(letkf_small)).size_in_bytes
+        t = library.get_compressor("transpose")
+        t.set_options({"transpose:compressor": "sz", "pressio:abs": 1e-6})
+        reversed_ = t.compress(
+            PressioData.from_numpy(letkf_small)).size_in_bytes
+        assert straight != reversed_
+
+
+class TestResize:
+    def test_squeeze_trailing_one(self, library, letkf_small):
+        slab = np.ascontiguousarray(letkf_small[:1])  # (1, 24, 24)
+        r = library.get_compressor("resize")
+        r.set_options({
+            "resize:compressor": "zfp",
+            "resize:new_dims": ["24", "24"],
+            "zfp:accuracy": 1e-4,
+        })
+        out = roundtrip(r, slab)
+        assert out.shape == slab.shape
+        assert np.abs(out - slab).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_element_count_must_match(self, library, smooth3d):
+        r = library.get_compressor("resize")
+        r.set_options({"resize:new_dims": ["10", "10"]})
+        with pytest.raises(Exception):
+            r.compress(PressioData.from_numpy(smooth3d))
+
+    def test_unset_dims_rejected(self, library, smooth3d):
+        r = library.get_compressor("resize")
+        with pytest.raises(Exception, match="new_dims"):
+            r.compress(PressioData.from_numpy(smooth3d))
+
+
+class TestDeltaEncoding:
+    def test_exact_for_integers(self, library):
+        d = library.get_compressor("delta_encoding")
+        d.set_options({"delta_encoding:compressor": "zlib"})
+        arr = np.cumsum(np.random.default_rng(0).integers(
+            -5, 6, size=1000)).astype(np.int64)
+        assert np.array_equal(roundtrip(d, arr), arr)
+
+    def test_improves_ratio_on_drifting_ints(self, library):
+        arr = (np.arange(50_000) + np.random.default_rng(1).integers(
+            0, 3, 50_000)).astype(np.int64)
+        plain = library.get_compressor("zlib")
+        delta = library.get_compressor("delta_encoding")
+        delta.set_options({"delta_encoding:compressor": "zlib"})
+        plain_size = plain.compress(
+            PressioData.from_numpy(arr)).size_in_bytes
+        delta_size = delta.compress(
+            PressioData.from_numpy(arr)).size_in_bytes
+        assert delta_size < plain_size
+
+    def test_glossary_example(self, library):
+        """[1,2,3,4,5] encodes as deltas [1,1,1,1,1] (paper glossary)."""
+        d = library.get_compressor("delta_encoding")
+        arr = np.array([1, 2, 3, 4, 5], dtype=np.int64)
+        assert np.array_equal(roundtrip(d, arr), arr)
+
+
+class TestLinearQuantizer:
+    def test_error_bounded_by_half_step(self, library, smooth3d):
+        q = library.get_compressor("linear_quantizer")
+        q.set_options({"linear_quantizer:step": 1e-3})
+        out = roundtrip(q, smooth3d)
+        assert np.abs(out - smooth3d).max() <= 0.5e-3 * (1 + 1e-9)
+
+    def test_bigger_step_better_ratio(self, library, smooth3d):
+        sizes = []
+        for step in (1e-5, 1e-2):
+            q = library.get_compressor("linear_quantizer")
+            q.set_options({"linear_quantizer:step": step})
+            sizes.append(q.compress(
+                PressioData.from_numpy(smooth3d)).size_in_bytes)
+        assert sizes[1] < sizes[0]
+
+    def test_nonpositive_step_rejected(self, library):
+        q = library.get_compressor("linear_quantizer")
+        assert q.set_options({"linear_quantizer:step": 0.0}) != 0
+
+
+class TestSample:
+    def test_reduces_leading_axis(self, library, smooth3d):
+        s = library.get_compressor("sample")
+        s.set_options({"sample:rate": 2, "sample:compressor": "noop"})
+        data = PressioData.from_numpy(smooth3d)
+        compressed = s.compress(data)
+        out = s.decompress(compressed,
+                           PressioData.empty(DType.DOUBLE, ()))
+        arr = np.asarray(out.to_numpy())
+        assert arr.shape == ((smooth3d.shape[0] + 1) // 2,) + smooth3d.shape[1:]
+        assert np.array_equal(arr, smooth3d[::2])
+
+    def test_rate_one_keeps_everything(self, library, smooth3d):
+        s = library.get_compressor("sample")
+        s.set_options({"sample:rate": 1, "sample:compressor": "noop"})
+        compressed = s.compress(PressioData.from_numpy(smooth3d))
+        out = s.decompress(compressed, PressioData.empty(DType.DOUBLE, ()))
+        assert np.array_equal(np.asarray(out.to_numpy()), smooth3d)
+
+    def test_bad_rate_rejected(self, library):
+        s = library.get_compressor("sample")
+        assert s.set_options({"sample:rate": 0}) != 0
+
+
+class TestSampleModes:
+    def test_wor_sorted_unique(self, library, smooth3d):
+        s = library.get_compressor("sample")
+        s.set_options({"sample:rate": 3, "sample:mode": "wor",
+                       "sample:seed": 7, "sample:compressor": "noop"})
+        data = PressioData.from_numpy(smooth3d)
+        compressed = s.compress(data)
+        out = s.decompress(compressed, PressioData.empty(DType.DOUBLE, ()))
+        arr = np.asarray(out.to_numpy())
+        assert arr.shape[0] == smooth3d.shape[0] // 3
+        # every sampled slice exists in the original
+        matches = [np.any(np.all(arr[i] == smooth3d, axis=(1, 2)))
+                   for i in range(arr.shape[0])]
+        assert all(matches)
+
+    def test_wr_can_repeat(self, library):
+        arr = np.arange(40.0).reshape(8, 5)
+        s = library.get_compressor("sample")
+        s.set_options({"sample:rate": 1, "sample:mode": "wr",
+                       "sample:seed": 3, "sample:compressor": "noop"})
+        data = PressioData.from_numpy(arr)
+        out = s.decompress(s.compress(data),
+                           PressioData.empty(DType.DOUBLE, ()))
+        sampled = np.asarray(out.to_numpy())
+        assert sampled.shape == arr.shape  # rate 1 keeps n samples
+        # with replacement, at least one row repeats for this seed/size
+        rows = {tuple(r) for r in sampled}
+        assert len(rows) < sampled.shape[0]
+
+    def test_seed_reproducible(self, library, smooth3d):
+        outs = []
+        for _ in range(2):
+            s = library.get_compressor("sample")
+            s.set_options({"sample:rate": 2, "sample:mode": "wor",
+                           "sample:seed": 11, "sample:compressor": "noop"})
+            data = PressioData.from_numpy(smooth3d)
+            out = s.decompress(s.compress(data),
+                               PressioData.empty(DType.DOUBLE, ()))
+            outs.append(np.asarray(out.to_numpy()))
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_bad_mode_rejected(self, library):
+        s = library.get_compressor("sample")
+        assert s.set_options({"sample:mode": "stratified"}) != 0

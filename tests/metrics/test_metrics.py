@@ -1,0 +1,306 @@
+"""Tests for all metrics plugins."""
+
+import numpy as np
+import pytest
+
+from repro.core import DType, PressioData
+from repro.metrics.composite import CompositeMetrics
+
+
+def run_metric(library, metric_id_or_list, compressor_id, array,
+               options=None, metric_options=None):
+    """Attach metrics, run a round trip, return the results options."""
+    comp = library.get_compressor(compressor_id)
+    if options:
+        assert comp.set_options(options) == 0
+    metrics = library.get_metric(metric_id_or_list)
+    if metric_options:
+        metrics.set_options(metric_options)
+    comp.set_metrics(metrics)
+    data = PressioData.from_numpy(np.asarray(array))
+    compressed = comp.compress(data)
+    comp.decompress(compressed, PressioData.empty(data.dtype, data.dims))
+    return comp.get_metrics_results()
+
+
+class TestSizeMetrics:
+    def test_ratio_and_sizes(self, library, smooth3d):
+        results = run_metric(library, "size", "sz", smooth3d,
+                             {"pressio:abs": 1e-4})
+        assert results.get("size:uncompressed_size") == smooth3d.nbytes
+        compressed = results.get("size:compressed_size")
+        assert 0 < compressed < smooth3d.nbytes
+        assert results.get("size:compression_ratio") == pytest.approx(
+            smooth3d.nbytes / compressed)
+
+    def test_bit_rate(self, library, smooth3d):
+        results = run_metric(library, "size", "sz", smooth3d,
+                             {"pressio:abs": 1e-4})
+        expected = 8.0 * results.get("size:compressed_size") / smooth3d.size
+        assert results.get("size:bit_rate") == pytest.approx(expected)
+
+    def test_reset(self, library):
+        m = library.get_metric("size")
+        m.end_compress(PressioData.from_numpy(np.zeros(10)),
+                       PressioData.from_bytes(b"abc"))
+        m.reset()
+        assert len(m.get_metrics_results()) == 0
+
+
+class TestTimeMetrics:
+    def test_times_positive(self, library, smooth3d):
+        results = run_metric(library, "time", "sz", smooth3d,
+                             {"pressio:abs": 1e-4})
+        assert results.get("time:compress") > 0
+        assert results.get("time:decompress") > 0
+
+    def test_no_results_before_any_operation(self, library):
+        assert len(library.get_metric("time").get_metrics_results()) == 0
+
+
+class TestErrorStat:
+    def test_values_against_numpy(self, library, smooth3d):
+        results = run_metric(library, "error_stat", "zfp", smooth3d,
+                             {"zfp:accuracy": 1e-3})
+        assert results.get("error_stat:n") == smooth3d.size
+        assert results.get("error_stat:min") == pytest.approx(smooth3d.min())
+        assert results.get("error_stat:max") == pytest.approx(smooth3d.max())
+        assert results.get("error_stat:max_error") <= 1e-3 * (1 + 1e-9)
+        mse = results.get("error_stat:mse")
+        assert results.get("error_stat:rmse") == pytest.approx(np.sqrt(mse))
+
+    def test_psnr_infinite_for_lossless(self, library, smooth3d):
+        results = run_metric(library, "error_stat", "fpzip", smooth3d)
+        assert results.get("error_stat:psnr") == float("inf")
+        assert results.get("error_stat:max_error") == 0.0
+
+    def test_max_rel_error_normalized_by_range(self, library, smooth3d):
+        results = run_metric(library, "error_stat", "zfp", smooth3d,
+                             {"zfp:accuracy": 1e-3})
+        vr = results.get("error_stat:value_range")
+        assert results.get("error_stat:max_rel_error") == pytest.approx(
+            results.get("error_stat:max_error") / vr)
+
+
+class TestPearson:
+    def test_r_near_one_for_tight_bound(self, library, smooth3d):
+        results = run_metric(library, "pearson", "sz", smooth3d,
+                             {"pressio:abs": 1e-6})
+        assert results.get("pearson:r") > 0.999999
+        assert results.get("pearson:r2") == pytest.approx(
+            results.get("pearson:r") ** 2)
+
+    def test_r_degrades_with_loose_bound(self, library, smooth3d):
+        tight = run_metric(library, "pearson", "sz", smooth3d,
+                           {"pressio:abs": 1e-6}).get("pearson:r")
+        loose = run_metric(library, "pearson", "sz", smooth3d,
+                           {"pressio:abs": 0.5}).get("pearson:r")
+        assert loose < tight
+
+
+class TestAutocorr:
+    def test_lag1_present(self, library, smooth3d):
+        results = run_metric(library, "autocorr", "sz", smooth3d,
+                             {"pressio:abs": 1e-4})
+        assert -1.0 <= results.get("autocorr:lag1") <= 1.0
+
+    def test_max_lag_option(self, library, smooth3d):
+        results = run_metric(library, "autocorr", "sz", smooth3d,
+                             {"pressio:abs": 1e-4},
+                             metric_options={"autocorr:max_lag": 4})
+        acf = results.get("autocorr:autocorr")
+        assert acf.num_elements == 4
+
+    def test_bad_lag_rejected(self, library):
+        m = library.get_metric("autocorr")
+        assert m.set_options({"autocorr:max_lag": 0}) != 0
+
+
+class TestDistributionMetrics:
+    def test_ks_test_identical_distributions(self, library, smooth3d):
+        results = run_metric(library, "ks_test", "fpzip", smooth3d)
+        assert results.get("ks_test:d") == 0.0
+        assert results.get("ks_test:pvalue") == pytest.approx(1.0)
+
+    def test_ks_detects_heavy_loss(self, library, smooth3d):
+        results = run_metric(library, "ks_test", "sz", smooth3d,
+                             {"pressio:abs": 1.0})
+        assert results.get("ks_test:d") > 0.01
+
+    def test_kl_zero_for_lossless(self, library, smooth3d):
+        results = run_metric(library, "kl_divergence", "fpzip", smooth3d)
+        assert results.get("kl_divergence:kl") == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_positive_for_lossy(self, library, smooth3d):
+        results = run_metric(library, "kl_divergence", "sz", smooth3d,
+                             {"pressio:abs": 0.5})
+        assert results.get("kl_divergence:kl") > 0
+
+    def test_diff_pdf_integrates_to_one(self, library, smooth3d):
+        results = run_metric(library, "diff_pdf", "sz", smooth3d,
+                             {"pressio:abs": 1e-3})
+        pdf = np.asarray(results.get("diff_pdf:pdf").to_numpy())
+        edges = np.asarray(results.get("diff_pdf:edges").to_numpy())
+        assert np.sum(pdf * np.diff(edges)) == pytest.approx(1.0)
+
+
+class TestSpatialMetrics:
+    def test_spatial_error_percent(self, library, smooth3d):
+        results = run_metric(
+            library, "spatial_error", "sz", smooth3d,
+            {"pressio:abs": 1e-3},
+            metric_options={"spatial_error:threshold": 1e-3})
+        assert results.get("spatial_error:percent") == pytest.approx(0.0)
+
+    def test_spatial_error_catches_exceedance(self, library, smooth3d):
+        results = run_metric(
+            library, "spatial_error", "sz", smooth3d,
+            {"pressio:abs": 1e-2},
+            metric_options={"spatial_error:threshold": 1e-5})
+        assert results.get("spatial_error:percent") > 10.0
+
+    def test_kth_error_is_kth_largest(self, library, smooth3d):
+        r1 = run_metric(library, "kth_error", "sz", smooth3d,
+                        {"pressio:abs": 1e-3},
+                        metric_options={"kth_error:k": 1})
+        r10 = run_metric(library, "kth_error", "sz", smooth3d,
+                         {"pressio:abs": 1e-3},
+                         metric_options={"kth_error:k": 10})
+        assert r1.get("kth_error:kth_error") >= r10.get("kth_error:kth_error")
+
+    def test_region_of_interest(self, library, smooth3d):
+        results = run_metric(
+            library, "region_of_interest", "sz", smooth3d,
+            {"pressio:abs": 1e-5},
+            metric_options={
+                "region_of_interest:start": ["0", "0", "0"],
+                "region_of_interest:stop": ["10", "10", "10"],
+            })
+        expected = smooth3d[:10, :10, :10].mean()
+        assert results.get("region_of_interest:uncompressed_mean") == \
+            pytest.approx(expected)
+        assert results.get("region_of_interest:mean_error") < 1e-4
+
+    def test_mask_excludes_points(self, library):
+        data = np.zeros(100)
+        data[0] = 1000.0  # huge value the mask will exclude
+        mask = np.zeros(100, dtype=np.uint8)
+        mask[0] = 1
+        comp = library.get_compressor("sz")
+        comp.set_options({"pressio:abs": 1e-3})
+        metrics = library.get_metric("mask")
+        metrics.set_options({
+            "mask:metric": "error_stat",
+            "mask:mask": PressioData.from_numpy(mask),
+        })
+        comp.set_metrics(metrics)
+        pdata = PressioData.from_numpy(data)
+        comp.decompress(comp.compress(pdata),
+                        PressioData.empty(pdata.dtype, pdata.dims))
+        results = comp.get_metrics_results()
+        # with the spike masked out, remaining values are all zeros
+        assert results.get("mask:error_stat:value_range") == 0.0
+        assert results.get("mask:error_stat:n") == 99
+
+
+class TestCompositeAndHistory:
+    def test_composite_merges_namespaces(self, library, smooth3d):
+        results = run_metric(library, ["size", "time", "pearson"], "sz",
+                             smooth3d, {"pressio:abs": 1e-4})
+        assert results.get("size:compression_ratio") is not None
+        assert results.get("time:compress") is not None
+        assert results.get("pearson:r") is not None
+
+    def test_composite_clone_independent(self, library):
+        composite = library.get_metric(["size", "time"])
+        dup = composite.clone()
+        assert isinstance(dup, CompositeMetrics)
+        assert len(dup.plugins) == 2
+        assert dup.plugins[0] is not composite.plugins[0]
+
+    def test_history_accumulates(self, library, smooth3d):
+        comp = library.get_compressor("sz")
+        comp.set_options({"pressio:abs": 1e-4})
+        history = library.get_metric("history")
+        comp.set_metrics(history)
+        data = PressioData.from_numpy(smooth3d)
+        for _ in range(3):
+            comp.compress(data)
+        results = comp.get_metrics_results()
+        assert results.get("history:count") == 3
+        assert results.get("history:aggregate_ratio") > 1.0
+
+
+class TestCsvLogger:
+    def test_rows_appended_per_roundtrip(self, library, smooth3d, tmp_path):
+        import csv
+
+        path = str(tmp_path / "log.csv")
+        comp = library.get_compressor("sz")
+        comp.set_options({"pressio:abs": 1e-4})
+        logger = library.get_metric("csv_logger")
+        assert logger.set_options({"csv_logger:path": path}) == 0
+        comp.set_metrics(logger)
+        data = PressioData.from_numpy(smooth3d)
+        for _ in range(3):
+            compressed = comp.compress(data)
+            comp.decompress(compressed,
+                            PressioData.empty(data.dtype, data.dims))
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 3
+        assert "size:compression_ratio" in rows[0]
+        assert float(rows[0]["size:compression_ratio"]) > 1.0
+        assert float(rows[0]["error_stat:max_error"]) <= 1e-4 * (1 + 1e-9)
+
+    def test_custom_child_metrics(self, library, smooth3d, tmp_path):
+        import csv
+
+        path = str(tmp_path / "custom.csv")
+        comp = library.get_compressor("zfp")
+        comp.set_options({"zfp:accuracy": 1e-3})
+        logger = library.get_metric("csv_logger")
+        logger.set_options({"csv_logger:path": path,
+                            "csv_logger:metrics": ["size", "pearson"]})
+        comp.set_metrics(logger)
+        data = PressioData.from_numpy(smooth3d)
+        comp.decompress(comp.compress(data),
+                        PressioData.empty(data.dtype, data.dims))
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert "pearson:r" in rows[0]
+        assert "error_stat:psnr" not in rows[0]
+
+    def test_appends_to_existing_file(self, library, smooth3d, tmp_path):
+        import csv
+
+        path = str(tmp_path / "append.csv")
+        data = PressioData.from_numpy(smooth3d)
+        for _ in range(2):  # two separate logger instances, same file
+            comp = library.get_compressor("sz")
+            comp.set_options({"pressio:abs": 1e-3})
+            logger = library.get_metric("csv_logger")
+            logger.set_options({"csv_logger:path": path})
+            comp.set_metrics(logger)
+            comp.decompress(comp.compress(data),
+                            PressioData.empty(data.dtype, data.dims))
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+
+    def test_unknown_child_rejected(self, library):
+        logger = library.get_metric("csv_logger")
+        assert logger.check_options(
+            {"csv_logger:metrics": ["not-a-metric"]}) != 0
+
+    def test_missing_path_raises_on_use(self, library, smooth3d):
+        from repro.core import PressioError
+
+        comp = library.get_compressor("sz")
+        comp.set_options({"pressio:abs": 1e-3})
+        comp.set_metrics(library.get_metric("csv_logger"))
+        data = PressioData.from_numpy(smooth3d)
+        compressed = comp.compress(data)
+        with pytest.raises(Exception, match="path"):
+            comp.decompress(compressed,
+                            PressioData.empty(data.dtype, data.dims))

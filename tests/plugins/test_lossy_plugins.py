@@ -1,0 +1,171 @@
+"""Tests for the sz/zfp/mgard/fpzip LibPressio plugins."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DType,
+    InvalidTypeError,
+    OptionType,
+    PressioData,
+    PressioError,
+)
+from tests.conftest import roundtrip
+
+
+class TestSZPlugin:
+    def test_common_abs_alias(self, library, smooth3d):
+        sz = library.get_compressor("sz")
+        assert sz.set_options({"pressio:abs": 1e-4}) == 0
+        out = roundtrip(sz, smooth3d)
+        assert np.abs(out - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+        opts = sz.get_options()
+        assert opts.get("sz:error_bound_mode_str") == "abs"
+        assert opts.get("sz:abs_err_bound") == 1e-4
+
+    def test_common_rel_alias(self, library, smooth3d):
+        sz = library.get_compressor("sz")
+        sz.set_options({"pressio:rel": 1e-4})
+        out = roundtrip(sz, smooth3d)
+        bound = 1e-4 * (smooth3d.max() - smooth3d.min())
+        assert np.abs(out - smooth3d).max() <= bound * (1 + 1e-9)
+
+    def test_mode_string_selection(self, library, smooth3d):
+        sz = library.get_compressor("sz")
+        sz.set_options({"sz:error_bound_mode_str": "psnr",
+                        "sz:psnr_err_bound": 70.0})
+        out = roundtrip(sz, smooth3d)
+        mse = np.mean((out - smooth3d) ** 2)
+        value_range = smooth3d.max() - smooth3d.min()
+        psnr = 20 * np.log10(value_range) - 10 * np.log10(mse)
+        assert psnr >= 69.0
+
+    def test_options_introspectable(self, library):
+        sz = library.get_compressor("sz")
+        opts = sz.get_options()
+        assert opts.get_option("sz:abs_err_bound").type == OptionType.DOUBLE
+        assert opts.get_option("sz:error_bound_mode_str").type == \
+            OptionType.STRING
+        # 20+ options like the real 27-field params struct
+        assert len([k for k in opts.keys() if k.startswith("sz:")]) >= 20
+
+    def test_unset_common_option_advertises_type(self, library):
+        sz = library.get_compressor("sz")
+        sz.set_options({"sz:error_bound_mode_str": "psnr"})
+        opts = sz.get_options()
+        assert opts.key_status("pressio:abs") == "key_exists"
+
+    def test_matches_native_byte_for_byte(self, library, smooth3d):
+        """The plugin adds zero semantic difference over the native."""
+        from repro.native import sz as native_sz
+        from repro.native.sz import sz_params
+
+        plugin = library.get_compressor("sz")
+        plugin.set_options({"sz:error_bound_mode_str": "abs",
+                            "sz:abs_err_bound": 1e-4})
+        via_plugin = plugin.compress(
+            PressioData.from_numpy(smooth3d)).to_bytes()
+        via_native = native_sz.compress(smooth3d.copy(),
+                                        sz_params(absErrBound=1e-4))
+        assert via_plugin == via_native
+
+    def test_documentation_present(self, library):
+        sz = library.get_compressor("sz")
+        docs = sz.get_documentation()
+        assert "error bound" in str(docs.get("sz:abs_err_bound"))
+
+    def test_rejects_string_data(self, library):
+        sz = library.get_compressor("sz")
+        bools = PressioData.from_numpy(np.array([True, False]))
+        with pytest.raises(PressioError):
+            sz.compress(bools)
+
+    def test_decompress_respects_template_dtype(self, library, smooth3d):
+        sz = library.get_compressor("sz")
+        sz.set_options({"pressio:abs": 1e-3})
+        compressed = sz.compress(PressioData.from_numpy(smooth3d))
+        out = sz.decompress(compressed,
+                            PressioData.empty(DType.FLOAT, smooth3d.shape))
+        assert out.dtype == DType.FLOAT
+
+
+class TestZFPPlugin:
+    def test_accuracy_roundtrip(self, library, smooth3d):
+        zfp = library.get_compressor("zfp")
+        zfp.set_options({"zfp:accuracy": 1e-4})
+        out = roundtrip(zfp, smooth3d)
+        assert np.abs(out - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_pressio_abs_selects_accuracy(self, library, smooth3d):
+        zfp = library.get_compressor("zfp")
+        zfp.set_options({"pressio:abs": 1e-3})
+        assert zfp.get_options().get("zfp:mode_str") == "accuracy"
+        out = roundtrip(zfp, smooth3d)
+        assert np.abs(out - smooth3d).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_precision_mode(self, library, smooth3d):
+        zfp = library.get_compressor("zfp")
+        zfp.set_options({"zfp:precision": 20})
+        out = roundtrip(zfp, smooth3d)
+        assert np.abs(out - smooth3d).max() < np.abs(smooth3d).max()
+
+    def test_reversible_mode(self, library, smooth3d):
+        zfp = library.get_compressor("zfp")
+        zfp.set_options({"zfp:mode_str": "reversible"})
+        assert np.array_equal(roundtrip(zfp, smooth3d), smooth3d)
+
+    def test_dimension_translation_is_transparent(self, library, letkf_small):
+        """C-order dims in, C-order dims out — despite zfp's F-order API."""
+        zfp = library.get_compressor("zfp")
+        zfp.set_options({"zfp:accuracy": 1e-3})
+        out = roundtrip(zfp, letkf_small)  # deliberately non-cubic
+        assert out.shape == letkf_small.shape
+        assert np.abs(out - letkf_small).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_check_options_rejects_bad(self, library):
+        zfp = library.get_compressor("zfp")
+        assert zfp.check_options({"zfp:accuracy": -1.0}) != 0
+        assert zfp.check_options({"zfp:precision": 100}) != 0
+        assert zfp.check_options({"zfp:rate": 0.1}) != 0
+        assert zfp.check_options({"zfp:mode_str": "bogus"}) != 0
+        assert zfp.check_options({"zfp:accuracy": 1e-3}) == 0
+
+
+class TestMGARDPlugin:
+    def test_tolerance_roundtrip(self, library, smooth3d):
+        mgard = library.get_compressor("mgard")
+        mgard.set_options({"mgard:tolerance": 1e-4})
+        out = roundtrip(mgard, smooth3d)
+        assert np.abs(out - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_min_dim_error_surfaces_cleanly(self, library):
+        mgard = library.get_compressor("mgard")
+        with pytest.raises(PressioError, match="3"):
+            mgard.compress(PressioData.from_numpy(np.zeros((2, 8))))
+        assert mgard.error_code() != 0
+
+    def test_configuration_reports_min_dim(self, library):
+        mgard = library.get_compressor("mgard")
+        assert mgard.get_configuration().get("mgard:min_dimension_size") == 3
+
+    def test_s_parameter(self, library, smooth3d):
+        mgard = library.get_compressor("mgard")
+        mgard.set_options({"mgard:tolerance": 1e-3, "mgard:s": 1.0})
+        out = roundtrip(mgard, smooth3d)
+        assert out.shape == smooth3d.shape
+
+
+class TestFpzipPlugin:
+    def test_lossless(self, library, smooth3d):
+        fpzip = library.get_compressor("fpzip")
+        assert np.array_equal(roundtrip(fpzip, smooth3d), smooth3d)
+
+    def test_rejects_integers(self, library):
+        fpzip = library.get_compressor("fpzip")
+        with pytest.raises(InvalidTypeError):
+            fpzip.compress(PressioData.from_numpy(np.arange(10)))
+
+    def test_config_reports_float_only(self, library):
+        fpzip = library.get_compressor("fpzip")
+        assert fpzip.get_configuration().get("fpzip:float_only") is True
+        assert fpzip.get_configuration().get("pressio:lossy") is False

@@ -1,0 +1,142 @@
+"""Property-based tests: every error-bounded compressor honors its bound
+on arbitrary inputs, and lossless compressors are bit exact."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import PressioData
+from repro.core.registry import compressor_registry
+from repro.native import fpzip as native_fpzip
+from repro.native import mgard as native_mgard
+from repro.native import sz as native_sz
+from repro.native import zfp as native_zfp
+from repro.native.sz import sz_params
+
+finite_floats = st.floats(-1e8, 1e8, allow_nan=False, allow_infinity=False)
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=12),
+    elements=finite_floats,
+)
+
+mgard_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=3, max_side=12),
+    elements=finite_floats,
+)
+
+bounds = st.floats(1e-6, 1.0)
+
+
+@given(small_arrays, bounds)
+@settings(max_examples=60, deadline=None)
+def test_sz_abs_bound_invariant(arr, eb):
+    params = sz_params(errorBoundMode=native_sz.ABS, absErrBound=eb)
+    out = native_sz.decompress(native_sz.compress(arr.copy(), params))
+    assert np.abs(out - arr).max() <= eb * (1 + 1e-9) + 1e-7 * np.abs(arr).max()
+
+
+@given(small_arrays, bounds)
+@settings(max_examples=60, deadline=None)
+def test_zfp_accuracy_invariant(arr, tol):
+    out = native_zfp.decompress(
+        native_zfp.compress(arr, native_zfp.MODE_ACCURACY, tol))
+    # quantizer guarantee: tol*(1+u) + u*|x| with u the unit roundoff
+    fp_slack = 2.0**-52 * (np.abs(arr).max() if arr.size else 0.0)
+    assert np.abs(out - arr).max() <= tol * (1 + 1e-9) + fp_slack
+
+
+@given(mgard_arrays, bounds)
+@settings(max_examples=60, deadline=None)
+def test_mgard_tolerance_invariant(arr, tol):
+    out = native_mgard.decompress(native_mgard.compress(arr, tol))
+    fp_slack = 1e-9 * (np.abs(arr).max() if arr.size else 0.0)
+    assert np.abs(out - arr).max() <= tol * (1 + 1e-9) + fp_slack
+
+
+@given(hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=12),
+    elements=st.floats(allow_nan=True, allow_infinity=True, width=64),
+))
+@settings(max_examples=60, deadline=None)
+def test_fpzip_bit_exact_even_specials(arr):
+    out = native_fpzip.decompress(native_fpzip.compress(arr))
+    assert np.array_equal(
+        np.ascontiguousarray(out).view(np.uint64),
+        np.ascontiguousarray(arr).view(np.uint64),
+    )
+
+
+@given(small_arrays)
+@settings(max_examples=40, deadline=None)
+def test_zfp_reversible_bit_exact(arr):
+    out = native_zfp.decompress(
+        native_zfp.compress(arr, native_zfp.MODE_REVERSIBLE, 0))
+    assert np.array_equal(out, arr)
+
+
+@given(small_arrays)
+@settings(max_examples=30, deadline=None)
+def test_lossless_plugins_bit_exact(arr):
+    data = PressioData.from_numpy(arr)
+    for plugin_id in ("zlib", "rle", "pressio-lz"):
+        comp = compressor_registry.create(plugin_id)
+        out = comp.decompress(comp.compress(data),
+                              PressioData.empty(data.dtype, data.dims))
+        assert np.array_equal(np.asarray(out.to_numpy()), arr), plugin_id
+
+
+@given(
+    hnp.arrays(dtype=np.float64,
+               shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=2,
+                                      max_side=30),
+               elements=st.floats(1e-6, 1e6)),  # strictly positive
+    st.floats(1e-4, 1e-1),
+)
+@settings(max_examples=40, deadline=None)
+def test_sz_pw_rel_invariant(arr, pw):
+    params = sz_params(errorBoundMode=native_sz.PW_REL, pw_relBoundRatio=pw)
+    out = native_sz.decompress(native_sz.compress(arr.copy(), params))
+    rel = np.abs((out - arr) / arr)
+    assert rel.max() <= pw * (1 + 1e-6)
+
+
+@given(small_arrays, st.floats(1e-5, 1e-1))
+@settings(max_examples=40, deadline=None)
+def test_stream_is_self_describing(arr, eb):
+    """Dims and dtype always survive the stream round trip."""
+    stream = native_sz.compress(arr.copy(), sz_params(absErrBound=eb))
+    out = native_sz.decompress(stream)
+    assert out.shape == arr.shape
+    assert out.dtype == arr.dtype
+
+
+@given(small_arrays, bounds,
+       st.sampled_from(["regression", "adaptive"]))
+@settings(max_examples=50, deadline=None)
+def test_sz_regression_predictors_bound_invariant(arr, eb, mode):
+    params = sz_params(errorBoundMode=native_sz.ABS, absErrBound=eb,
+                       predictionMode=mode)
+    out = native_sz.decompress(native_sz.compress(arr.copy(), params))
+    fp_slack = 2.0**-50 * (np.abs(arr).max() if arr.size else 0.0)
+    assert np.abs(out - arr).max() <= eb * (1 + 1e-9) + fp_slack
+
+
+@given(hnp.arrays(dtype=np.float64,
+                  shape=hnp.array_shapes(min_dims=1, max_dims=3,
+                                         min_side=1, max_side=12),
+                  elements=finite_floats),
+       st.floats(1e-4, 1e-1))
+@settings(max_examples=40, deadline=None)
+def test_tthresh_relative_l2_invariant(arr, tol):
+    from repro.native import tthresh as native_tthresh
+
+    out = native_tthresh.decompress(native_tthresh.compress(arr, tol))
+    norm = float(np.linalg.norm(arr.ravel()))
+    err = float(np.linalg.norm((out - arr).ravel()))
+    assert err <= tol * norm + 1e-12 * (norm + 1.0)

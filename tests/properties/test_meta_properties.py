@@ -1,0 +1,130 @@
+"""Property-based tests for meta-compressors and the options lattice."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import CastLevel, Option, OptionType, PressioData
+from repro.core.registry import compressor_registry
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+arrays_1d = hnp.arrays(dtype=np.float64, shape=st.integers(1, 3000),
+                       elements=finite)
+
+arrays_nd = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=12),
+    elements=finite,
+)
+
+
+def _roundtrip(plugin_id: str, arr: np.ndarray, options: dict) -> np.ndarray:
+    comp = compressor_registry.create(plugin_id)
+    assert comp.set_options(options) == 0, comp.error_msg()
+    data = PressioData.from_numpy(arr)
+    out = comp.decompress(comp.compress(data),
+                          PressioData.empty(data.dtype, data.dims))
+    return np.asarray(out.to_numpy())
+
+
+@given(arrays_1d, st.integers(1, 512))
+@settings(max_examples=30, deadline=None)
+def test_chunking_never_changes_results(arr, chunk_size):
+    """Chunked lossless compression is exact for every chunk size."""
+    out = _roundtrip("chunking", arr, {
+        "chunking:compressor": "zlib",
+        "chunking:chunk_size": chunk_size,
+    })
+    assert np.array_equal(out.reshape(-1), arr)
+
+
+@given(arrays_nd)
+@settings(max_examples=30, deadline=None)
+def test_transpose_roundtrip_any_shape(arr):
+    out = _roundtrip("transpose", arr, {"transpose:compressor": "zlib"})
+    assert np.array_equal(out.reshape(arr.shape), arr)
+
+
+@given(arrays_1d, st.floats(0.0, 1e3))
+@settings(max_examples=30, deadline=None)
+def test_sparse_fill_values_always_exact(arr, fill):
+    """Whatever the data, fill-valued positions reconstruct exactly and
+    others obey the inner bound."""
+    work = arr.copy()
+    work[::3] = fill  # plant fill values
+    out = _roundtrip("sparse", work, {
+        "sparse:fill_value": fill,
+        "sparse:compressor": "zfp",
+        "zfp:accuracy": 1e-6,
+    }).reshape(-1)
+    assert np.all(out[work == fill] == fill)
+    assert np.abs(out - work).max() <= 1e-6 * (1 + 1e-9) + 2**-52 * np.abs(
+        work).max()
+
+
+@given(arrays_1d, st.floats(1e-6, 1.0))
+@settings(max_examples=30, deadline=None)
+def test_linear_quantizer_half_step_bound(arr, step):
+    out = _roundtrip("linear_quantizer", arr, {
+        "linear_quantizer:step": step,
+        "linear_quantizer:compressor": "zlib",
+    }).reshape(-1)
+    fp_slack = 2**-52 * float(np.abs(arr).max() if arr.size else 0.0)
+    assert np.abs(out - arr).max() <= step / 2 * (1 + 1e-9) + fp_slack
+
+
+@given(st.integers(-(2**31), 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_explicit_widening_preserves_int_values(value):
+    """Any explicit (lossless) cast returns the identical value."""
+    opt = Option(value, OptionType.INT32)
+    widened = opt.cast(OptionType.INT64, CastLevel.EXPLICIT)
+    assert widened.get() == value
+    back = widened.cast(OptionType.INT32, CastLevel.IMPLICIT)
+    assert back.get() == value
+
+
+@given(st.integers(0, 2**16 - 1))
+@settings(max_examples=100, deadline=None)
+def test_uint16_widening_chain(value):
+    opt = Option(value, OptionType.UINT16)
+    for target in (OptionType.UINT32, OptionType.UINT64,
+                   OptionType.INT32, OptionType.DOUBLE):
+        assert opt.cast(target, CastLevel.EXPLICIT).get() == value
+
+
+@given(hnp.arrays(dtype=np.int64,
+                  shape=st.integers(1, 500),
+                  elements=st.integers(-(2**40), 2**40)))
+@settings(max_examples=30, deadline=None)
+def test_delta_encoding_exact_for_ints(arr):
+    out = _roundtrip("delta_encoding", arr,
+                     {"delta_encoding:compressor": "zlib"})
+    assert np.array_equal(out.reshape(-1), arr)
+
+
+@given(arrays_nd, st.integers(0, 2**31 - 1), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_fault_injector_never_escapes_contract(arr, seed, faults):
+    """Corruption either raises a typed error or yields a same-shape
+    buffer — never an untyped crash."""
+    from repro.core import PressioError
+
+    comp = compressor_registry.create("fault_injector")
+    assert comp.set_options({
+        "fault_injector:compressor": "sz",
+        "fault_injector:num_faults": faults,
+        "fault_injector:seed": seed,
+        "pressio:abs": 1e-3,
+    }) == 0
+    data = PressioData.from_numpy(arr)
+    stream = comp.compress(data)
+    try:
+        out = comp.decompress(stream,
+                              PressioData.empty(data.dtype, data.dims))
+    except PressioError:
+        return
+    assert out.dims == arr.shape

@@ -1,0 +1,192 @@
+"""Tests for the C-style API, including a line-for-line port of the
+paper's Appendix A example."""
+
+import numpy as np
+import pytest
+
+from repro import capi
+
+
+class TestAppendixA:
+    def test_appendix_a_example(self):
+        """The complete Appendix A listing, translated symbol-for-symbol."""
+        # get a handle to a compressor
+        library = capi.pressio_instance()
+        compressor = capi.pressio_get_compressor(library, "sz")
+        assert compressor is not None
+
+        # configure metrics
+        metrics = ["size"]
+        metrics_plugin = capi.pressio_new_metrics(library, metrics, 1)
+        capi.pressio_compressor_set_metrics(compressor, metrics_plugin)
+
+        # configure the compressor
+        sz_options = capi.pressio_compressor_get_options(compressor)
+        capi.pressio_options_set_string(
+            sz_options, "sz:error_bound_mode_str", "abs")
+        capi.pressio_options_set_double(
+            sz_options, "sz:abs_err_bound", 0.5)
+        assert capi.pressio_compressor_check_options(
+            compressor, sz_options) == 0
+        assert capi.pressio_compressor_set_options(
+            compressor, sz_options) == 0
+
+        # load a 30x30x30 dataset (miniaturized from the paper's 300^3)
+        rng = np.random.default_rng(0)
+        rawinput_data = rng.uniform(0, 100, size=27_000)
+        dims = [30, 30, 30]
+        input_data = capi.pressio_data_new_move(
+            capi.pressio_double_dtype, rawinput_data, 3, dims,
+            capi.pressio_data_libc_free_fn, None)
+
+        # setup compressed and decompressed buffers
+        compressed_data = capi.pressio_data_new_empty(
+            capi.pressio_byte_dtype, 0, None)
+        decompressed_data = capi.pressio_data_new_empty(
+            capi.pressio_double_dtype, 3, dims)
+
+        # compress and decompress the data
+        assert capi.pressio_compressor_compress(
+            compressor, input_data, compressed_data) == 0
+        assert capi.pressio_compressor_decompress(
+            compressor, compressed_data, decompressed_data) == 0
+
+        # get the compression ratio
+        metric_results = capi.pressio_compressor_get_metrics_results(
+            compressor)
+        status, compression_ratio = capi.pressio_options_get_double(
+            metric_results, "size:compression_ratio")
+        assert status == 0
+        assert compression_ratio > 1.0
+
+        # verify the round trip obeyed the bound
+        out = capi.pressio_data_ptr(decompressed_data)
+        assert np.abs(np.asarray(out).reshape(-1)
+                      - rawinput_data).max() <= 0.5 * (1 + 1e-9)
+
+        # free everything (no-ops / refcounts in Python)
+        capi.pressio_data_free(decompressed_data)
+        capi.pressio_data_free(compressed_data)
+        capi.pressio_data_free(input_data)
+        capi.pressio_options_free(sz_options)
+        capi.pressio_options_free(metric_results)
+        capi.pressio_compressor_release(compressor)
+        capi.pressio_release(library)
+
+    def test_changing_three_lines_switches_compressor(self):
+        """The paper: 'only lines 10, 20, and 21 would need to change'."""
+        library = capi.pressio_instance()
+        for compressor_id, key, value in [
+            ("sz", "sz:abs_err_bound", 1e-3),
+            ("zfp", "zfp:accuracy", 1e-3),
+            ("mgard", "mgard:tolerance", 1e-3),
+        ]:
+            compressor = capi.pressio_get_compressor(library, compressor_id)
+            options = capi.pressio_compressor_get_options(compressor)
+            capi.pressio_options_set_double(options, key, value)
+            assert capi.pressio_compressor_set_options(
+                compressor, options) == 0
+
+            rng = np.random.default_rng(1)
+            raw = rng.standard_normal((12, 12, 12)).cumsum(axis=0)
+            input_data = capi.pressio_data_new_copy(
+                capi.pressio_double_dtype, raw, 3, [12, 12, 12])
+            compressed = capi.pressio_data_new_empty(
+                capi.pressio_byte_dtype, 0, None)
+            decompressed = capi.pressio_data_new_empty(
+                capi.pressio_double_dtype, 3, [12, 12, 12])
+            assert capi.pressio_compressor_compress(
+                compressor, input_data, compressed) == 0
+            assert capi.pressio_compressor_decompress(
+                compressor, compressed, decompressed) == 0
+            out = np.asarray(capi.pressio_data_ptr(decompressed))
+            assert np.abs(out - raw).max() <= 1e-3 * (1 + 1e-9), compressor_id
+
+
+class TestCApiSurface:
+    def test_version_functions(self):
+        library = capi.pressio_instance()
+        assert capi.pressio_version(library) == "0.70.4"
+
+    def test_error_propagation(self):
+        library = capi.pressio_instance()
+        assert capi.pressio_get_compressor(library, "missing") is None
+        assert capi.pressio_error_code(library) != 0
+        assert "missing" in capi.pressio_error_msg(library)
+
+    def test_compress_failure_returns_nonzero(self):
+        library = capi.pressio_instance()
+        mgard = capi.pressio_get_compressor(library, "mgard")
+        bad = capi.pressio_data_new_copy(
+            capi.pressio_double_dtype, np.zeros((2, 2)), 2, [2, 2])
+        out = capi.pressio_data_new_empty(capi.pressio_byte_dtype, 0, None)
+        assert capi.pressio_compressor_compress(mgard, bad, out) != 0
+        assert capi.pressio_compressor_error_msg(mgard)
+
+    def test_data_accessors(self):
+        data = capi.pressio_data_new_owning(
+            capi.pressio_float_dtype, 2, [3, 4])
+        assert capi.pressio_data_dtype(data) == capi.pressio_float_dtype
+        assert capi.pressio_data_num_dimensions(data) == 2
+        assert capi.pressio_data_get_dimension(data, 0) == 3
+        assert capi.pressio_data_get_dimension(data, 5) == 0
+        assert capi.pressio_data_num_elements(data) == 12
+        assert len(capi.pressio_data_get_bytes(data)) == 48
+
+    def test_options_typed_setters_getters(self):
+        options = capi.pressio_options_new()
+        capi.pressio_options_set_integer(options, "i", 5)
+        capi.pressio_options_set_uinteger(options, "u", 6)
+        capi.pressio_options_set_float(options, "f", 1.5)
+        capi.pressio_options_set_string(options, "s", "x")
+        capi.pressio_options_set_strings(options, "sl", ["a", "b"])
+        assert capi.pressio_options_get_integer(options, "i") == (0, 5)
+        assert capi.pressio_options_get_uinteger(options, "u") == (0, 6)
+        assert capi.pressio_options_get_float(options, "f") == (0, 1.5)
+        assert capi.pressio_options_get_string(options, "s") == (0, "x")
+        assert capi.pressio_options_get(options, "sl") == (0, ["a", "b"])
+        assert capi.pressio_options_size(options) == 5
+
+    def test_options_get_missing_is_status_1(self):
+        options = capi.pressio_options_new()
+        status, value = capi.pressio_options_get_double(options, "nope")
+        assert status == 1 and value is None
+
+    def test_userptr_carries_opaque_handles(self):
+        """The arbitrary-configuration feature: an MPI_Comm-like object."""
+        class FakeMPIComm:
+            rank = 3
+
+        options = capi.pressio_options_new()
+        comm = FakeMPIComm()
+        capi.pressio_options_set_userptr(options, "mpi:comm", comm)
+        status, back = capi.pressio_options_get(options, "mpi:comm")
+        assert status == 0
+        assert back is comm  # identity preserved, not serialized
+
+    def test_supported_enumerations(self):
+        library = capi.pressio_instance()
+        assert "sz" in capi.pressio_supported_compressors(library)
+        assert "size" in capi.pressio_supported_metrics(library)
+        assert "posix" in capi.pressio_supported_io(library)
+
+    def test_io_functions(self, tmp_path):
+        library = capi.pressio_instance()
+        io = capi.pressio_get_io(library, "posix")
+        options = capi.pressio_options_new()
+        capi.pressio_options_set_string(options, "io:path",
+                                        str(tmp_path / "x.bin"))
+        assert capi.pressio_io_set_options(io, options) == 0
+        data = capi.pressio_data_new_copy(
+            capi.pressio_double_dtype, np.arange(8.0), 1, [8])
+        assert capi.pressio_io_write(io, data) == 0
+        template = capi.pressio_data_new_empty(
+            capi.pressio_double_dtype, 1, [8])
+        back = capi.pressio_io_read(io, template)
+        assert back is not None
+        assert np.array_equal(capi.pressio_data_ptr(back), np.arange(8.0))
+
+    def test_io_read_failure_returns_none(self):
+        library = capi.pressio_instance()
+        io = capi.pressio_get_io(library, "posix")
+        assert capi.pressio_io_read(io, None) is None

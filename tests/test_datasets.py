@@ -1,0 +1,100 @@
+"""Tests for the synthetic SDRBench-analog dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_GENERATORS,
+    gaussian_random_field,
+    hacc,
+    hurricane_cloud,
+    nyx,
+    scale_letkf,
+)
+
+
+class TestGaussianRandomField:
+    def test_shape_and_normalization(self):
+        field = gaussian_random_field((16, 16, 16), seed=0)
+        assert field.shape == (16, 16, 16)
+        assert abs(field.mean()) < 1e-10
+        assert field.std() == pytest.approx(1.0)
+
+    def test_seed_reproducible(self):
+        a = gaussian_random_field((16, 16), seed=5)
+        b = gaussian_random_field((16, 16), seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = gaussian_random_field((16, 16), seed=1)
+        b = gaussian_random_field((16, 16), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_steeper_spectrum_is_smoother(self):
+        rough = gaussian_random_field((64, 64), spectral_index=1.0, seed=3)
+        smooth = gaussian_random_field((64, 64), spectral_index=4.0, seed=3)
+
+        def roughness(f):
+            return float(np.abs(np.diff(f, axis=0)).mean())
+
+        assert roughness(smooth) < roughness(rough)
+
+    def test_anisotropy_changes_directional_smoothness(self):
+        field = gaussian_random_field((48, 48), seed=4,
+                                      anisotropy=(10.0, 1.0))
+        # factor > 1 suppresses high frequencies: smoother along axis 0
+        d0 = float(np.abs(np.diff(field, axis=0)).mean())
+        d1 = float(np.abs(np.diff(field, axis=1)).mean())
+        assert d0 < d1
+
+    def test_anisotropy_length_validated(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((8, 8), anisotropy=(1.0,))
+
+
+class TestNamedDatasets:
+    def test_cloud_properties(self):
+        field = hurricane_cloud((16, 16, 16))
+        assert field.min() >= 0.0  # mixing ratio clipped at zero
+        assert field.max() < 1.0  # mixing-ratio magnitudes
+        assert field.dtype == np.float64
+
+    def test_nyx_lognormal_positive(self):
+        field = nyx((16, 16, 16))
+        assert field.min() > 0.0
+        # heavy positive tail: mean above median
+        assert field.mean() > np.median(field)
+
+    def test_hacc_is_1d_and_noisy(self):
+        coords = hacc(4096)
+        assert coords.ndim == 1
+        assert coords.size == 4096
+
+    def test_letkf_levels_ordered(self):
+        field = scale_letkf((10, 16, 16))
+        level_means = field.mean(axis=(1, 2))
+        assert level_means[0] > level_means[-1]  # pressure decreases
+
+    def test_generator_registry(self):
+        assert set(DATASET_GENERATORS) == {
+            "hurricane_cloud", "nyx", "hacc", "scale_letkf"}
+        for gen in DATASET_GENERATORS.values():
+            assert callable(gen)
+
+
+class TestCompressibilityOrdering:
+    def test_smooth_fields_compress_better_than_particles(self, library):
+        """The property the substitution must preserve (DESIGN.md): grid
+        fields compress far better than particle coordinates."""
+        from repro.core import PressioData
+
+        sz = library.get_compressor("sz")
+        sz.set_options({"pressio:rel": 1e-3})
+
+        def ratio(arr):
+            data = PressioData.from_numpy(np.asarray(arr))
+            return data.size_in_bytes / sz.compress(data).size_in_bytes
+
+        cloud_ratio = ratio(hurricane_cloud((24, 24, 24)))
+        hacc_ratio = ratio(hacc(13_824))
+        assert cloud_ratio > 2 * hacc_ratio

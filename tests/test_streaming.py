@@ -1,0 +1,164 @@
+"""Tests for the asynchronous and streaming compression layer."""
+
+import numpy as np
+import pytest
+
+from repro import Pressio, PressioData
+from repro.core import CorruptStreamError, DType
+from repro.streaming import (
+    AsyncCompressor,
+    StreamingCompressor,
+    StreamingDecompressor,
+)
+
+
+@pytest.fixture()
+def zfp(library):
+    comp = library.get_compressor("zfp")
+    comp.set_options({"zfp:accuracy": 1e-4})
+    return comp
+
+
+class TestAsyncCompressor:
+    def test_single_async_roundtrip(self, library, smooth3d, zfp):
+        with AsyncCompressor(zfp) as acomp:
+            data = PressioData.from_numpy(smooth3d)
+            compressed = acomp.compress_async(data).result()
+            out = acomp.decompress_async(
+                compressed,
+                PressioData.empty(data.dtype, data.dims)).result()
+        assert np.abs(np.asarray(out.to_numpy())
+                      - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_batch_preserves_order(self, library, smooth3d, zfp):
+        with AsyncCompressor(zfp, max_workers=4) as acomp:
+            datas = [PressioData.from_numpy(smooth3d * (k + 1))
+                     for k in range(8)]
+            streams = acomp.map_compress(datas)
+            # streams must correspond to their inputs in order
+            for k, stream in enumerate(streams):
+                out = zfp.decompress(
+                    stream, PressioData.empty(DType.DOUBLE, smooth3d.shape))
+                expected = smooth3d * (k + 1)
+                assert np.allclose(np.asarray(out.to_numpy()), expected,
+                                   atol=2e-4)
+
+    def test_reentrant_plugin_gets_pool(self, library, zfp):
+        acomp = AsyncCompressor(zfp, max_workers=4)
+        assert acomp.workers == 4
+        acomp.shutdown()
+
+    def test_unsafe_plugin_serialized(self, library):
+        sz = library.get_compressor("sz")  # thread_safe = single
+        acomp = AsyncCompressor(sz, max_workers=4)
+        assert acomp.workers == 1
+        acomp.shutdown()
+
+    def test_error_propagates_through_future(self, library):
+        mgard = library.get_compressor("mgard")
+        with AsyncCompressor(mgard) as acomp:
+            bad = PressioData.from_numpy(np.zeros((2, 2)))
+            future = acomp.compress_async(bad)
+            with pytest.raises(Exception, match="3"):
+                future.result()
+
+
+class TestStreaming:
+    def _signal(self, n: int = 50_000) -> np.ndarray:
+        x = np.linspace(0, 80, n)
+        return np.sin(x) + 0.1 * np.cos(7 * x)
+
+    def test_roundtrip_single_write(self, zfp):
+        signal = self._signal()
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=8192)
+        stream = enc.write(signal) + enc.finish()
+        dec = StreamingDecompressor(zfp)
+        frames = dec.feed(stream)
+        assert dec.finished
+        out = np.concatenate(frames)
+        assert out.size == signal.size
+        assert np.abs(out - signal).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_roundtrip_many_small_writes(self, zfp):
+        signal = self._signal(20_000)
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=4096)
+        stream = bytearray()
+        for start in range(0, signal.size, 777):
+            stream += enc.write(signal[start:start + 777])
+        stream += enc.finish()
+        dec = StreamingDecompressor(zfp)
+        out = np.concatenate(list(dec.iter_frames(bytes(stream),
+                                                  chunk_size=512)))
+        assert np.abs(out - signal).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_frames_are_emitted_incrementally(self, zfp):
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=1000)
+        first = enc.write(np.zeros(2500))
+        assert enc.frames_emitted == 2  # two full frames left the encoder
+        assert len(first) > 0
+        tail = enc.finish()
+        assert enc.frames_emitted == 3  # partial final frame
+
+    def test_consumer_can_start_before_finish(self, zfp):
+        """Frames decode as they arrive — true streaming."""
+        signal = self._signal(10_000)
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=2048)
+        dec = StreamingDecompressor(zfp)
+        decoded = []
+        for start in range(0, signal.size, 2500):
+            chunk_bytes = enc.write(signal[start:start + 2500])
+            decoded.extend(dec.feed(chunk_bytes))
+        assert decoded, "nothing decoded before finish"
+        decoded.extend(dec.feed(enc.finish()))
+        out = np.concatenate(decoded)
+        assert np.abs(out - signal).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_pipelined_mode_matches_serial(self, library, zfp):
+        signal = self._signal(30_000)
+        serial = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=4096)
+        s_stream = serial.write(signal) + serial.finish()
+        pipelined = StreamingCompressor(zfp, DType.DOUBLE,
+                                        frame_elements=4096,
+                                        pipelined=True, max_workers=4)
+        p_stream = pipelined.write(signal) + pipelined.finish()
+        assert s_stream == p_stream
+
+    def test_write_after_finish_raises(self, zfp):
+        enc = StreamingCompressor(zfp, DType.DOUBLE)
+        enc.finish()
+        with pytest.raises(RuntimeError):
+            enc.write(np.zeros(3))
+
+    def test_bad_magic_raises(self, zfp):
+        dec = StreamingDecompressor(zfp)
+        with pytest.raises(CorruptStreamError):
+            dec.feed(b"JUNKJUNKJUNKJUNK")
+
+    def test_data_after_terminator_raises(self, zfp):
+        enc = StreamingCompressor(zfp, DType.DOUBLE)
+        stream = enc.write(np.zeros(10)) + enc.finish()
+        dec = StreamingDecompressor(zfp)
+        with pytest.raises(CorruptStreamError):
+            dec.feed(stream + b"extra")
+
+    def test_float32_stream(self, library):
+        zfp32 = library.get_compressor("zfp")
+        zfp32.set_options({"zfp:accuracy": 1e-3})
+        signal = self._signal(5000).astype(np.float32)
+        enc = StreamingCompressor(zfp32, DType.FLOAT, frame_elements=1024)
+        stream = enc.write(signal) + enc.finish()
+        dec = StreamingDecompressor(zfp32)
+        out = np.concatenate(dec.feed(stream))
+        assert out.dtype == np.float32
+        assert np.abs(out.astype(np.float64)
+                      - signal.astype(np.float64)).max() <= 1.1e-3
+
+    def test_compresses(self, zfp):
+        signal = self._signal(100_000)
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=16384)
+        stream = enc.write(signal) + enc.finish()
+        assert len(stream) < signal.nbytes / 3
+
+    def test_bad_frame_elements(self, zfp):
+        with pytest.raises(ValueError):
+            StreamingCompressor(zfp, DType.DOUBLE, frame_elements=0)

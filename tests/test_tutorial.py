@@ -1,0 +1,103 @@
+"""Executable verification of docs/TUTORIAL.md.
+
+Extracts the python code blocks from the tutorial and runs them in one
+shared namespace, then exercises the plugins they register.  If the
+tutorial drifts from the API, this fails.
+"""
+
+import os
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.registry import (
+    compressor_registry,
+    metrics_registry,
+)
+
+TUTORIAL = os.path.join(os.path.dirname(__file__), os.pardir, "docs",
+                        "TUTORIAL.md")
+
+
+@pytest.fixture()
+def tutorial_namespace():
+    with open(TUTORIAL) as fh:
+        text = fh.read()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert len(blocks) >= 4, "tutorial lost its code blocks"
+    namespace: dict = {}
+    for cid in ("topk", "clamp"):
+        compressor_registry.unregister(cid)
+    metrics_registry.unregister("max_ratio")
+    try:
+        for block in blocks:
+            exec(compile(block, TUTORIAL, "exec"), namespace)  # noqa: S102
+        yield namespace
+    finally:
+        for cid in ("topk", "clamp"):
+            compressor_registry.unregister(cid)
+        metrics_registry.unregister("max_ratio")
+
+
+class TestTutorialCode:
+    def test_all_blocks_execute(self, tutorial_namespace):
+        assert "TopKCompressor" in tutorial_namespace
+        assert "MaxPointwiseRatio" in tutorial_namespace
+        assert "ClampCompressor" in tutorial_namespace
+
+    def test_topk_compressor_works(self, tutorial_namespace, library):
+        from repro import PressioData
+        from repro.core import DType
+
+        comp = library.get_compressor("topk")
+        comp.set_options({"topk:k": 50})
+        rng = np.random.default_rng(0)
+        arr = rng.standard_normal((20, 20))
+        data = PressioData.from_numpy(arr)
+        out = comp.decompress(comp.compress(data),
+                              PressioData.empty(DType.DOUBLE, (20, 20)))
+        recon = np.asarray(out.to_numpy())
+        # exactly k values survive, and they are the largest ones
+        assert int((recon != 0).sum()) == 50
+        kept = np.abs(arr.reshape(-1))[recon.reshape(-1) != 0]
+        dropped = np.abs(arr.reshape(-1))[recon.reshape(-1) == 0]
+        assert kept.min() >= dropped.max() - 1e-12
+
+    def test_custom_metric_composes(self, tutorial_namespace, library,
+                                    smooth3d):
+        from repro import PressioData
+
+        comp = library.get_compressor("sz")
+        comp.set_options({"pressio:abs": 1e-4})
+        comp.set_metrics(library.get_metric(["size", "max_ratio"]))
+        data = PressioData.from_numpy(smooth3d + 10.0)  # keep nonzero
+        comp.decompress(comp.compress(data),
+                        PressioData.empty(data.dtype, data.dims))
+        results = comp.get_metrics_results()
+        assert results.get("max_ratio:value") is not None
+        assert results.get("size:compression_ratio") > 1.0
+
+    def test_clamp_pipeline_composes(self, tutorial_namespace, library,
+                                     smooth3d):
+        from repro import PressioData
+        from repro.core import DType
+
+        comp = library.get_compressor("clamp")
+        assert comp.set_options({
+            "clamp:compressor": "chunking",
+            "chunking:compressor": "zfp",
+            "zfp:accuracy": 1e-4,
+        }) == 0
+        data = PressioData.from_numpy(smooth3d)
+        out = comp.decompress(comp.compress(data),
+                              PressioData.empty(DType.DOUBLE,
+                                                smooth3d.shape))
+        assert np.abs(np.asarray(out.to_numpy()).reshape(smooth3d.shape)
+                      - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_fuzzer_accepts_tutorial_plugin(self, tutorial_namespace):
+        from repro.tools.fuzzer import fuzz_compressor
+
+        report = fuzz_compressor("clamp", iterations=10, seed=3)
+        assert not report.crashes, report.crashes

@@ -1,0 +1,187 @@
+"""Tests for the CLI, fuzzer, zchecker, and LoC counter."""
+
+import numpy as np
+import pytest
+
+from repro.tools.cli import run as cli_run
+from repro.tools.fuzzer import fuzz_compressor
+from repro.tools.loc import count_file, count_lines, count_tree
+from repro.tools.zchecker import assess, format_report
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_run(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "sz" in out and "zfp" in out and "posix" in out
+
+    def test_synthetic_roundtrip_with_metrics(self, capsys):
+        rc = cli_run([
+            "--compressor", "sz", "--synthetic", "nyx", "--dims", "16,16,16",
+            "--option", "sz:error_bound_mode_str=abs",
+            "--option", "sz:abs_err_bound=1e-4",
+            "--metrics", "size,error_stat", "--print-metrics",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "size:compression_ratio" in out
+        assert "error_stat:psnr" in out
+
+    def test_file_roundtrip(self, tmp_path, smooth3d):
+        src = tmp_path / "in.bin"
+        smooth3d.tofile(src)
+        compressed = tmp_path / "out.sz"
+        decompressed = tmp_path / "out.bin"
+        rc = cli_run([
+            "--compressor", "sz", "--input", str(src),
+            "--dtype", "float64", "--dims", "24,24,24",
+            "--option", "pressio:abs=1e-4",
+            "--save-compressed", str(compressed),
+            "--save-decompressed", str(decompressed),
+        ])
+        assert rc == 0
+        assert compressed.stat().st_size < src.stat().st_size
+        out = np.fromfile(decompressed, dtype=np.float64).reshape(24, 24, 24)
+        assert np.abs(out - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_print_options(self, capsys):
+        assert cli_run(["--compressor", "zfp", "--print-options"]) == 0
+        assert "zfp:accuracy" in capsys.readouterr().out
+
+    def test_print_config(self, capsys):
+        assert cli_run(["--compressor", "sz", "--print-config"]) == 0
+        assert "pressio:thread_safe" in capsys.readouterr().out
+
+    def test_unknown_compressor_fails(self, capsys):
+        assert cli_run(["--compressor", "nope", "--synthetic", "nyx"]) == 2
+
+    def test_bad_option_value_fails(self, capsys):
+        rc = cli_run([
+            "--compressor", "sz", "--synthetic", "nyx", "--dims", "8,8,8",
+            "--option", "sz:error_bound_mode_str=bogus",
+        ])
+        assert rc == 2
+
+    def test_bad_option_syntax_fails(self):
+        rc = cli_run(["--compressor", "sz", "--synthetic", "nyx",
+                      "--option", "noequalsign"])
+        assert rc == 2
+
+    def test_missing_compressor_fails(self):
+        assert cli_run(["--synthetic", "nyx"]) == 2
+
+    def test_works_for_every_lossy_compressor(self, capsys):
+        """One CLI, many compressors — the tool-reuse claim."""
+        for cid in ("sz", "zfp", "mgard", "zlib", "bit_grooming"):
+            rc = cli_run([
+                "--compressor", cid, "--synthetic", "hurricane_cloud",
+                "--dims", "12,12,12", "--option", "pressio:abs=1e-6",
+                "--metrics", "size",
+            ])
+            assert rc == 0, cid
+
+
+class TestFuzzer:
+    @pytest.mark.parametrize("cid", ["sz", "zfp", "mgard", "zlib", "noop"])
+    def test_compressors_survive_fuzzing(self, cid):
+        report = fuzz_compressor(cid, iterations=25, seed=11)
+        assert not report.failed, report.summary() + "\n".join(
+            report.bound_violations + report.crashes)
+
+    def test_report_accounting(self):
+        report = fuzz_compressor("sz", iterations=20, seed=5,
+                                 corrupt_every=4)
+        total = (report.ok + report.clean_rejections
+                 + report.corrupt_detected + report.corrupt_survived
+                 + len(report.bound_violations) + len(report.crashes))
+        assert total == report.iterations == 20
+
+    def test_no_corruption_mode(self):
+        report = fuzz_compressor("zfp", iterations=10, seed=2,
+                                 corrupt_every=0)
+        assert report.corrupt_detected == 0
+        assert report.ok + report.clean_rejections == 10
+
+
+class TestZchecker:
+    def test_assessment_matrix_shape(self, nyx_small):
+        rows = assess(nyx_small, ["sz", "zfp"], [1e-4, 1e-2])
+        assert len(rows) == 4
+        assert {r.compressor_id for r in rows} == {"sz", "zfp"}
+
+    def test_ratio_monotone_in_bound(self, nyx_small):
+        rows = assess(nyx_small, ["sz"], [1e-6, 1e-4, 1e-2])
+        ratios = [r.compression_ratio for r in rows]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_bounds_respected(self, nyx_small):
+        rows = assess(nyx_small, ["sz", "zfp", "mgard"], [1e-3])
+        for r in rows:
+            assert r.max_error <= 1e-3 * (1 + 1e-9), r.compressor_id
+
+    def test_report_formatting(self, nyx_small):
+        rows = assess(nyx_small, ["sz"], [1e-4])
+        text = format_report(rows)
+        assert "compressor" in text and "sz" in text
+        assert len(text.splitlines()) == 3
+
+    def test_unknown_compressor_raises(self, nyx_small):
+        with pytest.raises(ValueError, match="unknown compressor"):
+            assess(nyx_small, ["hypothetical"], [1e-4])
+
+
+class TestLocCounter:
+    def test_python_comments_and_blanks_excluded(self):
+        src = '\n'.join([
+            "# a comment",
+            "",
+            "x = 1",
+            '"""module docstring',
+            "continues here",
+            '"""',
+            "y = 2  # trailing comment still counts",
+        ])
+        assert count_lines(src, "python") == 2
+
+    def test_python_single_line_docstring(self):
+        src = 'def f():\n    """one liner"""\n    return 1\n'
+        assert count_lines(src, "python") == 2
+
+    def test_c_block_comments(self):
+        src = '\n'.join([
+            "/* header",
+            " * continues",
+            " */",
+            "int main() {",
+            "  return 0; // comment",
+            "}",
+        ])
+        assert count_lines(src, "c") == 3
+
+    def test_julia_block_comments(self):
+        src = "#= block\n comment =#\nf(x) = 2x\n"
+        assert count_lines(src, "julia") == 1
+
+    def test_rust_line_comments(self):
+        src = "// doc\nfn main() {\n}\n"
+        assert count_lines(src, "rust") == 2
+
+    def test_count_file_infers_language(self, tmp_path):
+        path = tmp_path / "t.py"
+        path.write_text("# comment\nx = 1\n")
+        assert count_file(path) == 1
+
+    def test_count_file_unknown_extension(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("hello")
+        with pytest.raises(ValueError):
+            count_file(path)
+
+    def test_count_tree(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\ny = 2\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.c").write_text("int x;\n")
+        results = count_tree(tmp_path)
+        assert sum(results.values()) == 3
+        assert len(results) == 2

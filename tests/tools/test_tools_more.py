@@ -1,0 +1,129 @@
+"""Additional tool coverage: CLI flags, zchecker/fuzzer mains."""
+
+import numpy as np
+import pytest
+
+from repro.tools.cli import run as cli_run
+from repro.tools.fuzzer import main as fuzz_main
+from repro.tools.zchecker import main as zchecker_main
+
+
+class TestCliMoreFlags:
+    def test_print_docs(self, capsys):
+        assert cli_run(["--compressor", "sz", "--print-docs"]) == 0
+        out = capsys.readouterr().out
+        assert "error bound" in out
+
+    def test_no_decompress_skips_roundtrip(self, tmp_path, smooth3d):
+        src = tmp_path / "in.bin"
+        smooth3d.tofile(src)
+        rc = cli_run([
+            "--compressor", "zfp", "--input", str(src),
+            "--dims", "24,24,24", "--option", "zfp:accuracy=1e-3",
+            "--no-decompress",
+            "--save-compressed", str(tmp_path / "out.zfp"),
+        ])
+        assert rc == 0
+        assert (tmp_path / "out.zfp").exists()
+
+    def test_numpy_output_format(self, tmp_path, smooth3d):
+        src = tmp_path / "in.bin"
+        smooth3d.tofile(src)
+        out_path = tmp_path / "round.npy"
+        rc = cli_run([
+            "--compressor", "sz", "--input", str(src),
+            "--dims", "24,24,24", "--option", "pressio:abs=1e-4",
+            "--save-decompressed", str(out_path),
+            "--output-format", "numpy",
+        ])
+        assert rc == 0
+        out = np.load(out_path)
+        assert np.abs(out - smooth3d).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_numpy_input_format(self, tmp_path, smooth3d):
+        src = tmp_path / "in.npy"
+        np.save(src, smooth3d)
+        rc = cli_run([
+            "--compressor", "zfp", "--input", str(src),
+            "--input-format", "numpy",
+            "--option", "zfp:accuracy=1e-3", "--metrics", "size",
+        ])
+        assert rc == 0
+
+    def test_synthetic_hacc_ignores_dims(self):
+        rc = cli_run(["--compressor", "sz", "--synthetic", "hacc",
+                      "--option", "pressio:rel=1e-3", "--metrics", "size"])
+        assert rc == 0
+
+    def test_unknown_synthetic_fails(self):
+        with pytest.raises(SystemExit):
+            cli_run(["--compressor", "sz", "--synthetic", "not-a-dataset"])
+
+    def test_missing_input_and_synthetic_fails(self):
+        with pytest.raises(SystemExit):
+            cli_run(["--compressor", "sz"])
+
+    def test_option_value_type_inference(self, capsys):
+        """int, float, and string option values parse correctly."""
+        rc = cli_run([
+            "--compressor", "sz", "--synthetic", "nyx", "--dims", "8,8,8",
+            "--option", "sz:error_bound_mode_str=abs",   # string
+            "--option", "sz:abs_err_bound=1e-3",          # float
+            "--option", "sz:sz_mode=1",                   # int
+            "--metrics", "size",
+        ])
+        assert rc == 0
+
+
+class TestZcheckerMain:
+    def test_main_with_synthetic(self, capsys):
+        rc = zchecker_main(["--synthetic", "nyx", "-z", "sz",
+                            "-b", "1e-4,1e-3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sz" in out and "ratio" in out
+
+    def test_main_with_input_file(self, tmp_path, smooth3d, capsys):
+        path = tmp_path / "f.bin"
+        smooth3d.tofile(path)
+        rc = zchecker_main(["--input", str(path), "--dims", "24,24,24",
+                            "-z", "zfp", "-b", "1e-3"])
+        assert rc == 0
+
+    def test_main_requires_dims_with_input(self, tmp_path):
+        path = tmp_path / "f.bin"
+        np.zeros(8).tofile(path)
+        with pytest.raises(SystemExit):
+            zchecker_main(["--input", str(path), "-z", "sz"])
+
+    def test_custom_bound_option(self, capsys):
+        rc = zchecker_main(["--synthetic", "nyx", "-z", "zfp",
+                            "-b", "1e-3", "--bound-option",
+                            "zfp:accuracy"])
+        assert rc == 0
+
+
+class TestFuzzerMain:
+    def test_main_clean_run_exits_zero(self, capsys):
+        rc = fuzz_main(["-z", "noop", "-n", "10", "--corrupt-every", "0"])
+        assert rc == 0
+        assert "noop" in capsys.readouterr().out
+
+    def test_main_reports_summary(self, capsys):
+        rc = fuzz_main(["-z", "zfp", "-n", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "iterations" in out
+
+
+class TestFuzzerBoundFamilies:
+    @pytest.mark.parametrize("cid", ["tthresh", "bit_grooming",
+                                     "digit_rounding"])
+    def test_non_abs_bound_plugins_not_false_flagged(self, cid):
+        """Plugins with non-abs bound families must not be reported as
+        bound violators just because they ignore pressio:abs."""
+        from repro.tools.fuzzer import fuzz_compressor
+
+        report = fuzz_compressor(cid, iterations=20, seed=4)
+        assert not report.bound_violations, report.bound_violations
+        assert not report.crashes, report.crashes
