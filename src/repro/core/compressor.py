@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING
 
+from ..trace import runtime as _trace
 from .configurable import Configurable, ThreadSafety
 from .data import PressioData
 from .options import PressioOptions
@@ -62,7 +63,24 @@ class PressioCompressor(Configurable):
         ``output`` may pre-describe (or pre-allocate) the destination as
         in the C API; plugins are free to replace it.  Errors are raised
         as :class:`PressioError` and also recorded on :attr:`status`.
+
+        When tracing is active (:mod:`repro.trace`), the whole operation
+        runs inside a span carrying the plugin id, dtype, dims, and
+        input/output byte counts; nested plugin calls become child spans.
+        The disabled path costs one global read + ``is None`` check.
         """
+        ctx = _trace.ACTIVE
+        if ctx is None:
+            return self._compress_op(input, output)
+        with ctx.span("compress", plugin=self.get_name(),
+                      dtype=input.dtype.name, dims=list(input.dims),
+                      input_bytes=input.size_in_bytes) as sp:
+            result = self._compress_op(input, output)
+            sp.attrs["output_bytes"] = result.size_in_bytes
+            return result
+
+    def _compress_op(self, input: PressioData,
+                     output: PressioData | None) -> PressioData:
         self.status.clear()
         try:
             if self._metrics is not None:
@@ -94,7 +112,21 @@ class PressioCompressor(Configurable):
         uniformly as :class:`CorruptStreamError`, so callers — and the
         fuzzer — can rely on one typed failure mode.  Programming errors
         (TypeError, AttributeError, ...) propagate unchanged.
+
+        Traced like :meth:`compress` when a trace context is active.
         """
+        ctx = _trace.ACTIVE
+        if ctx is None:
+            return self._decompress_op(input, output)
+        with ctx.span("decompress", plugin=self.get_name(),
+                      dtype=output.dtype.name, dims=list(output.dims),
+                      input_bytes=input.size_in_bytes) as sp:
+            result = self._decompress_op(input, output)
+            sp.attrs["output_bytes"] = result.size_in_bytes
+            return result
+
+    def _decompress_op(self, input: PressioData,
+                       output: PressioData) -> PressioData:
         import bz2 as _bz2  # noqa: F401 - documents the OSError source
         import lzma as _lzma
         import struct as _struct

@@ -16,6 +16,7 @@ from ..core.data import PressioData
 from ..core.options import OptionType, PressioOptions
 from ..core.registry import compressor_plugin
 from ..core.status import InvalidOptionError
+from ..trace import runtime as _trace
 from .base import MetaCompressor
 
 __all__ = ["FaultInjectorCompressor", "ErrorInjectorCompressor"]
@@ -66,12 +67,16 @@ class FaultInjectorCompressor(MetaCompressor):
         stream = bytearray(input.to_bytes())
         usable = len(stream) - self._skip_header_bytes
         if self._num_faults > 0 and usable > 0:
-            rng = np.random.default_rng(self._seed)
-            positions = rng.integers(self._skip_header_bytes, len(stream),
-                                     size=self._num_faults)
-            bits = rng.integers(0, 8, size=self._num_faults)
-            for pos, bit in zip(positions, bits):
-                stream[pos] ^= 1 << int(bit)
+            with _trace.stage("fault_injector:inject",
+                              num_faults=self._num_faults, seed=self._seed):
+                rng = np.random.default_rng(self._seed)
+                positions = rng.integers(self._skip_header_bytes, len(stream),
+                                         size=self._num_faults)
+                bits = rng.integers(0, 8, size=self._num_faults)
+                for pos, bit in zip(positions, bits):
+                    stream[pos] ^= 1 << int(bit)
+            _trace.add_counter("fault_injector:bits_flipped",
+                               self._num_faults)
         return self._inner.decompress(PressioData.from_bytes(bytes(stream)),
                                       output)
 
@@ -115,12 +120,17 @@ class ErrorInjectorCompressor(MetaCompressor):
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy(), dtype=np.float64)
         if self._scale > 0:
-            rng = np.random.default_rng(self._seed)
-            if self._distribution == "normal":
-                noise = rng.normal(0.0, self._scale, size=arr.shape)
-            else:
-                noise = rng.uniform(-self._scale, self._scale, size=arr.shape)
-            arr = arr + noise
+            with _trace.stage("error_injector:perturb",
+                              distribution=self._distribution,
+                              scale=self._scale):
+                rng = np.random.default_rng(self._seed)
+                if self._distribution == "normal":
+                    noise = rng.normal(0.0, self._scale, size=arr.shape)
+                else:
+                    noise = rng.uniform(-self._scale, self._scale,
+                                        size=arr.shape)
+                arr = arr + noise
+            _trace.add_counter("error_injector:perturbed_elements", arr.size)
         from ..core.dtype import dtype_to_numpy
 
         noisy = arr.astype(dtype_to_numpy(input.dtype))

@@ -31,6 +31,7 @@ from ..core.data import PressioData
 from ..core.options import OptionType, PressioOptions
 from ..core.registry import compressor_plugin, metrics_registry
 from ..core.status import InvalidOptionError, PressioError
+from ..trace import runtime as _trace
 from .base import MetaCompressor
 
 __all__ = ["OptCompressor"]
@@ -115,24 +116,31 @@ class OptCompressor(MetaCompressor):
     def _evaluate(self, input: PressioData, bound: float
                   ) -> tuple[PressioData, float, float | None]:
         """Compress with ``bound``; return (stream, ratio, quality)."""
-        rc = self._inner.set_options({self._bound_option: bound})
-        if rc != 0:
-            raise InvalidOptionError(
-                f"inner rejected {self._bound_option}={bound}: "
-                f"{self._inner.error_msg()}"
-            )
-        compressed = self._inner.compress(input)
-        ratio = input.size_in_bytes / max(compressed.size_in_bytes, 1)
-        quality = None
-        if self._objective == "max_ratio_with_quality":
-            probe = metrics_registry.create(
-                self._quality_metric.split(":", 1)[0])
-            probe.begin_compress(input)
-            template = PressioData.empty(input.dtype, input.dims)
-            decompressed = self._inner.decompress(compressed, template)
-            probe.end_decompress(compressed, decompressed)
-            value = probe.get_metrics_results().get(self._quality_metric)
-            quality = float(value) if value is not None else None
+        with _trace.stage("opt:evaluate", bound=bound,
+                          iteration=self._iterations) as sp:
+            rc = self._inner.set_options({self._bound_option: bound})
+            if rc != 0:
+                raise InvalidOptionError(
+                    f"inner rejected {self._bound_option}={bound}: "
+                    f"{self._inner.error_msg()}"
+                )
+            compressed = self._inner.compress(input)
+            ratio = input.size_in_bytes / max(compressed.size_in_bytes, 1)
+            quality = None
+            if self._objective == "max_ratio_with_quality":
+                probe = metrics_registry.create(
+                    self._quality_metric.split(":", 1)[0])
+                probe.begin_compress(input)
+                template = PressioData.empty(input.dtype, input.dims)
+                decompressed = self._inner.decompress(compressed, template)
+                probe.end_decompress(compressed, decompressed)
+                value = probe.get_metrics_results().get(self._quality_metric)
+                quality = float(value) if value is not None else None
+            if sp is not None:
+                sp.attrs["ratio"] = ratio
+                if quality is not None:
+                    sp.attrs["quality"] = quality
+            _trace.observe("opt:evaluated_ratio", ratio)
         self._iterations += 1
         return compressed, ratio, quality
 
@@ -176,6 +184,8 @@ class OptCompressor(MetaCompressor):
             )
         self._chosen_bound = best_bound
         self._achieved_ratio = best_ratio
+        _trace.annotate(chosen_bound=best_bound, achieved_ratio=best_ratio,
+                        iterations=self._iterations)
         # leave the inner compressor configured with the winner
         self._inner.set_options({self._bound_option: best_bound})
         return best_stream

@@ -33,6 +33,7 @@ from ..core.options import OptionType, PressioOptions
 from ..core.registry import compressor_plugin, metrics_registry
 from ..core.status import CorruptStreamError, InvalidOptionError
 from ..encoders.headers import read_header, write_header
+from ..trace import runtime as _trace
 from .base import MetaCompressor
 
 __all__ = ["ChunkingCompressor", "ManyIndependentCompressor",
@@ -66,15 +67,25 @@ class _ParallelBase(MetaCompressor):
         self._nthreads = n
 
     def _map(self, fn, tasks: list) -> list:
-        """Run ``fn(worker_compressor, task)`` over tasks, parallel when safe."""
+        """Run ``fn(worker_compressor, task)`` over tasks, parallel when safe.
+
+        When tracing is active, the submitting thread's current span is
+        carried into the pool workers (``wrap_task``) so the spans each
+        worker opens parent under this meta-compressor's operation span
+        instead of becoming orphan roots.
+        """
         if self._nthreads == 1 or len(tasks) <= 1 or not _inner_is_reentrant(self._inner):
+            _trace.annotate(n_tasks=len(tasks), n_workers=1, parallel=False)
             return [fn(self._inner, t) for t in tasks]
         workers = [self._inner.clone() for _ in range(min(self._nthreads,
                                                           len(tasks)))]
+        _trace.annotate(n_tasks=len(tasks), n_workers=len(workers),
+                        parallel=True)
+        traced_fn = _trace.wrap_task(fn)
         results: list = [None] * len(tasks)
         with ThreadPoolExecutor(max_workers=len(workers)) as pool:
             futures = {
-                pool.submit(fn, workers[i % len(workers)], t): i
+                pool.submit(traced_fn, workers[i % len(workers)], t): i
                 for i, t in enumerate(tasks)
             }
             for fut, i in futures.items():
@@ -120,6 +131,10 @@ class ChunkingCompressor(_ParallelBase):
             ).to_bytes()
 
         streams = self._map(work, chunks)
+        if _trace.ACTIVE is not None:
+            _trace.annotate(n_chunks=len(streams))
+            for s in streams:
+                _trace.observe("chunking:compressed_chunk_bytes", len(s))
         table = struct.pack(f"<{len(streams)}Q", *(len(s) for s in streams))
         header = write_header(_MAGIC, input.dtype, input.dims,
                               ints=(len(streams), self._chunk_size))
@@ -244,24 +259,28 @@ class ManyIndependentCompressor(_ParallelBase):
         return self._inner.decompress(input, output)
 
     def compress_many(self, inputs: list[PressioData]) -> list[PressioData]:
-        if self._mode == "process" and len(inputs) > 1:
-            return self._process_map_compress(inputs)
+        with _trace.stage("compress_many", plugin=self.get_name(),
+                          n_inputs=len(inputs), mode=self._mode):
+            if self._mode == "process" and len(inputs) > 1:
+                return self._process_map_compress(inputs)
 
-        def work(compressor: PressioCompressor, data: PressioData) -> PressioData:
-            return compressor.compress(data)
+            def work(compressor: PressioCompressor, data: PressioData) -> PressioData:
+                return compressor.compress(data)
 
-        return self._map(work, list(inputs))
+            return self._map(work, list(inputs))
 
     def decompress_many(self, inputs: list[PressioData],
                         outputs: list[PressioData]) -> list[PressioData]:
-        if self._mode == "process" and len(inputs) > 1:
-            return self._process_map_decompress(inputs, outputs)
+        with _trace.stage("decompress_many", plugin=self.get_name(),
+                          n_inputs=len(inputs), mode=self._mode):
+            if self._mode == "process" and len(inputs) > 1:
+                return self._process_map_decompress(inputs, outputs)
 
-        def work(compressor: PressioCompressor, task) -> PressioData:
-            data, template = task
-            return compressor.decompress(data, template)
+            def work(compressor: PressioCompressor, task) -> PressioData:
+                data, template = task
+                return compressor.decompress(data, template)
 
-        return self._map(work, list(zip(inputs, outputs)))
+            return self._map(work, list(zip(inputs, outputs)))
 
     # -- process-pool plumbing -------------------------------------------
     def _process_tasks(self, payloads: list[tuple]) -> list:
@@ -358,7 +377,11 @@ class ManyDependentCompressor(_ParallelBase):
                         opts = PressioOptions(
                             {self._to_option: float(measured) * self._scale}
                         )
-                        rc = self._inner.set_options(opts)
+                        with _trace.stage("many_dependent:forward",
+                                          to_option=self._to_option,
+                                          value=float(measured) * self._scale):
+                            rc = self._inner.set_options(opts)
+                        _trace.add_counter("many_dependent:forwards")
                         if rc != 0:
                             raise InvalidOptionError(self._inner.error_msg())
                 compressed = self._inner.compress(data)

@@ -17,6 +17,7 @@ from ..core.registry import compressor_plugin, compressor_registry
 from ..core.status import CorruptStreamError, InvalidOptionError
 from ..core.dtype import DType
 from ..encoders.headers import read_header, write_header
+from ..trace import runtime as _trace
 
 __all__ = ["SwitchCompressor"]
 
@@ -96,6 +97,8 @@ class SwitchCompressor(PressioCompressor):
 
     # -- compression --------------------------------------------------------
     def _compress(self, input: PressioData) -> PressioData:
+        _trace.annotate(active_id=self._active)
+        _trace.add_counter(f"switch:dispatch:{self._active}")
         inner_out = self.active.compress(input)
         tag = self._active.encode("utf-8")
         header = write_header(_MAGIC, DType.BYTE, (len(tag),),
@@ -107,6 +110,7 @@ class SwitchCompressor(PressioCompressor):
         _dtype, _dims, _d, ints, pos = read_header(stream, _MAGIC)
         tag_len = ints[0]
         tag = stream[pos:pos + tag_len].decode("utf-8")
+        _trace.annotate(active_id=tag)
         candidate = self._ensure(tag)
         return candidate.decompress(
             PressioData.from_bytes(stream[pos + tag_len:]), output

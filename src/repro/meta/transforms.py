@@ -16,6 +16,7 @@ from ..core.options import OptionType, PressioOptions
 from ..core.registry import compressor_plugin
 from ..core.status import CorruptStreamError, InvalidDimensionsError, InvalidOptionError
 from ..encoders.headers import read_header, write_header
+from ..trace import runtime as _trace
 from .base import MetaCompressor
 
 __all__ = [
@@ -79,7 +80,8 @@ class TransposeCompressor(MetaCompressor):
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy())
         order = self._order_for(arr.ndim)
-        transposed = np.ascontiguousarray(arr.transpose(order))
+        with _trace.stage("transpose:forward", order=list(order)):
+            transposed = np.ascontiguousarray(arr.transpose(order))
         inner_out = self._inner.compress(PressioData.from_numpy(transposed,
                                                                 copy=False))
         return _wrap(inner_out.to_bytes(), input.dtype, input.dims,
@@ -93,8 +95,9 @@ class TransposeCompressor(MetaCompressor):
         out = self._inner.decompress(PressioData.from_bytes(inner_stream),
                                      inner_template)
         arr = np.asarray(out.to_numpy()).reshape(t_dims)
-        inverse = np.argsort(order)
-        restored = np.ascontiguousarray(arr.transpose(inverse))
+        with _trace.stage("transpose:inverse", order=list(order)):
+            inverse = np.argsort(order)
+            restored = np.ascontiguousarray(arr.transpose(inverse))
         return PressioData.from_numpy(restored, copy=False)
 
 
@@ -151,6 +154,7 @@ class DeltaEncodingCompressor(MetaCompressor):
 
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy()).reshape(-1)
+        _trace.annotate(stage="delta_encoding:forward")
         if arr.dtype.kind in "iu":
             work = arr.astype(np.int64)
             delta = np.empty_like(work)
@@ -217,7 +221,8 @@ class LinearQuantizerCompressor(MetaCompressor):
 
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy(), dtype=np.float64)
-        codes = np.rint(arr / self._step).astype(np.int64)
+        with _trace.stage("linear_quantizer:quantize", step=self._step):
+            codes = np.rint(arr / self._step).astype(np.int64)
         inner_out = self._inner.compress(
             PressioData.from_numpy(codes, copy=False)
         )
@@ -231,10 +236,9 @@ class LinearQuantizerCompressor(MetaCompressor):
         out = self._inner.decompress(PressioData.from_bytes(inner_stream),
                                      inner_template)
         codes = np.asarray(out.to_numpy(), dtype=np.float64)
-        return PressioData.from_numpy(
-            (codes * step).astype(dtype_to_numpy(dtype)).reshape(dims),
-            copy=False,
-        )
+        with _trace.stage("linear_quantizer:dequantize", step=step):
+            restored = (codes * step).astype(dtype_to_numpy(dtype)).reshape(dims)
+        return PressioData.from_numpy(restored, copy=False)
 
 
 @compressor_plugin("sample")
@@ -296,7 +300,9 @@ class SampleCompressor(MetaCompressor):
                 f"cannot sample every {self._rate} of leading dim "
                 f"{arr.shape[:1]}"
             )
-        sampled = np.ascontiguousarray(arr[self._select(arr.shape[0])])
+        with _trace.stage("sample:select", mode=self._mode, rate=self._rate):
+            sampled = np.ascontiguousarray(arr[self._select(arr.shape[0])])
+        _trace.annotate(sampled_dims=list(sampled.shape))
         inner_out = self._inner.compress(
             PressioData.from_numpy(sampled, copy=False)
         )

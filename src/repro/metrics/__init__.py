@@ -3,7 +3,8 @@
 Importing this package registers: ``size``, ``time``, ``error_stat``,
 ``pearson``, ``autocorr``, ``ks_test``, ``kl_divergence``, ``diff_pdf``,
 ``spatial_error``, ``kth_error``, ``region_of_interest``, ``mask``,
-``history``, ``ftk``, ``csv_logger`` — plus :class:`CompositeMetrics` for combining them.
+``history``, ``ftk``, ``csv_logger``, ``trace`` — plus
+:class:`CompositeMetrics` for combining them.
 """
 
 from .base import ComparisonMetrics
@@ -21,8 +22,10 @@ from .spatial import (
     SpatialErrorMetrics,
 )
 from .time_ import TimeMetrics
+from ..trace.metric import TraceMetrics
 
 __all__ = [
+    "TraceMetrics",
     "ComparisonMetrics",
     "CompositeMetrics",
     "SizeMetrics",

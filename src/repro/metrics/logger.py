@@ -9,6 +9,16 @@ libpressio serves with its ``csv`` printer metric.
 Columns are the union of the child metrics' result keys, fixed at the
 first write (a header line is emitted); later rows leave missing
 entries blank.
+
+``csv_logger:mode`` selects when rows are appended:
+
+* ``roundtrip`` (default) — one row per compress(+decompress) pair.  A
+  compress with no following decompress (compress-only sweeps) is
+  flushed when the next operation begins, when results are read, or on
+  an explicit :meth:`flush` — previously such workflows silently logged
+  nothing;
+* ``per_operation`` — one row after *every* operation, with an
+  ``operation`` column distinguishing compress from decompress rows.
 """
 
 from __future__ import annotations
@@ -32,22 +42,31 @@ class CsvLoggerMetrics(PressioMetrics):
     def __init__(self) -> None:
         super().__init__()
         self._path = ""
+        self._mode = "roundtrip"
         self._child_ids = ["size", "time", "error_stat"]
         self._children = [metrics_registry.create(mid)
                           for mid in self._child_ids]
         self._columns: list[str] | None = None
         self._row_count = 0
+        self._pending = False  # a compress happened; its row is unwritten
 
     # -- options ----------------------------------------------------------
     def _options(self) -> PressioOptions:
         opts = PressioOptions()
         opts.set("csv_logger:path", self._path)
+        opts.set("csv_logger:mode", self._mode)
         opts.set("csv_logger:metrics", list(self._child_ids))
         return opts
 
     def _set_options(self, options: PressioOptions) -> None:
         self._path = str(self._take(options, "csv_logger:path",
                                     OptionType.STRING, self._path))
+        mode = str(self._take(options, "csv_logger:mode",
+                              OptionType.STRING, self._mode))
+        if mode not in ("roundtrip", "per_operation"):
+            raise InvalidOptionError(
+                "csv_logger:mode must be roundtrip or per_operation")
+        self._mode = mode
         ids = options.get("csv_logger:metrics")
         if ids is not None:
             ids = [str(i) for i in ids]
@@ -58,6 +77,11 @@ class CsvLoggerMetrics(PressioMetrics):
                 self._columns = None
 
     def _check_options(self, options: PressioOptions) -> None:
+        mode = options.get("csv_logger:mode")
+        if mode is not None and str(mode) not in ("roundtrip",
+                                                  "per_operation"):
+            raise InvalidOptionError(
+                "csv_logger:mode must be roundtrip or per_operation")
         ids = options.get("csv_logger:metrics")
         if ids is not None:
             for mid in ids:
@@ -67,12 +91,19 @@ class CsvLoggerMetrics(PressioMetrics):
 
     # -- hook fan-out --------------------------------------------------------
     def begin_compress(self, input: PressioData) -> None:
+        # a pending compress-only row means the previous compress never
+        # saw a decompress: flush it before the children start over
+        self.flush()
         for child in self._children:
             child.begin_compress(input)
 
     def end_compress(self, input: PressioData, output: PressioData) -> None:
         for child in self._children:
             child.end_compress(input, output)
+        if self._mode == "per_operation":
+            self._append_row(operation="compress")
+        else:
+            self._pending = True
 
     def begin_decompress(self, input: PressioData) -> None:
         for child in self._children:
@@ -81,7 +112,17 @@ class CsvLoggerMetrics(PressioMetrics):
     def end_decompress(self, input: PressioData, output: PressioData) -> None:
         for child in self._children:
             child.end_decompress(input, output)
-        self._append_row()
+        if self._mode == "per_operation":
+            self._append_row(operation="decompress")
+        else:
+            self._pending = False
+            self._append_row()
+
+    def flush(self) -> None:
+        """Write any pending compress-only row (roundtrip mode)."""
+        if self._pending:
+            self._pending = False
+            self._append_row()
 
     # -- logging ----------------------------------------------------------
     def _gather(self) -> dict:
@@ -91,10 +132,12 @@ class CsvLoggerMetrics(PressioMetrics):
         return {k: v for k, v in merged.to_dict().items()
                 if isinstance(v, (int, float, str, bool))}
 
-    def _append_row(self) -> None:
+    def _append_row(self, operation: str | None = None) -> None:
         if not self._path:
             raise InvalidOptionError("csv_logger:path is not set")
         row = self._gather()
+        if operation is not None:
+            row["operation"] = operation
         new_file = not os.path.exists(self._path) or self._columns is None
         if self._columns is None:
             if os.path.exists(self._path):
@@ -113,6 +156,8 @@ class CsvLoggerMetrics(PressioMetrics):
         self._row_count += 1
 
     def get_metrics_results(self) -> PressioOptions:
+        if self._path:
+            self.flush()  # make compress-only workflows durable
         results = PressioOptions()
         results.set("csv_logger:rows_written", self._row_count)
         results.set("csv_logger:path", self._path)
@@ -126,3 +171,4 @@ class CsvLoggerMetrics(PressioMetrics):
             child.reset()
         self._row_count = 0
         self._columns = None
+        self._pending = False

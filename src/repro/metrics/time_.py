@@ -1,7 +1,21 @@
 """The ``time`` metrics plugin: wall-clock timing of each operation.
 
-Uses the monotonic high-resolution clock, as the paper's methodology
-does (``std::chrono::steady_clock``).
+Uses ``time.perf_counter_ns`` — the monotonic high-resolution clock, as
+the paper's methodology does (``std::chrono::steady_clock``) — for every
+measurement, so nanosecond-scale operations don't quantize to zero.
+
+Results report both the *last* operation and accumulated *wall* totals,
+with key names aligned to the ``trace`` plugin's aggregates
+(``calls`` / ``total_ms`` / ``bytes_per_s``) so a sweep can join the
+two data sources on matching columns:
+
+* ``time:compress`` / ``time:decompress`` — last operation, ms;
+* ``time:compress_ns`` / ``time:decompress_ns`` — last operation, ns;
+* ``time:compress_calls`` / ``time:decompress_calls`` — operation count;
+* ``time:compress_total_ms`` / ``time:decompress_total_ms`` — wall time
+  accumulated across all operations since the last ``reset()``;
+* ``time:compress_bytes_per_s`` / ``time:decompress_bytes_per_s`` —
+  uncompressed-bytes throughput over the accumulated wall time.
 """
 
 from __future__ import annotations
@@ -18,44 +32,72 @@ from ..core.registry import metric_plugin
 __all__ = ["TimeMetrics"]
 
 
+class _OpTimer:
+    """Accumulated timing state for one operation kind."""
+
+    __slots__ = ("begin_ns", "last_ns", "total_ns", "calls", "bytes")
+
+    def __init__(self) -> None:
+        self.begin_ns: int | None = None
+        self.last_ns: int | None = None
+        self.total_ns = 0
+        self.calls = 0
+        self.bytes = 0
+
+    def begin(self) -> None:
+        self.begin_ns = time.perf_counter_ns()
+
+    def end(self, nbytes: int) -> None:
+        if self.begin_ns is None:
+            return
+        elapsed = time.perf_counter_ns() - self.begin_ns
+        self.begin_ns = None
+        self.last_ns = elapsed
+        self.total_ns += elapsed
+        self.calls += 1
+        self.bytes += nbytes
+
+    def results_into(self, results: PressioOptions, op: str) -> None:
+        if self.last_ns is None:
+            return
+        results.set(f"time:{op}", self.last_ns / 1e6)
+        results.set(f"time:{op}_many", self.last_ns / 1e6)
+        results.set(f"time:{op}_ns", np.int64(self.last_ns))
+        results.set(f"time:{op}_calls", np.int64(self.calls))
+        results.set(f"time:{op}_total_ms", self.total_ns / 1e6)
+        if self.total_ns > 0:
+            results.set(f"time:{op}_bytes_per_s",
+                        self.bytes / (self.total_ns / 1e9))
+
+
 @metric_plugin("time")
 class TimeMetrics(PressioMetrics):
-    """Measures compress/decompress wall time in milliseconds."""
+    """Measures compress/decompress wall time (ms) and throughput."""
 
     def __init__(self) -> None:
         super().__init__()
-        self._t0: float | None = None
-        self._compress_ms: float | None = None
-        self._decompress_ms: float | None = None
-        self._compress_many_ms: float | None = None
+        self._compress = _OpTimer()
+        self._decompress = _OpTimer()
 
     def begin_compress(self, input: PressioData) -> None:
-        self._t0 = time.perf_counter()
+        self._compress.begin()
 
     def end_compress(self, input: PressioData, output: PressioData) -> None:
-        if self._t0 is not None:
-            self._compress_ms = (time.perf_counter() - self._t0) * 1e3
-        self._t0 = None
+        self._compress.end(input.size_in_bytes)
 
     def begin_decompress(self, input: PressioData) -> None:
-        self._t0 = time.perf_counter()
+        self._decompress.begin()
 
     def end_decompress(self, input: PressioData, output: PressioData) -> None:
-        if self._t0 is not None:
-            self._decompress_ms = (time.perf_counter() - self._t0) * 1e3
-        self._t0 = None
+        # throughput counts the uncompressed side, like the trace aggregates
+        self._decompress.end(output.size_in_bytes)
 
     def get_metrics_results(self) -> PressioOptions:
         results = PressioOptions()
-        if self._compress_ms is not None:
-            results.set("time:compress", self._compress_ms)
-            results.set("time:compress_many", self._compress_ms)
-        if self._decompress_ms is not None:
-            results.set("time:decompress", self._decompress_ms)
-            results.set("time:decompress_many", self._decompress_ms)
+        self._compress.results_into(results, "compress")
+        self._decompress.results_into(results, "decompress")
         return results
 
     def reset(self) -> None:
-        self._t0 = None
-        self._compress_ms = None
-        self._decompress_ms = None
+        self._compress = _OpTimer()
+        self._decompress = _OpTimer()

@@ -15,6 +15,17 @@ Examples::
             --metrics size,time,error_stat --print-metrics
     pressio --compressor zfp --input data.npy --input-format numpy \
             --option zfp:accuracy=1e-3 --save-compressed out.zfp
+
+The ``trace`` subcommand round-trips a dataset with span tracing on and
+prints the span tree plus a per-plugin aggregate report; ``--jsonl`` and
+``--chrome-trace`` export the raw events (the latter opens in
+``chrome://tracing`` / Perfetto)::
+
+    pressio trace --compressor chunking \
+            --option chunking:compressor=sz_threadsafe \
+            --option pressio:abs=1e-4 \
+            --synthetic nyx --dims 32,32,32 \
+            --jsonl trace.jsonl --chrome-trace chrome.json
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ from ..core.dtype import dtype_from_numpy
 from ..core.library import Pressio
 from ..core.options import PressioOptions
 
-__all__ = ["main", "build_parser", "run"]
+__all__ = ["main", "build_parser", "build_trace_parser", "run", "run_trace"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,7 +137,91 @@ def _print_options(title: str, options: PressioOptions) -> None:
         print(f"  {key} = {value!r} ({opt.type.name})")
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pressio trace",
+        description="round-trip a dataset with span tracing and report "
+                    "where the time went",
+    )
+    parser.add_argument("--compressor", "-z", required=True,
+                        help="compressor plugin id")
+    parser.add_argument("--input", "-i", default=None, help="input path")
+    parser.add_argument("--input-format", "-I", default="posix",
+                        help="io plugin for reading (posix, numpy, csv, ...)")
+    parser.add_argument("--synthetic", default=None,
+                        help="use a synthetic dataset instead of --input")
+    parser.add_argument("--dtype", "-t", default="float64",
+                        help="element type for typeless formats")
+    parser.add_argument("--dims", "-d", default=None,
+                        help="comma-separated dims for typeless formats")
+    parser.add_argument("--option", "-o", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="set a compressor option (repeatable)")
+    parser.add_argument("--no-decompress", action="store_true",
+                        help="trace the compression phase only")
+    parser.add_argument("--jsonl", default=None,
+                        help="write the span/counter event log to this path")
+    parser.add_argument("--chrome-trace", default=None,
+                        help="write chrome://tracing JSON to this path")
+    parser.add_argument("--no-tree", action="store_true",
+                        help="skip printing the span tree")
+    parser.add_argument("--no-report", action="store_true",
+                        help="skip printing the aggregate report")
+    return parser
+
+
+def run_trace(argv: list[str]) -> int:
+    """The ``pressio trace`` subcommand."""
+    from ..trace import (format_report, render_tree, tracing,
+                         write_chrome_trace, write_jsonl)
+
+    args = build_trace_parser().parse_args(argv)
+    library = Pressio()
+    compressor = library.get_compressor(args.compressor)
+    if compressor is None:
+        print(f"error: {library.error_msg()}", file=sys.stderr)
+        return 2
+
+    options = PressioOptions()
+    for entry in args.option:
+        if "=" not in entry:
+            print(f"error: bad --option {entry!r}, expected KEY=VALUE",
+                  file=sys.stderr)
+            return 2
+        key, _, raw = entry.partition("=")
+        options.set(key, _parse_option_value(raw))
+    if len(options) and compressor.set_options(options) != 0:
+        print(f"error: {compressor.error_msg()}", file=sys.stderr)
+        return 2
+
+    input_data = _load_input(args, library)
+    with tracing() as trace:
+        compressed = compressor.compress(input_data)
+        if not args.no_decompress:
+            template = PressioData.empty(input_data.dtype, input_data.dims)
+            compressor.decompress(compressed, template)
+
+    if not args.no_tree:
+        print("span tree:")
+        print(render_tree(trace))
+    if not args.no_report:
+        if not args.no_tree:
+            print()
+        print(format_report(trace))
+    if args.jsonl:
+        lines = write_jsonl(trace, args.jsonl)
+        print(f"wrote {lines} events to {args.jsonl}")
+    if args.chrome_trace:
+        events = write_chrome_trace(trace, args.chrome_trace)
+        print(f"wrote {events} chrome trace events to {args.chrome_trace}")
+    return 0
+
+
 def run(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return run_trace(argv[1:])
     args = build_parser().parse_args(argv)
     library = Pressio()
 

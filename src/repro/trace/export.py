@@ -1,0 +1,189 @@
+"""Exporters and reports for a :class:`~repro.trace.context.TraceContext`.
+
+Three consumers, matching how per-stage timing data actually gets used:
+
+* :func:`write_jsonl` — an append-friendly event log (one JSON object
+  per line: spans, then counters and histograms) for offline analysis;
+* :func:`write_chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` / Perfetto, with one track per thread so the
+  parallel meta-compressors' worker fan-out is visible on a timeline;
+* :func:`aggregate` / :func:`format_report` — an in-process roll-up of
+  per-plugin self time, call counts, and throughput, the numbers a
+  perf PR quotes before and after.
+
+:func:`render_tree` pretty-prints the span tree for the ``pressio
+trace`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from .context import Span, TraceContext
+
+__all__ = [
+    "write_jsonl",
+    "write_chrome_trace",
+    "aggregate",
+    "format_report",
+    "render_tree",
+]
+
+
+def _open_maybe(path_or_file: str | TextIO):
+    if hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, "w"), True
+
+
+def write_jsonl(ctx: TraceContext, path_or_file: str | TextIO) -> int:
+    """Write one JSON object per line; returns the number of lines."""
+    fh, owned = _open_maybe(path_or_file)
+    lines = 0
+    try:
+        for sp in ctx.spans():
+            fh.write(json.dumps({"type": "span", **sp.to_dict()}) + "\n")
+            lines += 1
+        for name, value in sorted(ctx.counters().items()):
+            fh.write(json.dumps(
+                {"type": "counter", "name": name, "value": value}) + "\n")
+            lines += 1
+        for name, hist in sorted(ctx.histograms().items()):
+            fh.write(json.dumps(
+                {"type": "histogram", "name": name, **hist.to_dict()}) + "\n")
+            lines += 1
+    finally:
+        if owned:
+            fh.close()
+    return lines
+
+
+def write_chrome_trace(ctx: TraceContext, path_or_file: str | TextIO,
+                       process_name: str = "pressio") -> int:
+    """Write Chrome Trace Event Format JSON; returns the event count.
+
+    Spans become complete ("ph": "X") events whose ``tid`` is the OS
+    thread id, so each worker thread renders as its own track.
+    """
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    threads_seen: set[int] = set()
+    for sp in ctx.spans():
+        if sp.thread_id not in threads_seen:
+            threads_seen.add(sp.thread_id)
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 0,
+                "tid": sp.thread_id, "args": {"name": sp.thread_name},
+            })
+        events.append({
+            "name": sp.name,
+            "cat": str(sp.attrs.get("plugin", "trace")),
+            "ph": "X",
+            "pid": 0,
+            "tid": sp.thread_id,
+            "ts": sp.start_ns / 1e3,  # microseconds
+            "dur": sp.duration_ns / 1e3,
+            "args": {
+                "span_id": sp.span_id,
+                "parent_id": sp.parent_id,
+                "status": sp.status,
+                **{k: v for k, v in sp.to_dict()["attrs"].items()},
+            },
+        })
+    for name, value in sorted(ctx.counters().items()):
+        events.append({
+            "name": name, "ph": "C", "pid": 0, "tid": 0, "ts": 0,
+            "args": {"value": value},
+        })
+    fh, owned = _open_maybe(path_or_file)
+    try:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    finally:
+        if owned:
+            fh.close()
+    return len(events)
+
+
+def aggregate(ctx: TraceContext) -> dict[str, dict[str, Any]]:
+    """Per-plugin roll-up: calls, total/self wall time, bytes, bytes/s.
+
+    Spans without a ``plugin`` attribute are grouped under their span
+    name, so stage spans (``transpose:forward``, ``opt:evaluate``) get
+    their own rows.  ``self_ms`` excludes time attributed to direct
+    children — the number that localizes an overhead regression.
+    """
+    rows: dict[str, dict[str, Any]] = {}
+    for sp in ctx.spans():
+        key = str(sp.attrs.get("plugin", sp.name))
+        row = rows.setdefault(key, {
+            "calls": 0, "total_ms": 0.0, "self_ms": 0.0,
+            "bytes": 0, "errors": 0,
+        })
+        row["calls"] += 1
+        row["total_ms"] += sp.duration_ms
+        row["self_ms"] += ctx.self_time_ns(sp) / 1e6
+        row["bytes"] += int(sp.attrs.get("input_bytes", 0) or 0)
+        if sp.status.startswith("error"):
+            row["errors"] += 1
+    for row in rows.values():
+        total_s = row["total_ms"] / 1e3
+        row["bytes_per_s"] = row["bytes"] / total_s if total_s > 0 else 0.0
+    return rows
+
+
+def format_report(ctx: TraceContext) -> str:
+    """Human-readable aggregate table plus counters and histograms."""
+    rows = aggregate(ctx)
+    header = (f"{'plugin/stage':<28} {'calls':>6} {'total ms':>10} "
+              f"{'self ms':>10} {'MB/s':>10}")
+    lines = [header, "-" * len(header)]
+    for key in sorted(rows, key=lambda k: -rows[k]["self_ms"]):
+        row = rows[key]
+        mbps = row["bytes_per_s"] / 1e6
+        lines.append(f"{key:<28} {row['calls']:>6} {row['total_ms']:>10.3f} "
+                     f"{row['self_ms']:>10.3f} {mbps:>10.2f}")
+    counters = ctx.counters()
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name} = {value:g}")
+    histograms = ctx.histograms()
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        for name, hist in sorted(histograms.items()):
+            lines.append(f"  {name}: n={hist.count} mean={hist.mean:.3g} "
+                         f"min={hist.min:.3g} max={hist.max:.3g}")
+    return "\n".join(lines)
+
+
+def render_tree(ctx: TraceContext) -> str:
+    """ASCII rendering of the span forest, children indented under parents."""
+    spans = ctx.spans()
+    by_parent: dict[int | None, list[Span]] = {}
+    for sp in spans:
+        by_parent.setdefault(sp.parent_id, []).append(sp)
+    known_ids = {sp.span_id for sp in spans}
+    lines: list[str] = []
+
+    def walk(sp: Span, depth: int) -> None:
+        label = str(sp.attrs.get("plugin", ""))
+        suffix = f" [{label}]" if label and label != sp.name else ""
+        thread = (f" thread={sp.thread_name}"
+                  if sp.parent_id is not None else "")
+        lines.append(f"{'  ' * depth}{sp.name}{suffix} "
+                     f"{sp.duration_ms:.3f}ms"
+                     f" (self {ctx.self_time_ns(sp) / 1e6:.3f}ms)"
+                     f"{thread}")
+        for child in by_parent.get(sp.span_id, []):
+            walk(child, depth + 1)
+
+    # roots: no parent, or parent fell outside this context's records
+    for sp in spans:
+        if sp.parent_id is None or sp.parent_id not in known_ids:
+            walk(sp, 0)
+    return "\n".join(lines)

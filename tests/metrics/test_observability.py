@@ -1,0 +1,159 @@
+"""Observability fixes: csv_logger flushing modes and time accumulators.
+
+Pins the two satellite behaviors shipped with the tracing subsystem:
+
+* ``csv_logger`` no longer loses compress-only workflows (rows were
+  previously appended only in ``end_decompress``), and its new
+  ``csv_logger:mode`` option selects roundtrip vs per-operation rows;
+* ``time`` accumulates wall totals, call counts, and throughput with
+  key names aligned to the ``trace`` aggregates.
+"""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core import PressioData
+
+
+def compress_only(comp, arr):
+    return comp.compress(PressioData.from_numpy(np.asarray(arr)))
+
+
+def roundtrip(comp, arr):
+    data = PressioData.from_numpy(np.asarray(arr))
+    compressed = comp.compress(data)
+    comp.decompress(compressed, PressioData.empty(data.dtype, data.dims))
+
+
+def make_logged_compressor(library, tmp_path, mode=None):
+    comp = library.get_compressor("sz")
+    assert comp.set_options({"pressio:abs": 1e-4}) == 0
+    logger = library.get_metric("csv_logger")
+    options = {"csv_logger:path": str(tmp_path / "log.csv")}
+    if mode is not None:
+        options["csv_logger:mode"] = mode
+    assert logger.set_options(options) == 0, logger.error_msg()
+    comp.set_metrics(logger)
+    return comp, logger, tmp_path / "log.csv"
+
+
+def read_rows(path):
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+class TestCsvLoggerCompressOnly:
+    def test_results_read_flushes_compress_only_row(self, library,
+                                                    smooth3d, tmp_path):
+        comp, logger, path = make_logged_compressor(library, tmp_path)
+        compress_only(comp, smooth3d)
+        comp.get_metrics_results()
+        rows = read_rows(path)
+        assert len(rows) == 1
+        assert float(rows[0]["time:compress"]) > 0
+
+    def test_next_compress_flushes_previous_row(self, library, smooth3d,
+                                                tmp_path):
+        comp, logger, path = make_logged_compressor(library, tmp_path)
+        compress_only(comp, smooth3d)
+        compress_only(comp, smooth3d)
+        comp.get_metrics_results()
+        assert len(read_rows(path)) == 2
+
+    def test_explicit_flush(self, library, smooth3d, tmp_path):
+        comp, logger, path = make_logged_compressor(library, tmp_path)
+        compress_only(comp, smooth3d)
+        logger.flush()
+        assert len(read_rows(path)) == 1
+        logger.flush()  # idempotent: nothing pending
+        assert len(read_rows(path)) == 1
+
+    def test_roundtrip_still_one_row(self, library, smooth3d, tmp_path):
+        comp, logger, path = make_logged_compressor(library, tmp_path)
+        for _ in range(3):
+            roundtrip(comp, smooth3d)
+        comp.get_metrics_results()
+        assert len(read_rows(path)) == 3
+
+
+class TestCsvLoggerPerOperation:
+    def test_one_row_per_operation_with_operation_column(self, library,
+                                                         smooth3d,
+                                                         tmp_path):
+        comp, logger, path = make_logged_compressor(library, tmp_path,
+                                                    mode="per_operation")
+        roundtrip(comp, smooth3d)
+        rows = read_rows(path)
+        assert [r["operation"] for r in rows] == ["compress", "decompress"]
+
+    def test_compress_only_logged_immediately(self, library, smooth3d,
+                                              tmp_path):
+        comp, logger, path = make_logged_compressor(library, tmp_path,
+                                                    mode="per_operation")
+        compress_only(comp, smooth3d)
+        rows = read_rows(path)
+        assert len(rows) == 1
+        assert rows[0]["operation"] == "compress"
+
+    def test_invalid_mode_rejected(self, library):
+        logger = library.get_metric("csv_logger")
+        assert logger.set_options({"csv_logger:mode": "sometimes"}) != 0
+        assert "csv_logger:mode" in logger.error_msg()
+
+    def test_mode_visible_in_options(self, library):
+        logger = library.get_metric("csv_logger")
+        assert logger.get_options().get("csv_logger:mode") == "roundtrip"
+        assert logger.set_options({"csv_logger:mode": "per_operation"}) == 0
+        assert logger.get_options().get("csv_logger:mode") == "per_operation"
+
+
+class TestTimeAccumulators:
+    def run(self, library, smooth3d, n=1):
+        comp = library.get_compressor("sz")
+        assert comp.set_options({"pressio:abs": 1e-4}) == 0
+        comp.set_metrics(library.get_metric("time"))
+        for _ in range(n):
+            roundtrip(comp, smooth3d)
+        return comp.get_metrics_results()
+
+    def test_last_operation_keys_in_ns_and_ms(self, library, smooth3d):
+        results = self.run(library, smooth3d)
+        for op in ("compress", "decompress"):
+            assert results.get(f"time:{op}_ns") > 0
+            assert results.get(f"time:{op}") == pytest.approx(
+                results.get(f"time:{op}_ns") / 1e6)
+
+    def test_calls_and_totals_accumulate(self, library, smooth3d):
+        results = self.run(library, smooth3d, n=3)
+        for op in ("compress", "decompress"):
+            assert results.get(f"time:{op}_calls") == 3
+            assert (results.get(f"time:{op}_total_ms")
+                    >= results.get(f"time:{op}"))
+
+    def test_throughput_counts_uncompressed_bytes(self, library, smooth3d):
+        results = self.run(library, smooth3d, n=2)
+        for op in ("compress", "decompress"):
+            total_s = results.get(f"time:{op}_total_ms") / 1e3
+            expected = 2 * smooth3d.nbytes / total_s
+            assert results.get(f"time:{op}_bytes_per_s") == pytest.approx(
+                expected, rel=1e-6)
+
+    def test_keys_align_with_trace_aggregates(self, library, smooth3d):
+        """A sweep can join time:* and trace:* columns on matching names."""
+        from repro.trace import tracing
+        from repro.trace.export import aggregate
+
+        comp = library.get_compressor("sz")
+        assert comp.set_options({"pressio:abs": 1e-4}) == 0
+        comp.set_metrics(library.get_metric("time"))
+        with tracing() as trace:
+            roundtrip(comp, smooth3d)
+        results = comp.get_metrics_results()
+        row = aggregate(trace)["sz"]
+        assert (results.get("time:compress_calls")
+                + results.get("time:decompress_calls")) == row["calls"]
+        for suffix in ("calls", "total_ms", "bytes_per_s"):
+            assert any(k.endswith(suffix) for k in (f"time:compress_{suffix}",))
+            assert suffix in row

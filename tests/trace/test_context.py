@@ -1,0 +1,204 @@
+"""Unit tests for the tracing primitives (Span, TraceContext, runtime)."""
+
+import threading
+
+import pytest
+
+from repro.trace import (
+    TraceContext,
+    active_tracer,
+    add_counter,
+    annotate,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    observe,
+    stage,
+    tracing,
+    wrap_task,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestSpanBasics:
+    def test_nesting_assigns_parent_ids(self):
+        ctx = TraceContext()
+        with ctx.span("outer") as outer:
+            with ctx.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with ctx.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert len(ctx.spans()) == 3
+
+    def test_span_ids_unique_and_monotonic(self):
+        ctx = TraceContext()
+        with ctx.span("a"):
+            pass
+        with ctx.span("b"):
+            pass
+        ids = [s.span_id for s in ctx.spans()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_duration_positive_and_closed(self):
+        ctx = TraceContext()
+        with ctx.span("timed") as sp:
+            assert sp.is_open()
+        assert not sp.is_open()
+        assert sp.duration_ns > 0
+        assert sp.duration_ms == pytest.approx(sp.duration_ns / 1e6)
+
+    def test_exception_marks_error_status(self):
+        ctx = TraceContext()
+        with pytest.raises(ValueError):
+            with ctx.span("boom"):
+                raise ValueError("nope")
+        sp = ctx.spans()[0]
+        assert sp.status == "error:ValueError"
+        assert not sp.is_open()
+
+    def test_attrs_recorded_and_settable(self):
+        ctx = TraceContext()
+        with ctx.span("op", plugin="sz", input_bytes=100) as sp:
+            sp.set_attr("output_bytes", 10)
+        d = ctx.spans()[0].to_dict()
+        assert d["attrs"] == {"plugin": "sz", "input_bytes": 100,
+                              "output_bytes": 10}
+        assert d["duration_ns"] > 0
+
+    def test_start_finish_pair_api(self):
+        ctx = TraceContext()
+        sp = ctx.start_span("manual")
+        assert ctx.current_span() is sp
+        child = ctx.start_span("child")
+        assert child.parent_id == sp.span_id
+        ctx.finish_span(child)
+        assert ctx.current_span() is sp
+        ctx.finish_span(sp)
+        assert ctx.current_span() is None
+        ctx.finish_span(sp)  # double finish is a no-op
+        assert sp.status == "ok"
+
+    def test_thread_identity_recorded(self):
+        ctx = TraceContext()
+        with ctx.span("main-op") as sp:
+            pass
+        assert sp.thread_id == threading.get_ident()
+        assert sp.thread_name == threading.current_thread().name
+
+    def test_self_time_subtracts_children(self):
+        ctx = TraceContext()
+        with ctx.span("parent") as parent:
+            with ctx.span("child"):
+                pass
+        child = ctx.spans()[1]
+        expected = parent.duration_ns - child.duration_ns
+        assert ctx.self_time_ns(parent) == max(0, expected)
+
+    def test_clear(self):
+        ctx = TraceContext()
+        with ctx.span("x"):
+            pass
+        ctx.add_counter("c")
+        ctx.observe("h", 1.0)
+        ctx.clear()
+        assert ctx.spans() == []
+        assert ctx.counters() == {}
+        assert ctx.histograms() == {}
+
+
+class TestCountersHistograms:
+    def test_counter_accumulates(self):
+        ctx = TraceContext()
+        ctx.add_counter("faults")
+        ctx.add_counter("faults", 4)
+        assert ctx.counters() == {"faults": 5}
+
+    def test_histogram_stats(self):
+        ctx = TraceContext()
+        for v in (1.0, 2.0, 4.0, 8.0):
+            ctx.observe("sizes", v)
+        hist = ctx.histograms()["sizes"]
+        assert hist.count == 4
+        assert hist.min == 1.0
+        assert hist.max == 8.0
+        assert hist.mean == pytest.approx(3.75)
+        assert sum(hist.buckets.values()) == 4
+
+    def test_histogram_concurrent_observe(self):
+        ctx = TraceContext()
+
+        def record():
+            for _ in range(200):
+                ctx.observe("n", 1.0)
+                ctx.add_counter("c")
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ctx.histograms()["n"].count == 800
+        assert ctx.counters()["c"] == 800
+
+
+class TestRuntime:
+    def test_disabled_by_default(self):
+        assert active_tracer() is None
+        assert current_span() is None
+
+    def test_enable_disable(self):
+        ctx = enable_tracing()
+        assert active_tracer() is ctx
+        assert disable_tracing() is ctx
+        assert active_tracer() is None
+
+    def test_tracing_scope_restores_previous(self):
+        outer = enable_tracing()
+        with tracing() as inner:
+            assert active_tracer() is inner
+            assert inner is not outer
+        assert active_tracer() is outer
+
+    def test_helpers_are_noops_when_disabled(self):
+        # none of these should raise or record anything
+        add_counter("nope")
+        observe("nope", 1.0)
+        annotate(key="value")
+        with stage("nothing"):
+            pass
+        fn = wrap_task(lambda: 42)
+        assert fn() == 42
+
+    def test_stage_records_span_when_enabled(self):
+        with tracing() as ctx:
+            with stage("work", detail=1) as sp:
+                annotate(extra=2)
+        assert sp.name == "work"
+        assert sp.attrs == {"detail": 1, "extra": 2}
+        assert len(ctx.spans()) == 1
+
+    def test_wrap_task_carries_parent_across_threads(self):
+        results = {}
+        with tracing() as ctx:
+            with ctx.span("root") as root:
+                def task():
+                    with ctx.span("worker-op"):
+                        pass
+                    results["thread"] = threading.get_ident()
+
+                wrapped = wrap_task(task)
+                t = threading.Thread(target=wrapped)
+                t.start()
+                t.join()
+        worker_span = [s for s in ctx.spans() if s.name == "worker-op"][0]
+        assert worker_span.parent_id == root.span_id
+        assert worker_span.thread_id == results["thread"]
+        assert worker_span.thread_id != root.thread_id

@@ -1,0 +1,141 @@
+"""Tests for the trace exporters: JSONL, Chrome trace, and the report."""
+
+import io
+import json
+
+import pytest
+
+from repro.trace import (
+    TraceContext,
+    aggregate,
+    format_report,
+    render_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def make_context() -> TraceContext:
+    ctx = TraceContext()
+    with ctx.span("compress", plugin="chunking", input_bytes=1000):
+        with ctx.span("compress", plugin="sz", input_bytes=500):
+            pass
+        with ctx.span("compress", plugin="sz", input_bytes=500):
+            pass
+    ctx.add_counter("chunks", 2)
+    ctx.observe("chunk_bytes", 500)
+    return ctx
+
+
+class TestJsonl:
+    def test_one_json_object_per_line(self, tmp_path):
+        ctx = make_context()
+        path = tmp_path / "trace.jsonl"
+        lines = write_jsonl(ctx, str(path))
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == lines == 5  # 3 spans + 1 counter + 1 histogram
+        kinds = [r["type"] for r in records]
+        assert kinds == ["span", "span", "span", "counter", "histogram"]
+
+    def test_span_records_complete(self):
+        buf = io.StringIO()
+        write_jsonl(make_context(), buf)
+        span = json.loads(buf.getvalue().splitlines()[0])
+        assert span["name"] == "compress"
+        assert span["parent_id"] is None
+        assert span["duration_ns"] > 0
+        assert span["attrs"]["plugin"] == "chunking"
+
+    def test_child_references_parent(self):
+        buf = io.StringIO()
+        write_jsonl(make_context(), buf)
+        records = [json.loads(l) for l in buf.getvalue().splitlines()
+                   if json.loads(l)["type"] == "span"]
+        root = records[0]
+        for child in records[1:]:
+            assert child["parent_id"] == root["span_id"]
+
+
+class TestChromeTrace:
+    def test_structure_loads_and_has_complete_events(self, tmp_path):
+        ctx = make_context()
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(ctx, str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        for e in complete:
+            assert set(e) >= {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+            assert e["dur"] > 0
+        # metadata names the process and each thread, counters become C events
+        assert any(e["ph"] == "M" and e["name"] == "process_name"
+                   for e in events)
+        assert any(e["ph"] == "M" and e["name"] == "thread_name"
+                   for e in events)
+        assert any(e["ph"] == "C" and e["name"] == "chunks" for e in events)
+
+    def test_events_carry_span_linkage(self):
+        buf = io.StringIO()
+        write_chrome_trace(make_context(), buf)
+        events = json.loads(buf.getvalue())["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        root = complete[0]
+        assert root["args"]["parent_id"] is None
+        assert all(e["args"]["parent_id"] == root["args"]["span_id"]
+                   for e in complete[1:])
+
+
+class TestAggregate:
+    def test_per_plugin_rollup(self):
+        ctx = make_context()
+        rows = aggregate(ctx)
+        assert set(rows) == {"chunking", "sz"}
+        assert rows["sz"]["calls"] == 2
+        assert rows["chunking"]["calls"] == 1
+        assert rows["sz"]["bytes"] == 1000
+        assert rows["sz"]["bytes_per_s"] > 0
+
+    def test_self_time_excludes_children(self):
+        ctx = make_context()
+        rows = aggregate(ctx)
+        root = ctx.roots()[0]
+        assert rows["chunking"]["self_ms"] == pytest.approx(
+            ctx.self_time_ns(root) / 1e6)
+        assert rows["chunking"]["self_ms"] <= rows["chunking"]["total_ms"]
+
+    def test_error_spans_counted(self):
+        ctx = TraceContext()
+        with pytest.raises(RuntimeError):
+            with ctx.span("compress", plugin="bad"):
+                raise RuntimeError
+        assert aggregate(ctx)["bad"]["errors"] == 1
+
+
+class TestReportAndTree:
+    def test_report_mentions_plugins_counters_histograms(self):
+        report = format_report(make_context())
+        assert "chunking" in report
+        assert "sz" in report
+        assert "chunks = 2" in report
+        assert "chunk_bytes" in report
+
+    def test_tree_indents_children(self):
+        tree = render_tree(make_context()).splitlines()
+        assert len(tree) == 3
+        assert not tree[0].startswith(" ")
+        assert tree[1].startswith("  ")
+        assert "[chunking]" in tree[0]
+        assert "[sz]" in tree[1]
+
+    def test_tree_orphan_parents_render_as_roots(self):
+        ctx = TraceContext()
+        with ctx.span("kept"):
+            pass
+        # simulate a span whose parent was recorded elsewhere
+        sp = ctx.start_span("orphan")
+        sp.parent_id = 99999
+        ctx.finish_span(sp)
+        lines = render_tree(ctx).splitlines()
+        assert len(lines) == 2
+        assert all(not line.startswith(" ") for line in lines)

@@ -1,0 +1,86 @@
+"""Micro-benchmark: tracing must be zero-cost when disabled.
+
+The instrumented ``compress``/``decompress`` entry points add exactly
+one module-global read and an ``is None`` comparison before delegating
+to the operation body (``_compress_op``/``_decompress_op``).  This test
+pins that claim so the paper's Fig. 3 overhead numbers (< 0.5 % median
+over native APIs) cannot silently regress: a small-buffer round trip
+through the public (guarded) API must stay within 1 % of driving the
+operation bodies directly.
+
+Methodology: interleaved batches, comparing minima — the minimum over
+many batches estimates the noise-free cost of each path far more stably
+than means under CI scheduling jitter.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import PressioData
+from repro.trace import active_tracer, disable_tracing, tracing
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def _time_batch(fn, reps: int) -> int:
+    t0 = time.perf_counter_ns()
+    for _ in range(reps):
+        fn()
+    return time.perf_counter_ns() - t0
+
+
+def test_disabled_tracing_overhead_below_one_percent(library):
+    assert active_tracer() is None
+    comp = library.get_compressor("sz")
+    assert comp.set_options({"pressio:abs": 1e-4}) == 0
+    rng = np.random.default_rng(7)
+    data = PressioData.from_numpy(rng.random(4096))
+    template = PressioData.empty(data.dtype, data.dims)
+
+    def guarded():
+        compressed = comp.compress(data)
+        comp.decompress(compressed, template)
+
+    def unguarded():
+        compressed = comp._compress_op(data, None)
+        comp._decompress_op(compressed, template)
+
+    # warm up caches, allocators, and any lazy plugin state
+    _time_batch(guarded, 10)
+    _time_batch(unguarded, 10)
+
+    reps, batches = 30, 15
+    guarded_times, unguarded_times = [], []
+    for _ in range(batches):
+        guarded_times.append(_time_batch(guarded, reps))
+        unguarded_times.append(_time_batch(unguarded, reps))
+
+    best_guarded = min(guarded_times) / reps
+    best_unguarded = min(unguarded_times) / reps
+    overhead = (best_guarded - best_unguarded) / best_unguarded
+    assert overhead < 0.01, (
+        f"disabled-tracing overhead {overhead:.2%} exceeds 1% "
+        f"(guarded {best_guarded / 1e3:.1f}us, "
+        f"unguarded {best_unguarded / 1e3:.1f}us)"
+    )
+
+
+def test_enabled_tracing_records_without_changing_results(library):
+    """Sanity companion: tracing on must not alter compression output."""
+    comp = library.get_compressor("sz")
+    assert comp.set_options({"pressio:abs": 1e-4}) == 0
+    rng = np.random.default_rng(11)
+    data = PressioData.from_numpy(rng.random(2048))
+
+    plain = comp.compress(data).to_bytes()
+    with tracing() as trace:
+        traced = comp.compress(data).to_bytes()
+    assert traced == plain
+    assert len(trace.spans()) == 1
