@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Observability: monitor a compression service with Prometheus metrics.
+
+Runs a small compression workload with the metrics registry, the span
+tracer, and structured JSON logging all active, then scrapes its own
+``/metrics`` endpoint the way Prometheus would.  Shows the three views
+agreeing with each other: the scrape's per-plugin operation counters
+match the trace aggregate's call counts, and every structured log
+record carries the span id of the operation that emitted it.
+
+Run:  python examples/monitoring.py
+"""
+
+import io
+import json
+import urllib.request
+
+import numpy as np
+
+from repro import Pressio, PressioData, obs
+from repro.trace import aggregate, tracing
+
+
+def main() -> None:
+    library = Pressio()
+    compressor = library.get_compressor("sz")
+    rc = compressor.set_options({"pressio:abs": 1e-4})
+    assert rc == 0, compressor.error_msg()
+
+    # structured JSON logs to an in-memory stream; a service would pass
+    # path="service.log.jsonl" instead
+    log_stream = io.StringIO()
+    obs.configure_logging(stream=log_stream)
+
+    rng = np.random.default_rng(2021)
+    with obs.metrics_enabled():          # counters/histograms collect
+        server = obs.start_server()      # port=0 -> any free port
+        print(f"serving metrics on {server.url}/metrics")
+
+        with tracing() as trace:         # spans record too
+            for i in range(5):
+                with trace.span("round_trip", iteration=i):
+                    data = PressioData.from_numpy(
+                        rng.uniform(0.0, 100.0, size=(24, 24, 24)))
+                    compressed = compressor.compress(data)
+                    compressor.decompress(
+                        compressed, PressioData.empty(data.dtype, data.dims))
+                    obs.get_logger("service").info(
+                        "round trip", extra={
+                            "ratio": data.size_in_bytes
+                            / compressed.size_in_bytes})
+
+        # scrape exactly like Prometheus would
+        with urllib.request.urlopen(f"{server.url}/metrics") as resp:
+            exposition = resp.read().decode()
+        with urllib.request.urlopen(f"{server.url}/healthz") as resp:
+            health = json.load(resp)
+        server.stop()
+
+    print("\nscrape excerpt (operation counters + duration histogram):")
+    for line in exposition.splitlines():
+        if line.startswith(("pressio_operations_total",
+                            "pressio_operation_duration_seconds_count",
+                            "pressio_last_compression_ratio")):
+            print(" ", line)
+    print(f"\n/healthz: {health}")
+
+    # the registry and the tracer never disagree: the scrape's per-plugin
+    # operation count equals the trace aggregate's call count
+    ops = sum(
+        float(line.rsplit(" ", 1)[1])
+        for line in exposition.splitlines()
+        if line.startswith('pressio_operations_total{') and '"sz"' in line)
+    calls = aggregate(trace)["sz"]["calls"]
+    print(f"\nscraped sz operations = {ops:.0f}, trace aggregate calls = {calls}")
+    assert ops == calls
+
+    # every log record joins the trace on span_id
+    records = [json.loads(line) for line in log_stream.getvalue().splitlines()]
+    span_ids = {s.span_id for s in trace.spans()}
+    in_span = [r for r in records if r.get("span_id") in span_ids]
+    print(f"{len(records)} structured log records, "
+          f"{len(in_span)} joinable to spans")
+
+
+if __name__ == "__main__":
+    main()

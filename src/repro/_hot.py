@@ -1,0 +1,40 @@
+"""The shared hot-path sentinel for every observer subsystem.
+
+:meth:`repro.core.compressor.PressioCompressor.compress` must stay
+zero-cost when nothing is watching: the paper's Fig. 3 overhead numbers
+are pinned by ``tests/trace/test_overhead.py`` to within 1 % of the
+unguarded operation bodies.  With two observer subsystems (the tracer
+in :mod:`repro.trace.runtime` and the metrics registry in
+:mod:`repro.obs.runtime`) a naive guard would read two module globals
+per call; instead both runtimes report state changes here and the hot
+path reads the single ``ANY`` flag — the same one-global-read guard the
+tracer alone needed.
+
+This module must stay import-free so either runtime can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ANY", "set_tracer_active", "set_registry_active"]
+
+#: True when a tracer or a metrics registry is active.  Read-only for
+#: everyone except the two setters below.
+ANY: bool = False
+
+_TRACER_ON = False
+_REGISTRY_ON = False
+
+
+def set_tracer_active(on: bool) -> None:
+    """Called by :mod:`repro.trace.runtime` on every ACTIVE change."""
+    global _TRACER_ON, ANY
+    _TRACER_ON = on
+    ANY = on or _REGISTRY_ON
+
+
+def set_registry_active(on: bool) -> None:
+    """Called by :mod:`repro.obs.runtime` on every ACTIVE change."""
+    global _REGISTRY_ON, ANY
+    _REGISTRY_ON = on
+    ANY = on or _TRACER_ON

@@ -34,8 +34,12 @@ from ..core.data import PressioData
 from ..core.options import OptionType, PressioOptions
 from ..core.registry import compressor_plugin
 from ..core.status import PressioError
+from ..obs import runtime as _obs
+from ..obs.logging import get_logger
 
 __all__ = ["ExternalCompressor"]
+
+_log = get_logger("compressors.external")
 
 
 @compressor_plugin("external")
@@ -101,11 +105,33 @@ class ExternalCompressor(PressioCompressor):
             "--init-cost-ms", str(self._init_cost_ms),
         ]
         proc = subprocess.run(cmd, capture_output=True, text=True)
+        stderr_tail = proc.stderr.strip()[-500:]
         if proc.returncode != 0:
+            # the worker's stderr and exit status are the only evidence
+            # of what went wrong out-of-process — record both in the
+            # failure taxonomy (Sec. V measurements care how often the
+            # spawn pattern fails, not just that it can)
+            _obs.count(
+                "pressio_external_worker_failures_total",
+                "spawned worker processes that exited non-zero",
+                action=action, inner=self._inner,
+                exit_status=str(proc.returncode))
+            _log.error(
+                "external worker failed",
+                extra={"action": action, "inner": self._inner,
+                       "exit_status": proc.returncode,
+                       "stderr": stderr_tail, "argv": cmd[1:]})
             raise PressioError(
                 f"external worker failed (rc={proc.returncode}): "
-                f"{proc.stderr.strip()[-500:]}"
+                f"{stderr_tail}"
             )
+        if stderr_tail:
+            # a zero exit with stderr output is usually a warning from
+            # the inner plugin; keep it joinable to the surrounding span
+            _log.warning(
+                "external worker wrote to stderr",
+                extra={"action": action, "inner": self._inner,
+                       "exit_status": 0, "stderr": stderr_tail})
 
     def _compress(self, input: PressioData) -> PressioData:
         arr = input.to_numpy()

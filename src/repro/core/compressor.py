@@ -18,8 +18,11 @@ This realizes the design points of Section IV-B of the paper:
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING
 
+from .. import _hot
+from ..obs import runtime as _obs
 from ..trace import runtime as _trace
 from .configurable import Configurable, ThreadSafety
 from .data import PressioData
@@ -67,17 +70,37 @@ class PressioCompressor(Configurable):
         When tracing is active (:mod:`repro.trace`), the whole operation
         runs inside a span carrying the plugin id, dtype, dims, and
         input/output byte counts; nested plugin calls become child spans.
-        The disabled path costs one global read + ``is None`` check.
+        When a metrics registry is active (:mod:`repro.obs`), the call
+        additionally bumps the per-plugin operation counter, duration
+        histogram, and byte counters.  The disabled path costs one
+        shared module-global read (:data:`repro._hot.ANY`), exactly the
+        guard cost the tracer alone imposed.
         """
-        ctx = _trace.ACTIVE
-        if ctx is None:
+        if not _hot.ANY:
             return self._compress_op(input, output)
+        ctx = _trace.ACTIVE
+        reg = _obs.ACTIVE
+        if ctx is None and reg is None:
+            return self._compress_op(input, output)
+        if ctx is None:
+            start_ns = time.perf_counter_ns()
+            result = self._compress_op(input, output)
+            _obs.record_operation(
+                "compress", self.get_name(), input.dtype.name,
+                (time.perf_counter_ns() - start_ns) / 1e9,
+                input.size_in_bytes, result.size_in_bytes)
+            return result
         with ctx.span("compress", plugin=self.get_name(),
                       dtype=input.dtype.name, dims=list(input.dims),
                       input_bytes=input.size_in_bytes) as sp:
             result = self._compress_op(input, output)
             sp.attrs["output_bytes"] = result.size_in_bytes
-            return result
+        if reg is not None:
+            _obs.record_operation(
+                "compress", self.get_name(), input.dtype.name,
+                sp.duration_ns / 1e9,
+                input.size_in_bytes, result.size_in_bytes)
+        return result
 
     def _compress_op(self, input: PressioData,
                      output: PressioData | None) -> PressioData:
@@ -91,6 +114,7 @@ class PressioCompressor(Configurable):
             return result
         except PressioError as e:
             self.status.set_from(e)
+            _obs.record_error("compress", self.get_name(), e)
             raise
         except (ValueError, OverflowError) as e:
             # data-dependent rejections (e.g. a bound too tight for the
@@ -99,9 +123,11 @@ class PressioCompressor(Configurable):
             wrapped = PressioError(
                 f"compression rejected the input: {e}")
             self.status.set_from(wrapped)
+            _obs.record_error("compress", self.get_name(), wrapped)
             raise wrapped from e
         except Exception as e:  # noqa: BLE001 - C-style status capture
             self.status.set_from(e)
+            _obs.record_error("compress", self.get_name(), e)
             raise
 
     def decompress(self, input: PressioData, output: PressioData) -> PressioData:
@@ -113,17 +139,34 @@ class PressioCompressor(Configurable):
         fuzzer — can rely on one typed failure mode.  Programming errors
         (TypeError, AttributeError, ...) propagate unchanged.
 
-        Traced like :meth:`compress` when a trace context is active.
+        Traced like :meth:`compress` when a trace context is active, and
+        counted on the active metrics registry when one is installed.
         """
-        ctx = _trace.ACTIVE
-        if ctx is None:
+        if not _hot.ANY:
             return self._decompress_op(input, output)
+        ctx = _trace.ACTIVE
+        reg = _obs.ACTIVE
+        if ctx is None and reg is None:
+            return self._decompress_op(input, output)
+        if ctx is None:
+            start_ns = time.perf_counter_ns()
+            result = self._decompress_op(input, output)
+            _obs.record_operation(
+                "decompress", self.get_name(), output.dtype.name,
+                (time.perf_counter_ns() - start_ns) / 1e9,
+                input.size_in_bytes, result.size_in_bytes)
+            return result
         with ctx.span("decompress", plugin=self.get_name(),
                       dtype=output.dtype.name, dims=list(output.dims),
                       input_bytes=input.size_in_bytes) as sp:
             result = self._decompress_op(input, output)
             sp.attrs["output_bytes"] = result.size_in_bytes
-            return result
+        if reg is not None:
+            _obs.record_operation(
+                "decompress", self.get_name(), output.dtype.name,
+                sp.duration_ns / 1e9,
+                input.size_in_bytes, result.size_in_bytes)
+        return result
 
     def _decompress_op(self, input: PressioData,
                        output: PressioData) -> PressioData:
@@ -145,6 +188,7 @@ class PressioCompressor(Configurable):
             return result
         except PressioError as e:
             self.status.set_from(e)
+            _obs.record_error("decompress", self.get_name(), e)
             raise
         except data_errors as e:
             from .status import CorruptStreamError
@@ -153,9 +197,12 @@ class PressioCompressor(Configurable):
                 f"stream failed to decode: {type(e).__name__}: {e}"
             )
             self.status.set_from(wrapped)
+            _obs.record_error("decompress", self.get_name(), wrapped,
+                              cause=type(e).__name__)
             raise wrapped from e
         except Exception as e:  # noqa: BLE001
             self.status.set_from(e)
+            _obs.record_error("decompress", self.get_name(), e)
             raise
 
     def compress_many(self, inputs: list[PressioData]) -> list[PressioData]:

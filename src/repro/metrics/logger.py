@@ -14,17 +14,19 @@ entries blank.
 
 * ``roundtrip`` (default) — one row per compress(+decompress) pair.  A
   compress with no following decompress (compress-only sweeps) is
-  flushed when the next operation begins, when results are read, or on
-  an explicit :meth:`flush` — previously such workflows silently logged
-  nothing;
+  flushed when the next operation begins, when results are read, on an
+  explicit :meth:`flush`, or — for scripts that compress and simply
+  exit — by an ``atexit`` hook, so buffered rows are never lost;
 * ``per_operation`` — one row after *every* operation, with an
   ``operation`` column distinguishing compress from decompress rows.
 """
 
 from __future__ import annotations
 
+import atexit
 import csv
 import os
+import weakref
 
 from ..core.data import PressioData
 from ..core.metrics import PressioMetrics
@@ -33,6 +35,21 @@ from ..core.registry import metric_plugin, metrics_registry
 from ..core.status import InvalidOptionError
 
 __all__ = ["CsvLoggerMetrics"]
+
+#: Live logger instances, flushed at interpreter exit so a sweep that
+#: compresses and simply exits (never reading results or decompressing)
+#: still gets its final row.  A WeakSet so registration does not keep
+#: finished loggers alive.
+_LIVE_LOGGERS: "weakref.WeakSet[CsvLoggerMetrics]" = weakref.WeakSet()
+
+
+@atexit.register
+def _flush_live_loggers() -> None:
+    for logger in list(_LIVE_LOGGERS):
+        try:
+            logger.flush()
+        except Exception:  # noqa: BLE001 - never block interpreter exit
+            pass
 
 
 @metric_plugin("csv_logger")
@@ -49,6 +66,7 @@ class CsvLoggerMetrics(PressioMetrics):
         self._columns: list[str] | None = None
         self._row_count = 0
         self._pending = False  # a compress happened; its row is unwritten
+        _LIVE_LOGGERS.add(self)
 
     # -- options ----------------------------------------------------------
     def _options(self) -> PressioOptions:

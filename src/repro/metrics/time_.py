@@ -16,6 +16,12 @@ two data sources on matching columns:
   accumulated across all operations since the last ``reset()``;
 * ``time:compress_bytes_per_s`` / ``time:decompress_bytes_per_s`` —
   uncompressed-bytes throughput over the accumulated wall time.
+
+Throughput always counts the **uncompressed** side of the operation:
+the input buffer for compress, the *decompressed result* (never the
+compressed input buffer) for decompress.  The trace aggregate report
+(:func:`repro.trace.aggregate`) uses the same convention, so the two
+``bytes_per_s`` columns are directly joinable.
 """
 
 from __future__ import annotations
@@ -89,7 +95,9 @@ class TimeMetrics(PressioMetrics):
         self._decompress.begin()
 
     def end_decompress(self, input: PressioData, output: PressioData) -> None:
-        # throughput counts the uncompressed side, like the trace aggregates
+        # throughput counts the uncompressed (decompressed-result) side,
+        # never the compressed input buffer — same convention as the
+        # trace aggregate report, so the columns join
         self._decompress.end(output.size_in_bytes)
 
     def get_metrics_results(self) -> PressioOptions:

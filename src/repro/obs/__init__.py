@@ -1,0 +1,82 @@
+"""Externalized observability: metrics registry, Prometheus, JSON logs.
+
+:mod:`repro.trace` (PR 1) measures *inside* the process; this package
+lets the measurements escape it:
+
+* :mod:`repro.obs.registry` — named counters/gauges/histograms with
+  ``plugin`` / ``operation`` / ``dtype`` labels, one namespace bridging
+  the trace aggregates and the ``time``/``size`` metrics plugins;
+* :mod:`repro.obs.prometheus` — text exposition rendering;
+* :mod:`repro.obs.server` — a stdlib HTTP endpoint (``/metrics``,
+  ``/healthz``) on a daemon thread;
+* :mod:`repro.obs.logging` — structured JSON logs carrying the current
+  span id, so log lines join JSONL trace exports;
+* :mod:`repro.obs.bench` — the ``pressio bench`` regression harness
+  emitting ``BENCH_<date>.json`` artifacts.
+
+Quickstart::
+
+    from repro import obs
+
+    server = obs.start_server(port=9100)      # enables collection too
+    obs.configure_logging()                   # JSON logs on stderr
+    ...compress/decompress...                 # counted automatically
+    # curl localhost:9100/metrics  |  curl localhost:9100/healthz
+    server.stop()
+
+Collection follows the tracing model: **zero-cost when disabled** (the
+hot path reads one module global per subsystem and compares it to
+``None``), scoped with :func:`metrics_enabled`, global with
+:func:`enable_metrics`.
+"""
+
+from .bridge import ingest_metrics_results, ingest_trace
+from .logging import JsonLogFormatter, capture_logs
+from .logging import configure as configure_logging
+from .logging import get_logger
+from .prometheus import render as render_prometheus
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .runtime import (
+    active_registry,
+    count,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    observe,
+    record_error,
+    record_operation,
+    set_gauge,
+)
+from .server import MetricsServer, start_server
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "active_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "record_operation",
+    "record_error",
+    "count",
+    "observe",
+    "set_gauge",
+    "render_prometheus",
+    "MetricsServer",
+    "start_server",
+    "ingest_trace",
+    "ingest_metrics_results",
+    "JsonLogFormatter",
+    "configure_logging",
+    "capture_logs",
+    "get_logger",
+]

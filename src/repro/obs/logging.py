@@ -1,0 +1,115 @@
+"""Structured JSON logging correlated with the trace subsystem.
+
+Every record formatted by :class:`JsonLogFormatter` is one JSON object
+per line carrying the ids of the innermost open span (from
+:func:`repro.trace.runtime.current_span`), so a log stream joins against
+a JSONL trace export (:func:`repro.trace.write_jsonl`) on ``span_id`` —
+"which stage of which operation printed this" becomes a merge, not a
+guess::
+
+    {"ts": "2026-08-07T00:00:00.123456+00:00", "level": "error",
+     "logger": "repro.errors", "message": "compress failed ...",
+     "span_id": 17, "parent_span_id": 12, "span_name": "compress",
+     "operation": "compress", "plugin": "sz", "etype": "PressioError"}
+
+The ``repro`` logger hierarchy ships with a :class:`logging.NullHandler`
+and does not propagate, so library code can log unconditionally (the
+error-taxonomy arms in :mod:`repro.core.compressor` do) without spraying
+stderr in applications that never opted in.  :func:`configure` opts in:
+it installs a JSON handler on the hierarchy root and returns it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import time
+from typing import Any, TextIO
+
+from ..trace import runtime as _trace
+
+__all__ = ["JsonLogFormatter", "configure", "get_logger", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: LogRecord attributes that are plumbing, not user-supplied fields.
+_RESERVED = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None).__dict__) | {
+    "message", "asctime", "taskName",
+}
+
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+_root.addHandler(logging.NullHandler())
+_root.propagate = False
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as single-line JSON with span correlation ids."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%S",
+                                time.gmtime(record.created))
+                  + f".{int(record.msecs * 1000):06d}+00:00",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span = _trace.current_span()
+        if span is not None:
+            payload["span_id"] = span.span_id
+            payload["parent_span_id"] = span.parent_id
+            payload["span_name"] = span.name
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc_message"] = str(record.exc_info[1])
+            payload["traceback"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return _root
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure(stream: TextIO | None = None, path: str | None = None,
+              level: int = logging.INFO) -> logging.Handler:
+    """Install a JSON handler on the ``repro`` logger hierarchy.
+
+    ``stream`` and ``path`` are mutually exclusive destinations (default:
+    stderr).  Calling again replaces the previously installed handler
+    rather than stacking duplicates, so harnesses can reconfigure freely.
+    Returns the installed handler (tests read its stream).
+    """
+    if stream is not None and path is not None:
+        raise ValueError("pass stream or path, not both")
+    handler: logging.Handler
+    if path is not None:
+        handler = logging.FileHandler(path, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(stream)  # None -> stderr
+    handler.setFormatter(JsonLogFormatter())
+    handler.set_name("repro-obs-json")
+    for existing in list(_root.handlers):
+        if existing.get_name() == "repro-obs-json":
+            _root.removeHandler(existing)
+            existing.close()
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    return handler
+
+
+def capture_logs(level: int = logging.DEBUG
+                 ) -> tuple[logging.Handler, io.StringIO]:
+    """Configure logging into an in-memory buffer (test/debug helper)."""
+    buffer = io.StringIO()
+    handler = configure(stream=buffer, level=level)
+    return handler, buffer

@@ -1,0 +1,95 @@
+"""Prometheus text exposition format (version 0.0.4) rendering.
+
+Turns a :class:`~repro.obs.registry.MetricsRegistry` into the plain-text
+format every Prometheus-compatible scraper understands::
+
+    # HELP pressio_operations_total compress/decompress operations
+    # TYPE pressio_operations_total counter
+    pressio_operations_total{operation="compress",plugin="sz"} 3
+
+Format invariants this module is responsible for (and the exposition
+tests pin):
+
+* HELP text escapes backslash and newline; label values additionally
+  escape double quotes;
+* label order is the family's declared ``labelnames`` order, stable
+  across scrapes;
+* histograms render cumulative ``_bucket`` series with ``le`` as the
+  **last** label, a ``le="+Inf"`` bucket equal to ``_count``, plus
+  ``_sum`` and ``_count`` series;
+* numbers render in Go-compatible form (``+Inf``/``-Inf``/``NaN``;
+  integral floats without an exponent).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .registry import Histogram, MetricFamily, MetricsRegistry
+
+__all__ = ["render", "render_family", "escape_help", "escape_label_value",
+           "format_value", "CONTENT_TYPE"]
+
+#: The Content-Type header for exposition-format responses.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e17:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: tuple[str, ...], values: tuple[str, ...],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{n}="{escape_label_value(v)}"' for n, v in zip(names, values)]
+    pairs += [f'{n}="{escape_label_value(v)}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _bucket_bound_text(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else format_value(bound)
+
+
+def render_family(family: MetricFamily) -> str:
+    """One family's ``# HELP`` / ``# TYPE`` block plus all its series."""
+    lines = [
+        f"# HELP {family.name} {escape_help(family.help)}",
+        f"# TYPE {family.name} {family.kind}",
+    ]
+    for labelvalues, child in family.samples():
+        if isinstance(family, Histogram):
+            for bound, cumulative in child.cumulative():
+                labels = _labels_text(
+                    family.labelnames, labelvalues,
+                    extra=(("le", _bucket_bound_text(bound)),))
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+            base = _labels_text(family.labelnames, labelvalues)
+            lines.append(f"{family.name}_sum{base} "
+                         f"{format_value(child.total)}")
+            lines.append(f"{family.name}_count{base} {child.count}")
+        else:
+            labels = _labels_text(family.labelnames, labelvalues)
+            lines.append(
+                f"{family.name}{labels} {format_value(child.value)}")
+    return "\n".join(lines)
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The full exposition document, newline-terminated."""
+    blocks = [render_family(family) for family in registry.collect()]
+    return "\n".join(blocks) + ("\n" if blocks else "")

@@ -1,0 +1,321 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+The trace subsystem (:mod:`repro.trace`) answers "where did *this run*
+spend its time"; this module answers the operational question "what has
+*this process* done since it started" — the numbers a scraper polls.
+The model follows the Prometheus client-library conventions so the
+exposition layer (:mod:`repro.obs.prometheus`) is a straight rendering:
+
+* a :class:`MetricsRegistry` owns uniquely-named metric *families*;
+* a family (:class:`Counter`, :class:`Gauge`, :class:`Histogram`)
+  declares an ordered tuple of label names (``plugin``, ``operation``,
+  ``dtype``, ...);
+* :meth:`MetricFamily.labels` returns the child time series for one
+  combination of label values; children are created on first use and
+  remembered, so a scrape sees every combination ever touched.
+
+Everything is stdlib-only and thread-safe: one lock per registry guards
+family creation, one lock per family guards its children and their
+values.  Nothing here is on the compression hot path — the single
+global read that gates instrumentation lives in
+:mod:`repro.obs.runtime`.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_DURATION_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Histogram bounds for operation durations in **seconds**, spanning the
+#: microsecond-scale noop round trips up to multi-second native codecs.
+DEFAULT_DURATION_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class MetricFamily:
+    """A named metric plus its per-label-combination children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 labelnames: tuple[str, ...] = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r}")
+        if len(set(labelnames)) != len(labelnames):
+            raise ValueError(f"duplicate label names in {labelnames!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Any] = {}
+        if not self.labelnames:
+            # the unlabelled series exists from declaration, so a scrape
+            # shows the zero value rather than omitting the metric
+            self._children[()] = self._new_child()
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: Any):
+        """The child series for one combination of label values."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}")
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    def samples(self) -> list[tuple[tuple[str, ...], Any]]:
+        """(labelvalues, child) pairs in insertion order."""
+        with self._lock:
+            return list(self._children.items())
+
+    # convenience for the no-label case --------------------------------
+    def _sole(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} has labels {self.labelnames}; use .labels()")
+        return self._children[()]
+
+
+class _CounterValue:
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _GaugeValue:
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _HistogramValue:
+    """Cumulative-bucket histogram state (le-style, like Prometheus)."""
+
+    __slots__ = ("bounds", "bucket_counts", "total", "count", "_lock")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last is +Inf
+        self.total = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.total += value
+            self.count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    break
+            else:
+                self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs ending at +Inf."""
+        with self._lock:
+            running = 0
+            out: list[tuple[float, int]] = []
+            for bound, n in zip(self.bounds, self.bucket_counts):
+                running += n
+                out.append((bound, running))
+            out.append((float("inf"), running + self.bucket_counts[-1]))
+            return out
+
+
+class Counter(MetricFamily):
+    """A monotonically increasing value (operation counts, bytes, errors)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterValue:
+        return _CounterValue()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._sole().value
+
+
+class Gauge(MetricFamily):
+    """A value that can go up and down (last ratio, queue depth, uptime)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeValue:
+        return _GaugeValue()
+
+    def set(self, value: float) -> None:
+        self._sole().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._sole().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._sole().value
+
+
+class Histogram(MetricFamily):
+    """Bucketed distribution with ``_sum``/``_count`` (durations, sizes)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 labelnames: tuple[str, ...] = (),
+                 buckets: tuple[float, ...] = DEFAULT_DURATION_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate histogram bucket bounds")
+        if "le" in labelnames:
+            raise ValueError("'le' is reserved for histogram buckets")
+        self.buckets = bounds
+        super().__init__(name, help, labelnames)
+
+    def _new_child(self) -> _HistogramValue:
+        return _HistogramValue(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._sole().observe(value)
+
+
+class MetricsRegistry:
+    """A namespace of uniquely-named metric families.
+
+    Families are created through the get-or-create accessors
+    (:meth:`counter` / :meth:`gauge` / :meth:`histogram`), which makes
+    instrumentation sites idempotent: the first caller declares the
+    family, later callers get the same object, and a declaration that
+    disagrees with the existing one (kind or label names) is an error
+    rather than a silent overwrite.
+    """
+
+    def __init__(self, namespace: str = "pressio") -> None:
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- family management ------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: tuple[str, ...], **kwargs) -> Any:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                if existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, not {labelnames}")
+                return existing
+            family = cls(name, help, labelnames, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_DURATION_BUCKETS,
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    # -- introspection -----------------------------------------------------
+    def collect(self) -> Iterator[MetricFamily]:
+        """Families sorted by name (the exposition order)."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        yield from families
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._families)
+
+    def value(self, name: str, **labelvalues: Any) -> float:
+        """Read one series' current value (counters and gauges)."""
+        family = self.get(name)
+        if family is None:
+            raise KeyError(name)
+        child = family.labels(**labelvalues) if labelvalues else family._sole()
+        return child.value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._families.clear()

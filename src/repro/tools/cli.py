@@ -26,6 +26,15 @@ prints the span tree plus a per-plugin aggregate report; ``--jsonl`` and
             --option pressio:abs=1e-4 \
             --synthetic nyx --dims 32,32,32 \
             --jsonl trace.jsonl --chrome-trace chrome.json
+
+The ``serve-metrics`` subcommand exposes the process on ``/metrics``
+(Prometheus text format) and ``/healthz``; ``bench`` runs the
+compressor x dataset x bound grid, writes a timestamped
+``BENCH_<date>.json``, and prints a regression verdict against the
+previous artifact::
+
+    pressio serve-metrics --port 9100 --demo
+    pressio bench --quick --output-dir bench-results
 """
 
 from __future__ import annotations
@@ -40,7 +49,9 @@ from ..core.dtype import dtype_from_numpy
 from ..core.library import Pressio
 from ..core.options import PressioOptions
 
-__all__ = ["main", "build_parser", "build_trace_parser", "run", "run_trace"]
+__all__ = ["main", "build_parser", "build_trace_parser",
+           "build_serve_metrics_parser", "run", "run_trace",
+           "run_serve_metrics"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,11 +228,79 @@ def run_trace(argv: list[str]) -> int:
     return 0
 
 
+def build_serve_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pressio serve-metrics",
+        description="serve /metrics (Prometheus text format) and "
+                    "/healthz for this process",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=9100,
+                        help="bind port; 0 picks a free one (default 9100)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="serve for N seconds then exit "
+                             "(default: until interrupted)")
+    parser.add_argument("--demo", action="store_true",
+                        help="run a synthetic round-trip workload so the "
+                             "endpoint has live data")
+    parser.add_argument("--demo-interval", type=float, default=2.0,
+                        help="seconds between demo round trips")
+    parser.add_argument("--json-logs", action="store_true",
+                        help="emit structured JSON logs on stderr")
+    return parser
+
+
+def run_serve_metrics(argv: list[str]) -> int:
+    """The ``pressio serve-metrics`` subcommand."""
+    import time as _time
+
+    from .. import obs
+
+    args = build_serve_metrics_parser().parse_args(argv)
+    if args.json_logs:
+        obs.configure_logging()
+    server = obs.start_server(port=args.port, host=args.host)
+    print(f"serving metrics on {server.url}/metrics "
+          f"(health: {server.url}/healthz)")
+    deadline = (_time.monotonic() + args.duration
+                if args.duration is not None else None)
+    try:
+        if args.demo:
+            library = Pressio()
+            compressor = library.get_compressor("sz")
+            compressor.set_options({"pressio:abs": 1e-4})
+            from ..datasets import nyx
+
+            data = PressioData.from_numpy(nyx((24, 24, 24)), copy=False)
+            template = PressioData.empty(data.dtype, data.dims)
+            while deadline is None or _time.monotonic() < deadline:
+                compressed = compressor.compress(data)
+                compressor.decompress(compressed, template)
+                _time.sleep(args.demo_interval)
+        elif deadline is not None:
+            _time.sleep(max(0.0, deadline - _time.monotonic()))
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def run(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return run_trace(argv[1:])
+    if argv and argv[0] == "serve-metrics":
+        return run_serve_metrics(argv[1:])
+    if argv and argv[0] == "bench":
+        from ..obs.bench import run_bench
+
+        return run_bench(argv[1:])
     args = build_parser().parse_args(argv)
     library = Pressio()
 

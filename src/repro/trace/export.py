@@ -114,6 +114,12 @@ def aggregate(ctx: TraceContext) -> dict[str, dict[str, Any]]:
     name, so stage spans (``transpose:forward``, ``opt:evaluate``) get
     their own rows.  ``self_ms`` excludes time attributed to direct
     children — the number that localizes an overhead regression.
+
+    ``bytes`` (and the ``bytes_per_s`` derived from it) counts the
+    *uncompressed* side of each operation: the input of a compress, the
+    output of a decompress.  That makes the throughput directly
+    comparable across the two operations and consistent with the
+    ``time`` metrics plugin's ``time:*_bytes_per_s`` keys.
     """
     rows: dict[str, dict[str, Any]] = {}
     for sp in ctx.spans():
@@ -125,7 +131,12 @@ def aggregate(ctx: TraceContext) -> dict[str, dict[str, Any]]:
         row["calls"] += 1
         row["total_ms"] += sp.duration_ms
         row["self_ms"] += ctx.self_time_ns(sp) / 1e6
-        row["bytes"] += int(sp.attrs.get("input_bytes", 0) or 0)
+        if sp.name == "decompress":
+            nbytes = (sp.attrs.get("output_bytes")  # errored: no output
+                      or sp.attrs.get("input_bytes", 0))
+        else:
+            nbytes = sp.attrs.get("input_bytes", 0)
+        row["bytes"] += int(nbytes or 0)
         if sp.status.startswith("error"):
             row["errors"] += 1
     for row in rows.values():

@@ -20,6 +20,7 @@ from __future__ import annotations
 from contextlib import contextmanager, nullcontext
 from typing import Any, Callable, Iterator
 
+from .. import _hot
 from .context import _CURRENT_SPAN, Span, TraceContext
 
 __all__ = [
@@ -53,6 +54,7 @@ def enable_tracing(ctx: TraceContext | None = None) -> TraceContext:
     if ctx is None:
         ctx = TraceContext()
     ACTIVE = ctx
+    _hot.set_tracer_active(True)
     return ctx
 
 
@@ -61,6 +63,7 @@ def disable_tracing() -> TraceContext | None:
     global ACTIVE
     previous = ACTIVE
     ACTIVE = None
+    _hot.set_tracer_active(False)
     return previous
 
 
@@ -81,6 +84,7 @@ def tracing(ctx: TraceContext | None = None) -> Iterator[TraceContext]:
         yield installed
     finally:
         ACTIVE = previous
+        _hot.set_tracer_active(previous is not None)
 
 
 def current_span() -> Span | None:

@@ -157,3 +157,81 @@ class TestTimeAccumulators:
         for suffix in ("calls", "total_ms", "bytes_per_s"):
             assert any(k.endswith(suffix) for k in (f"time:compress_{suffix}",))
             assert suffix in row
+
+
+class TestCsvLoggerAtexitFlush:
+    def test_atexit_hook_flushes_pending_row(self, library, smooth3d,
+                                             tmp_path):
+        """Simulate interpreter exit: the registered hook writes the row."""
+        from repro.metrics.logger import _flush_live_loggers
+
+        comp, logger, path = make_logged_compressor(library, tmp_path)
+        compress_only(comp, smooth3d)
+        assert not path.exists()  # roundtrip mode: row still buffered
+        _flush_live_loggers()
+        assert len(read_rows(path)) == 1
+
+    def test_atexit_hook_tolerates_unconfigured_loggers(self, library):
+        from repro.metrics.logger import _flush_live_loggers
+
+        library.get_metric("csv_logger")  # no path set, nothing pending
+        _flush_live_loggers()  # must not raise
+
+    def test_compress_only_subprocess_row_survives_exit(self, tmp_path):
+        """A sweep that compresses and exits still gets its final row."""
+        import subprocess
+        import sys
+
+        csv_path = tmp_path / "exit.csv"
+        script = (
+            "import numpy as np\n"
+            "from repro import Pressio, PressioData\n"
+            "lib = Pressio()\n"
+            "comp = lib.get_compressor('sz')\n"
+            "assert comp.set_options({'pressio:abs': 1e-4}) == 0\n"
+            "logger = lib.get_metric('csv_logger')\n"
+            f"assert logger.set_options({{'csv_logger:path': {str(csv_path)!r}}}) == 0\n"
+            "comp.set_metrics(logger)\n"
+            "comp.compress(PressioData.from_numpy("
+            "np.random.default_rng(0).random(512)))\n"
+            # exit without decompress/flush/get_metrics_results
+        )
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+        assert len(read_rows(csv_path)) == 1
+
+
+class TestThroughputConsistency:
+    def test_decompress_throughput_counts_decompressed_bytes(
+            self, library, smooth3d):
+        """time: and trace: decompress bytes/s share the uncompressed base."""
+        from repro.trace import tracing
+        from repro.trace.export import aggregate
+
+        comp = library.get_compressor("sz")
+        assert comp.set_options({"pressio:abs": 1e-4}) == 0
+        comp.set_metrics(library.get_metric("time"))
+        with tracing() as trace:
+            roundtrip(comp, smooth3d)
+        results = comp.get_metrics_results()
+
+        decompress_spans = [s for s in trace.spans()
+                            if s.name == "decompress"]
+        assert decompress_spans
+        compressed_bytes = sum(s.attrs["input_bytes"]
+                               for s in decompress_spans)
+        decompressed_bytes = sum(s.attrs["output_bytes"]
+                                 for s in decompress_spans)
+        assert decompressed_bytes == smooth3d.nbytes
+        assert compressed_bytes < decompressed_bytes  # lossy: it shrank
+
+        # the time plugin's throughput base is the decompressed size
+        total_s = results.get("time:decompress_total_ms") / 1e3
+        assert results.get("time:decompress_bytes_per_s") == pytest.approx(
+            decompressed_bytes / total_s, rel=1e-6)
+
+        # and the trace aggregate's byte base for the sz row is the
+        # uncompressed side of both operations, not the compressed input
+        row = aggregate(trace)["sz"]
+        assert row["bytes"] == 2 * smooth3d.nbytes

@@ -1,0 +1,16 @@
+"""Shared fixtures for the observability tests."""
+
+import pytest
+
+from repro.obs import runtime as obs_runtime
+from repro.trace import disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability_state():
+    """Never leak an active registry or tracer into other tests."""
+    obs_runtime.disable_metrics()
+    disable_tracing()
+    yield
+    obs_runtime.disable_metrics()
+    disable_tracing()

@@ -1,0 +1,221 @@
+"""The ``pressio bench`` harness: grids, artifacts, regression verdicts."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.obs import bench
+
+
+@pytest.fixture(scope="module")
+def grid_rows():
+    return bench.run_grid(compressors=("sz",), datasets=("nyx",),
+                          bounds=(1e-3,), dims=(12, 12, 12), reps=3)
+
+
+class TestRunGrid:
+    def test_one_row_per_configuration(self):
+        rows = bench.run_grid(compressors=("sz", "zfp"), datasets=("nyx",),
+                              bounds=(1e-3, 1e-2), dims=(10, 10, 10), reps=2)
+        assert len(rows) == 4
+        keys = {(r["compressor"], r["bound"]) for r in rows}
+        assert keys == {("sz", 1e-3), ("sz", 1e-2),
+                        ("zfp", 1e-3), ("zfp", 1e-2)}
+
+    def test_row_schema_and_sane_values(self, grid_rows):
+        (row,) = grid_rows
+        assert row["compressor"] == "sz"
+        assert row["dataset"] == "nyx"
+        assert row["dims"] == [12, 12, 12]
+        assert row["reps"] == 3
+        for field in ("compress_ms", "decompress_ms"):
+            stats = row[field]
+            assert 0 < stats["min"] <= stats["median"] <= stats["max"]
+            assert stats["p25"] <= stats["median"] <= stats["p90"]
+        assert row["compression_ratio"] > 1.0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            bench.run_grid(compressors=("sz",), datasets=("not_a_dataset",),
+                           bounds=(1e-3,), dims=(8, 8, 8), reps=1)
+
+
+class TestArtifacts:
+    def test_write_and_load_round_trip(self, grid_rows, tmp_path):
+        path = bench.write_artifact(grid_rows, str(tmp_path), quick=True)
+        assert os.path.basename(path).startswith("BENCH_")
+        artifact = bench.load_artifact(path)
+        assert artifact["schema"] == bench.SCHEMA
+        assert artifact["quick"] is True
+        assert artifact["configs"] == grid_rows
+        assert "created_at" in artifact and "python" in artifact
+
+    def test_find_previous_artifact_picks_latest_excluding_self(
+            self, grid_rows, tmp_path):
+        from datetime import datetime, timezone
+
+        older = bench.write_artifact(
+            grid_rows, str(tmp_path),
+            timestamp=datetime(2026, 1, 1, tzinfo=timezone.utc))
+        newer = bench.write_artifact(
+            grid_rows, str(tmp_path),
+            timestamp=datetime(2026, 6, 1, tzinfo=timezone.utc))
+        assert bench.find_previous_artifact(str(tmp_path)) == newer
+        assert bench.find_previous_artifact(
+            str(tmp_path), exclude=newer) == older
+        assert bench.find_previous_artifact(str(tmp_path / "empty")) is None
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        bad = tmp_path / "BENCH_x.json"
+        bad.write_text(json.dumps({"schema": "other/9", "configs": []}))
+        with pytest.raises(ValueError, match="unsupported artifact schema"):
+            bench.load_artifact(str(bad))
+
+
+def artifact_with(rows):
+    return {"schema": bench.SCHEMA, "created_at": "t", "configs": rows}
+
+
+def base_row(**overrides):
+    row = {
+        "compressor": "sz", "dataset": "nyx", "bound": 1e-3,
+        "dims": [12, 12, 12], "reps": 3,
+        "compress_ms": {"median": 10.0, "p25": 9.0, "p75": 11.0,
+                        "p90": 12.0, "min": 8.0, "max": 13.0},
+        "decompress_ms": {"median": 5.0, "p25": 4.0, "p75": 6.0,
+                          "p90": 7.0, "min": 3.0, "max": 8.0},
+        "compression_ratio": 20.0,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        report = bench.compare(artifact_with([base_row()]),
+                               artifact_with([base_row()]))
+        assert report["verdict"] == "PASS"
+        assert report["regressions"] == []
+        (delta,) = report["deltas"]
+        assert delta["status"] == "ok"
+        assert delta["deltas_pct"]["compress_ms"] == pytest.approx(0.0)
+
+    def test_median_time_regression_flagged_beyond_threshold(self):
+        slow = copy.deepcopy(base_row())
+        slow["compress_ms"]["median"] = 12.0  # +20% vs 10.0
+        report = bench.compare(artifact_with([slow]),
+                               artifact_with([base_row()]),
+                               threshold_pct=15.0)
+        assert report["verdict"] == "REGRESSION"
+        (reg,) = report["regressions"]
+        assert reg["failed"] == ["compress_ms +20.0%"]
+
+    def test_within_threshold_passes(self):
+        slightly = copy.deepcopy(base_row())
+        slightly["compress_ms"]["median"] = 11.0  # +10%
+        report = bench.compare(artifact_with([slightly]),
+                               artifact_with([base_row()]),
+                               threshold_pct=15.0)
+        assert report["verdict"] == "PASS"
+
+    def test_speedups_never_flag(self):
+        fast = copy.deepcopy(base_row())
+        fast["compress_ms"]["median"] = 1.0
+        fast["decompress_ms"]["median"] = 1.0
+        report = bench.compare(artifact_with([fast]),
+                               artifact_with([base_row()]))
+        assert report["verdict"] == "PASS"
+
+    def test_ratio_loss_flagged(self):
+        worse = base_row(compression_ratio=10.0)  # -50%
+        report = bench.compare(artifact_with([worse]),
+                               artifact_with([base_row()]),
+                               threshold_pct=15.0)
+        assert report["verdict"] == "REGRESSION"
+        assert "compression_ratio" in report["regressions"][0]["failed"][0]
+
+    def test_ratio_gain_passes(self):
+        better = base_row(compression_ratio=40.0)
+        report = bench.compare(artifact_with([better]),
+                               artifact_with([base_row()]))
+        assert report["verdict"] == "PASS"
+
+    def test_new_and_missing_configs_reported_not_failed(self):
+        extra = base_row(compressor="zfp")
+        report = bench.compare(artifact_with([base_row(), extra]),
+                               artifact_with([base_row(
+                                   dataset="scale_letkf"), base_row()]))
+        statuses = sorted(d["status"] for d in report["deltas"])
+        assert statuses == ["missing", "new", "ok"]
+        assert report["verdict"] == "PASS"
+
+    def test_format_comparison_prints_verdict_and_deltas(self):
+        slow = copy.deepcopy(base_row())
+        slow["compress_ms"]["median"] = 20.0
+        report = bench.compare(artifact_with([slow]),
+                               artifact_with([base_row()]))
+        text = bench.format_comparison(report)
+        assert "verdict: REGRESSION" in text
+        assert "+100.0%" in text
+        assert "threshold: 15%" in text
+
+
+class TestCli:
+    def run(self, args):
+        return bench.run_bench(args)
+
+    def test_first_run_writes_artifact_and_becomes_baseline(
+            self, tmp_path, capsys):
+        rc = self.run(["--quick", "--output-dir", str(tmp_path),
+                       "--reps", "1", "--dims", "8,8,8",
+                       "--compressors", "sz", "--bounds", "1e-3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "becomes the baseline" in out
+        artifacts = [f for f in os.listdir(tmp_path)
+                     if f.startswith("BENCH_")]
+        assert len(artifacts) == 1
+
+    def test_second_run_compares_and_passes(self, tmp_path, capsys):
+        args = ["--output-dir", str(tmp_path), "--reps", "2",
+                "--dims", "8,8,8", "--compressors", "sz",
+                "--datasets", "nyx", "--bounds", "1e-3",
+                "--threshold", "10000", "--fail-on-regress"]
+        assert self.run(args) == 0
+        import time
+
+        time.sleep(1.1)  # distinct artifact timestamp (1s resolution)
+        assert self.run(args) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "comparing against" in out
+
+    def test_regression_against_doctored_baseline_fails(
+            self, tmp_path, capsys):
+        rows = bench.run_grid(compressors=("sz",), datasets=("nyx",),
+                              bounds=(1e-3,), dims=(8, 8, 8), reps=2)
+        doctored = copy.deepcopy(rows)
+        for row in doctored:
+            row["compress_ms"] = {k: v / 1000.0
+                                  for k, v in row["compress_ms"].items()}
+        from datetime import datetime, timezone
+
+        baseline = bench.write_artifact(
+            doctored, str(tmp_path),
+            timestamp=datetime(2026, 1, 1, tzinfo=timezone.utc))
+        rc = self.run(["--output-dir", str(tmp_path), "--reps", "2",
+                       "--dims", "8,8,8", "--compressors", "sz",
+                       "--datasets", "nyx", "--bounds", "1e-3",
+                       "--baseline", baseline, "--fail-on-regress"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "verdict: REGRESSION" in out
+
+    def test_missing_baseline_file_errors(self, tmp_path, capsys):
+        rc = self.run(["--output-dir", str(tmp_path), "--reps", "1",
+                       "--dims", "8,8,8", "--compressors", "sz",
+                       "--datasets", "nyx", "--bounds", "1e-3",
+                       "--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2

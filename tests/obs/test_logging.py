@@ -1,0 +1,178 @@
+"""Structured JSON logging: span correlation and the error taxonomy."""
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro import PressioData, obs
+from repro.core.status import PressioError
+from repro.obs import runtime as obs_runtime
+from repro.trace import tracing, write_jsonl
+import io
+
+
+@pytest.fixture()
+def log_buffer():
+    handler, buffer = obs.capture_logs()
+    yield buffer
+    handler.close()
+    obs.get_logger().removeHandler(handler)
+
+
+def records(buffer) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestJsonFormatter:
+    def test_record_is_one_json_object_with_core_fields(self, log_buffer):
+        obs.get_logger("unit").info("hello %s", "world", extra={"k": 1})
+        (rec,) = records(log_buffer)
+        assert rec["message"] == "hello world"
+        assert rec["level"] == "info"
+        assert rec["logger"] == "repro.unit"
+        assert rec["k"] == 1
+        assert rec["ts"].endswith("+00:00")
+
+    def test_span_ids_attached_inside_tracing(self, log_buffer):
+        with tracing() as trace:
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    obs.get_logger("unit").info("within")
+        (rec,) = records(log_buffer)
+        spans = {s.name: s for s in trace.spans()}
+        assert rec["span_id"] == spans["inner"].span_id
+        assert rec["parent_span_id"] == spans["outer"].span_id
+        assert rec["span_name"] == "inner"
+
+    def test_no_span_fields_outside_tracing(self, log_buffer):
+        obs.get_logger("unit").info("bare")
+        (rec,) = records(log_buffer)
+        assert "span_id" not in rec
+
+    def test_exception_info_serialized(self, log_buffer):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            obs.get_logger("unit").exception("failed")
+        (rec,) = records(log_buffer)
+        assert rec["exc_type"] == "ValueError"
+        assert rec["exc_message"] == "boom"
+        assert "Traceback" in rec["traceback"]
+
+    def test_logs_join_jsonl_trace_export_on_span_id(self, log_buffer,
+                                                     tmp_path):
+        with tracing() as trace:
+            with trace.span("stage"):
+                obs.get_logger("unit").warning("anomaly")
+        path = tmp_path / "spans.jsonl"
+        write_jsonl(trace, str(path))
+        exported = [json.loads(line) for line in path.read_text().splitlines()
+                    if json.loads(line)["type"] == "span"]
+        (rec,) = records(log_buffer)
+        joined = [s for s in exported if s["span_id"] == rec["span_id"]]
+        assert len(joined) == 1
+        assert joined[0]["name"] == "stage"
+
+    def test_configure_replaces_previous_handler(self):
+        first = obs.configure_logging(stream=io.StringIO())
+        second = obs.configure_logging(stream=io.StringIO())
+        try:
+            handlers = [h for h in obs.get_logger().handlers
+                        if h.get_name() == "repro-obs-json"]
+            assert handlers == [second]
+        finally:
+            obs.get_logger().removeHandler(second)
+            second.close()
+
+    def test_library_logs_are_silent_without_configure(self, capsys):
+        obs.get_logger("unit").error("nobody should see this")
+        captured = capsys.readouterr()
+        assert "nobody should see this" not in captured.err
+        assert "nobody should see this" not in captured.out
+
+
+class TestErrorTaxonomy:
+    def bad_decompress(self, library, log_buffer):
+        comp = library.get_compressor("sz")
+        assert comp.set_options({"pressio:abs": 1e-4}) == 0
+        data = PressioData.from_numpy(
+            np.random.default_rng(0).random(256))
+        compressed = comp.compress(data)
+        raw = bytearray(compressed.to_bytes())
+        raw[8:24] = b"\xff" * 16  # corrupt the stream body
+        template = PressioData.empty(data.dtype, data.dims)
+        with pytest.raises(PressioError):
+            comp.decompress(PressioData.from_bytes(bytes(raw)), template)
+
+    def test_corrupt_stream_increments_taxonomy_counter(self, library,
+                                                        log_buffer):
+        with obs.metrics_enabled() as reg:
+            self.bad_decompress(library, log_buffer)
+        family = reg.get("pressio_errors_total")
+        assert family is not None
+        samples = {labels: child.value
+                   for labels, child in family.samples()}
+        assert sum(samples.values()) == 1
+        ((operation, plugin, etype),) = [k for k, v in samples.items() if v]
+        assert operation == "decompress"
+        assert plugin == "sz"
+        assert etype == "CorruptStreamError"
+
+    def test_error_log_record_carries_taxonomy_fields(self, library,
+                                                      log_buffer):
+        self.bad_decompress(library, log_buffer)
+        errors = [r for r in records(log_buffer) if r["level"] == "error"]
+        assert errors, "expected a structured error record"
+        rec = errors[-1]
+        assert rec["operation"] == "decompress"
+        assert rec["plugin"] == "sz"
+        assert rec["etype"] == "CorruptStreamError"
+
+    def test_compress_rejection_wrapped_and_counted(self, log_buffer):
+        from repro.core.compressor import PressioCompressor
+
+        class Exploding(PressioCompressor):
+            plugin_id = "exploding"
+
+            def _compress(self, input):
+                raise ValueError("cannot compress this")
+
+        comp = Exploding()
+        with obs.metrics_enabled() as reg:
+            with pytest.raises(PressioError):
+                comp.compress(PressioData.from_numpy(np.zeros(8)))
+        # the ValueError arm wraps into PressioError; the taxonomy
+        # records what the caller actually sees
+        assert reg.value("pressio_errors_total", operation="compress",
+                         plugin="exploding", etype="PressioError") == 1
+
+    def test_record_error_without_registry_only_logs(self, log_buffer):
+        assert obs_runtime.ACTIVE is None
+        obs_runtime.record_error("compress", "noop", ValueError("x"))
+        (rec,) = records(log_buffer)
+        assert rec["etype"] == "ValueError"
+
+
+class TestExternalWorkerCapture:
+    @pytest.mark.slow
+    def test_worker_failure_counted_and_logged(self, library, log_buffer):
+        comp = library.get_compressor("external")
+        assert comp.set_options({"external:compressor": "no_such_plugin"}) == 0
+        data = PressioData.from_numpy(
+            np.random.default_rng(1).random(128))
+        with obs.metrics_enabled() as reg:
+            with pytest.raises(PressioError):
+                comp.compress(data)
+        assert reg.value("pressio_external_worker_failures_total",
+                         action="compress", inner="no_such_plugin",
+                         exit_status="2") == 1
+        failures = [r for r in records(log_buffer)
+                    if r["message"] == "external worker failed"]
+        assert failures
+        rec = failures[-1]
+        assert rec["action"] == "compress"
+        assert rec["inner"] == "no_such_plugin"
+        assert rec["exit_status"] == 2
+        assert "no_such_plugin" in rec["stderr"]

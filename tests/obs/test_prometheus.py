@@ -1,0 +1,147 @@
+"""Prometheus text exposition format invariants.
+
+Pins the format details a scraper depends on: HELP/TYPE headers,
+escaping, declared label order, and the histogram
+``_bucket``/``_sum``/``_count`` contract.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.prometheus import (
+    escape_help,
+    escape_label_value,
+    format_value,
+)
+
+
+def lines_for(registry):
+    return render_prometheus(registry).splitlines()
+
+
+class TestEscaping:
+    def test_help_escapes_backslash_and_newline(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_label_value_escapes_quotes_too(self):
+        assert escape_label_value('say "hi"\\now\n') == 'say \\"hi\\"\\\\now\\n'
+
+    def test_rendered_label_value_escaping(self):
+        reg = MetricsRegistry()
+        c = reg.counter("weird_total", 'help with "quotes"\nand newline',
+                        ("path",))
+        c.labels(path='C:\\data\n"x"').inc()
+        text = render_prometheus(reg)
+        assert ('# HELP weird_total help with "quotes"\\nand newline'
+                in text)
+        assert r'weird_total{path="C:\\data\n\"x\""} 1' in text
+
+    def test_format_value_go_conventions(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+
+
+class TestStructure:
+    def test_help_and_type_precede_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations").inc(2)
+        out = lines_for(reg)
+        assert out[0] == "# HELP ops_total operations"
+        assert out[1] == "# TYPE ops_total counter"
+        assert out[2] == "ops_total 2"
+
+    def test_label_order_is_declaration_order(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", "", ("zebra", "alpha", "mid"))
+        c.labels(mid="m", alpha="a", zebra="z").inc()
+        text = render_prometheus(reg)
+        assert 'ops_total{zebra="z",alpha="a",mid="m"} 1' in text
+
+    def test_families_render_sorted_and_terminated(self):
+        reg = MetricsRegistry()
+        reg.gauge("b_gauge", "b").set(1)
+        reg.counter("a_total", "a").inc()
+        text = render_prometheus(reg)
+        assert text.index("a_total") < text.index("b_gauge")
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_gauge_type_line(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "a gauge").set(1.5)
+        out = lines_for(reg)
+        assert "# TYPE g gauge" in out
+        assert "g 1.5" in out
+
+
+class TestHistogramExposition:
+    def build(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("dur_seconds", "durations", ("op",),
+                          buckets=(0.01, 0.1, 1.0))
+        child = h.labels(op="c")
+        for v in (0.005, 0.05, 0.5, 5.0):
+            child.observe(v)
+        return reg
+
+    def test_bucket_sum_count_series_present(self):
+        text = render_prometheus(self.build())
+        assert '# TYPE dur_seconds histogram' in text
+        assert 'dur_seconds_bucket{op="c",le="0.01"} 1' in text
+        assert 'dur_seconds_bucket{op="c",le="0.1"} 2' in text
+        assert 'dur_seconds_bucket{op="c",le="1"} 3' in text
+        assert 'dur_seconds_bucket{op="c",le="+Inf"} 4' in text
+        assert 'dur_seconds_count{op="c"} 4' in text
+        assert re.search(r'dur_seconds_sum\{op="c"\} 5\.55', text)
+
+    def test_buckets_are_cumulative_and_inf_equals_count(self):
+        text = render_prometheus(self.build())
+        buckets = [int(m.group(2)) for m in re.finditer(
+            r'dur_seconds_bucket\{op="c",le="([^"]+)"\} (\d+)', text)]
+        assert buckets == sorted(buckets)
+        count = int(re.search(
+            r'dur_seconds_count\{op="c"\} (\d+)', text).group(1))
+        assert buckets[-1] == count
+
+    def test_le_is_last_label(self):
+        text = render_prometheus(self.build())
+        for m in re.finditer(r'dur_seconds_bucket\{([^}]*)\}', text):
+            assert m.group(1).split(",")[-1].startswith("le=")
+
+    def test_unlabelled_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+        text = render_prometheus(reg)
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2' in text
+        assert "h_seconds_count 2" in text
+        assert "h_seconds_sum 2.5" in text
+
+
+class TestParseability:
+    def test_every_sample_line_matches_exposition_grammar(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "a", ("l",)).labels(l="v").inc()
+        reg.gauge("b", "b").set(math.pi)
+        h = reg.histogram("c_seconds", "c", buckets=(0.5,))
+        h.observe(0.1)
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+            r' (NaN|[+-]Inf|-?[0-9.e+-]+)$')
+        for line in lines_for(reg):
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert sample_re.match(line), line

@@ -1,0 +1,170 @@
+"""MetricsRegistry semantics: families, labels, values, guards."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, metrics_enabled
+from repro.obs import runtime as obs_runtime
+from repro.obs.registry import DEFAULT_DURATION_BUCKETS
+
+
+class TestCounter:
+    def test_unlabelled_counter_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "requests")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("n_total").inc(-1)
+
+    def test_labelled_children_are_independent_and_cached(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", "", ("operation", "plugin"))
+        c.labels(operation="compress", plugin="sz").inc()
+        c.labels(operation="compress", plugin="sz").inc()
+        c.labels(operation="decompress", plugin="sz").inc()
+        assert reg.value("ops_total", operation="compress", plugin="sz") == 2
+        assert reg.value("ops_total", operation="decompress", plugin="sz") == 1
+
+    def test_wrong_label_set_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", "", ("operation",))
+        with pytest.raises(ValueError):
+            c.labels(op="compress")
+        with pytest.raises(ValueError):
+            c.labels(operation="compress", extra="x")
+
+    def test_labelled_family_has_no_sole_child(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", "", ("operation",))
+        with pytest.raises(ValueError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("queue_depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        child = h.samples()[0][1]
+        assert child.count == 5
+        assert child.total == pytest.approx(56.05)
+        cumulative = dict(child.cumulative())
+        assert cumulative[0.1] == 1
+        assert cumulative[1.0] == 3
+        assert cumulative[10.0] == 4
+        assert cumulative[float("inf")] == 5
+
+    def test_default_buckets_cover_microseconds_to_seconds(self):
+        assert DEFAULT_DURATION_BUCKETS[0] <= 1e-4
+        assert DEFAULT_DURATION_BUCKETS[-1] >= 10.0
+        assert list(DEFAULT_DURATION_BUCKETS) == sorted(
+            DEFAULT_DURATION_BUCKETS)
+
+    def test_le_label_reserved(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", labelnames=("le",))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops_total", "help", ("plugin",))
+        b = reg.counter("ops_total", "different help", ("plugin",))
+        assert a is b
+        assert a.help == "help"  # first declaration wins
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_labelname_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "", ("plugin",))
+        with pytest.raises(ValueError):
+            reg.counter("ops_total", "", ("operation",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("0bad")
+        with pytest.raises(ValueError):
+            reg.counter("ok", "", ("bad-label",))
+        with pytest.raises(ValueError):
+            reg.counter("ok", "", ("__reserved",))
+
+    def test_collect_is_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        reg.gauge("a_gauge")
+        assert [f.name for f in reg.collect()] == ["a_gauge", "z_total"]
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total", "", ("worker",))
+
+        def hammer(worker: str) -> None:
+            child = c.labels(worker=worker)
+            for _ in range(1000):
+                child.inc()
+
+        threads = [threading.Thread(target=hammer, args=(str(i % 2),))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(child.value for _, child in c.samples())
+        assert total == 4000
+
+
+class TestRuntimeGuards:
+    def test_disabled_helpers_are_noops(self):
+        assert obs_runtime.ACTIVE is None
+        obs_runtime.record_operation("compress", "sz", "DOUBLE", 0.1, 10, 5)
+        obs_runtime.count("anything_total")
+        obs_runtime.observe("anything_seconds", 1.0)
+        obs_runtime.set_gauge("anything", 1.0)
+
+    def test_scoped_enablement_restores_prior_state(self):
+        outer = obs_runtime.enable_metrics()
+        with metrics_enabled() as inner:
+            assert obs_runtime.ACTIVE is inner
+            assert inner is not outer
+        assert obs_runtime.ACTIVE is outer
+
+    def test_record_operation_populates_families(self):
+        with metrics_enabled() as reg:
+            obs_runtime.record_operation("compress", "sz", "DOUBLE",
+                                         0.002, 1000, 250)
+        assert reg.value("pressio_operations_total", operation="compress",
+                         plugin="sz", dtype="DOUBLE") == 1
+        assert reg.value("pressio_processed_bytes_total",
+                         operation="compress", plugin="sz",
+                         direction="in") == 1000
+        assert reg.value("pressio_last_compression_ratio",
+                         plugin="sz") == pytest.approx(4.0)
+        hist = reg.get("pressio_operation_duration_seconds")
+        child = hist.labels(operation="compress", plugin="sz")
+        assert child.count == 1
+        assert child.total == pytest.approx(0.002)

@@ -1,0 +1,150 @@
+"""The /metrics + /healthz HTTP endpoint, end to end.
+
+The acceptance-critical property: after a compress/decompress run, a
+``curl``-equivalent GET of ``/metrics`` returns valid Prometheus text
+whose per-plugin operation counts equal the trace aggregate report's
+counts for the same run.
+"""
+
+import json
+import re
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import PressioData, obs
+from repro.trace import aggregate, tracing
+
+
+def get(url: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return (resp.status, resp.headers.get("Content-Type", ""),
+                resp.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def server():
+    srv = obs.start_server()  # port 0 -> free port; enables collection
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def sz(library):
+    comp = library.get_compressor("sz")
+    assert comp.set_options({"pressio:abs": 1e-4}) == 0
+    return comp
+
+
+def roundtrips(comp, n=1, seed=3):
+    data = PressioData.from_numpy(
+        np.random.default_rng(seed).random((12, 12, 12)))
+    template = PressioData.empty(data.dtype, data.dims)
+    for _ in range(n):
+        compressed = comp.compress(data)
+        comp.decompress(compressed, template)
+
+
+def sample_value(body: str, metric: str, **labels) -> float:
+    """Parse one sample out of exposition text (scraper stand-in)."""
+    for line in body.splitlines():
+        if not line.startswith(metric):
+            continue
+        m = re.match(rf'{metric}(?:\{{([^}}]*)\}})? (\S+)$', line)
+        if not m:
+            continue
+        found = dict(re.findall(r'(\w+)="([^"]*)"', m.group(1) or ""))
+        if all(found.get(k) == v for k, v in labels.items()):
+            return float(m.group(2))
+    raise AssertionError(f"{metric}{labels} not found in:\n{body}")
+
+
+class TestMetricsEndpoint:
+    def test_metrics_counts_match_trace_aggregate(self, server, sz):
+        with tracing() as trace:
+            roundtrips(sz, n=3)
+        _, ctype, body = get(f"{server.url}/metrics")
+        assert ctype.startswith("text/plain")
+
+        rows = aggregate(trace)
+        compresses = sample_value(body, "pressio_operations_total",
+                                  operation="compress", plugin="sz")
+        decompresses = sample_value(body, "pressio_operations_total",
+                                    operation="decompress", plugin="sz")
+        assert compresses == 3
+        assert decompresses == 3
+        assert compresses + decompresses == rows["sz"]["calls"]
+
+    def test_duration_histogram_counts_operations(self, server, sz):
+        roundtrips(sz, n=2)
+        _, _, body = get(f"{server.url}/metrics")
+        assert sample_value(body, "pressio_operation_duration_seconds_count",
+                            operation="compress", plugin="sz") == 2
+        bucket_inf = sample_value(
+            body, "pressio_operation_duration_seconds_bucket",
+            operation="compress", plugin="sz", le="+Inf")
+        assert bucket_inf == 2
+
+    def test_trace_bridge_gauges_served_while_tracing(self, server, sz):
+        with tracing():
+            roundtrips(sz, n=1)
+            _, _, body = get(f"{server.url}/metrics")
+        assert sample_value(body, "pressio_trace_calls", plugin="sz") == 2
+        assert sample_value(body, "pressio_trace_self_ms", plugin="sz") > 0
+
+    def test_compression_ratio_gauge(self, server, sz):
+        roundtrips(sz, n=1)
+        _, _, body = get(f"{server.url}/metrics")
+        assert sample_value(body, "pressio_last_compression_ratio",
+                            plugin="sz") > 1.0
+
+    def test_disabled_collection_still_scrapes(self, library):
+        obs.disable_metrics()
+        srv = obs.MetricsServer().start()
+        try:
+            status, _, body = get(f"{srv.url}/metrics")
+            assert status == 200
+            assert "disabled" in body
+        finally:
+            srv.stop()
+
+
+class TestHealthz:
+    def test_health_reports_ok_and_operations(self, server, sz):
+        roundtrips(sz, n=2)
+        status, ctype, body = get(f"{server.url}/healthz")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["collecting"] is True
+        assert payload["operations"] == 4
+        assert payload["uptime_seconds"] >= 0
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            get(f"{server.url}/nope")
+        assert exc.value.code == 404
+
+
+class TestServerLifecycle:
+    def test_port_zero_picks_free_port_and_stop_is_idempotent(self):
+        srv = obs.MetricsServer(registry=obs.MetricsRegistry()).start()
+        assert srv.port > 0
+        srv.stop()
+        srv.stop()  # second stop is a no-op
+
+    def test_context_manager(self):
+        with obs.MetricsServer(registry=obs.MetricsRegistry()) as srv:
+            status, _, _ = get(f"{srv.url}/healthz")
+            assert status == 200
+
+    def test_start_server_installs_registry_when_none_active(self):
+        assert obs.active_registry() is None
+        srv = obs.start_server()
+        try:
+            assert obs.active_registry() is not None
+            assert srv.registry is obs.active_registry()
+        finally:
+            srv.stop()
