@@ -1,0 +1,40 @@
+"""Static analysis for the pressio plugin contract (``pressio lint``).
+
+The paper's central claim is a *uniform, introspectable* plugin
+contract: options are discoverable (Table I), errors travel through one
+C-style status/taxonomy channel, thread safety is introspectable, and
+known native pitfalls (MGARD's >= 3 samples per dimension, ZFP's 4^d
+block padding, dimension-order mistakes — Section V) are caught before
+the native call.  Every one of those properties is a *syntactic*
+property of the plugin source, so contract drift can be caught by a
+static pass instead of at runtime.
+
+This package is that pass:
+
+* :mod:`repro.analysis.project` parses the analyzed tree once and
+  indexes classes/imports so rules can resolve inheritance;
+* :mod:`repro.analysis.rules` holds the rule packs (contract ``PC*``,
+  hot-path ``HP*``, thread-safety ``TS*``) behind a registry with
+  per-rule enable/disable and severity levels;
+* :mod:`repro.analysis.engine` runs the rules and applies inline
+  (``# pressio-lint: disable=ID``) and baseline suppressions;
+* :mod:`repro.analysis.output` renders text, JSON, and SARIF 2.1.0;
+* :mod:`repro.analysis.cli` is the ``pressio lint`` front end.
+
+The rule catalog with rationale lives in ``docs/LINT_RULES.md``.
+"""
+
+from __future__ import annotations
+
+from .engine import Analyzer, analyze_paths
+from .model import Finding, Severity
+from .rules import all_rules, get_rule
+
+__all__ = [
+    "Analyzer",
+    "analyze_paths",
+    "Finding",
+    "Severity",
+    "all_rules",
+    "get_rule",
+]

@@ -1,0 +1,80 @@
+"""Baseline suppression: adopt the linter without fixing history first.
+
+A baseline file records fingerprints of known findings; subsequent runs
+subtract them, so CI can gate on *new* violations while existing ones
+are burned down.  Fingerprints hash (rule, path, source-line text) —
+not line numbers — so edits elsewhere in a file do not invalidate
+entries (see :meth:`repro.analysis.model.Finding.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .model import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline",
+           "BaselineError"]
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints from ``path``; empty set when the file is absent."""
+    if not os.path.exists(path):
+        return set()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        raise BaselineError(f"unreadable baseline {path}: {e}") from e
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    entries = doc.get("suppressions", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'suppressions' must be a list")
+    fingerprints: set[str] = set()
+    for entry in entries:
+        fp = entry.get("fingerprint") if isinstance(entry, dict) else None
+        if not isinstance(fp, str):
+            raise BaselineError(
+                f"baseline {path}: every suppression needs a fingerprint"
+            )
+        fingerprints.add(fp)
+    return fingerprints
+
+
+def write_baseline(path: str, findings: list[Finding]) -> int:
+    """Write all ``findings`` as suppressions; returns the entry count."""
+    doc = {
+        "version": BASELINE_VERSION,
+        "suppressions": [
+            {
+                "rule": f.rule_id,
+                "path": f.path.replace("\\", "/"),
+                "fingerprint": f.fingerprint(),
+                "message": f.message,
+            }
+            for f in sorted(findings,
+                            key=lambda f: (f.path, f.line, f.rule_id))
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return len(doc["suppressions"])
+
+
+def apply_baseline(findings: list[Finding],
+                   fingerprints: set[str]) -> tuple[list[Finding], int]:
+    """Split findings into (kept, suppressed_count) against a baseline."""
+    kept = [f for f in findings if f.fingerprint() not in fingerprints]
+    return kept, len(findings) - len(kept)

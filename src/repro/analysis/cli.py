@@ -1,0 +1,129 @@
+"""The ``pressio lint`` subcommand.
+
+Exit codes: 0 — clean (after baseline + ``--fail-level``); 1 — findings
+at or above the fail level remain; 2 — usage or configuration error.
+
+Examples::
+
+    pressio lint src/repro
+    pressio lint src/repro --format sarif --output lint.sarif
+    pressio lint src/repro --baseline lint-baseline.json
+    pressio lint src/repro --write-baseline lint-baseline.json
+    pressio lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baseline import (BaselineError, apply_baseline, load_baseline,
+                       write_baseline)
+from .engine import Analyzer
+from .model import Severity
+from .output import format_json, format_sarif, format_text
+from .rules import all_rules, resolve_selection
+
+__all__ = ["build_lint_parser", "run_lint"]
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pressio lint",
+        description="static plugin-contract, hot-path, and thread-safety "
+                    "analysis for pressio plugin code",
+    )
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories to analyze")
+    parser.add_argument("--format", "-f", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="report format (default text)")
+    parser.add_argument("--output", "-o", default=None,
+                        help="write the report to this path (default stdout)")
+    parser.add_argument("--baseline", default=None,
+                        help="suppress findings recorded in this baseline "
+                             "file (missing file = empty baseline)")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="record current findings as the new baseline "
+                             "and exit 0")
+    parser.add_argument("--enable", action="append", default=[],
+                        metavar="ID", help="run only these rule ids "
+                                           "(repeatable)")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="ID", help="skip these rule ids (repeatable)")
+    parser.add_argument("--fail-level", default="warning",
+                        choices=("info", "warning", "error", "never"),
+                        help="lowest severity that fails the run "
+                             "(default warning)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _emit(report: str, output: str | None) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+    else:
+        sys.stdout.write(report)
+        if not report.endswith("\n"):
+            sys.stdout.write("\n")
+
+
+def run_lint(argv: list[str]) -> int:
+    args = build_lint_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id} [{rule.severity.name.lower():7s}] "
+                  f"{rule.name}")
+            print(f"    {rule.description}")
+        return 0
+
+    if not args.paths:
+        print("error: at least one path is required (or --list-rules)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        rules = resolve_selection(args.enable, args.disable)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(rules=rules)
+    findings = analyzer.run(args.paths)
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, findings)
+        print(f"wrote {count} suppression(s) to {args.write_baseline}")
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        try:
+            fingerprints = load_baseline(args.baseline)
+        except BaselineError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, fingerprints)
+
+    if args.format == "sarif":
+        report = format_sarif(findings, rules)
+    elif args.format == "json":
+        report = format_json(findings, suppressed=suppressed,
+                             files_scanned=analyzer.files_scanned)
+    else:
+        report = format_text(findings, suppressed=suppressed,
+                             files_scanned=analyzer.files_scanned)
+    _emit(report, args.output)
+    if args.output and findings:
+        # keep the failure actionable even when the report went to a file
+        print(f"{len(findings)} finding(s); report written to {args.output}",
+              file=sys.stderr)
+
+    if args.fail_level == "never":
+        return 0
+    threshold = Severity.parse(args.fail_level)
+    failing = [f for f in findings if f.severity >= threshold]
+    return 1 if failing else 0

@@ -1,0 +1,122 @@
+"""The analysis driver: collect files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+import os
+import re
+
+from .model import Finding, Severity
+from .project import ProjectIndex, SourceModule
+from .rules import Rule, all_rules
+
+__all__ = ["Analyzer", "analyze_paths", "PARSE_RULE_ID"]
+
+PARSE_RULE_ID = "PE001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*pressio-lint\s*:\s*disable=([A-Za-z0-9_,\s]+)"
+)
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def _collect_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in _SKIP_DIRS
+                                 and not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def _inline_suppressions(module: SourceModule, line: int) -> set[str]:
+    """Rule ids disabled on ``line`` or the line directly above it."""
+    ids: set[str] = set()
+    for lineno in (line, line - 1):
+        match = _SUPPRESS_RE.search(module.line(lineno))
+        if match:
+            ids.update(part.strip()
+                       for part in match.group(1).split(",") if part.strip())
+    return ids
+
+
+class Analyzer:
+    """Run a rule selection over a set of paths.
+
+    Separate from the CLI so tests (and future editor/pre-commit
+    integrations) can drive it directly and receive typed findings.
+    """
+
+    def __init__(self, rules: list[Rule] | None = None,
+                 root: str | None = None):
+        self.rules = rules if rules is not None else all_rules()
+        self.root = os.path.abspath(root or os.getcwd())
+        self.files_scanned = 0
+        self.inline_suppressed = 0
+
+    def _relpath(self, path: str) -> str:
+        abspath = os.path.abspath(path)
+        try:
+            rel = os.path.relpath(abspath, self.root)
+        except ValueError:  # different drive on windows
+            return abspath.replace(os.sep, "/")
+        if rel.startswith(".."):
+            return abspath.replace(os.sep, "/")
+        return rel.replace(os.sep, "/")
+
+    def load(self, paths: list[str]) -> ProjectIndex:
+        modules: list[SourceModule] = []
+        for path in _collect_files(paths):
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            modules.append(SourceModule(path, self._relpath(path), source))
+        self.files_scanned = len(modules)
+        return ProjectIndex(modules)
+
+    def run(self, paths: list[str]) -> list[Finding]:
+        index = self.load(paths)
+        findings: list[Finding] = []
+        for module in index.modules:
+            if module.parse_error is not None:
+                err = module.parse_error
+                findings.append(Finding(
+                    rule_id=PARSE_RULE_ID,
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {err.msg}",
+                    path=module.rel,
+                    line=err.lineno or 1,
+                    col=(err.offset or 1) - 1,
+                    snippet=module.line(err.lineno or 1).strip(),
+                ))
+                continue
+            for rule in self.rules:
+                findings.extend(rule.check(module, index))
+        findings = self._apply_inline(index, findings)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+    def _apply_inline(self, index: ProjectIndex,
+                      findings: list[Finding]) -> list[Finding]:
+        by_rel = {m.rel: m for m in index.modules}
+        kept: list[Finding] = []
+        for finding in findings:
+            module = by_rel.get(finding.path)
+            if module is not None:
+                disabled = _inline_suppressions(module, finding.line)
+                if finding.rule_id in disabled or "all" in disabled:
+                    self.inline_suppressed += 1
+                    continue
+            kept.append(finding)
+        return kept
+
+
+def analyze_paths(paths: list[str], rules: list[Rule] | None = None,
+                  root: str | None = None) -> list[Finding]:
+    """Convenience wrapper: run the default (or given) rules over paths."""
+    return Analyzer(rules=rules, root=root).run(paths)

@@ -1,0 +1,81 @@
+"""Findings and severities — the analyzer's result vocabulary."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; higher is worse.
+
+    The CLI's ``--fail-level`` compares against this ordering, and the
+    SARIF exporter maps ``ERROR -> "error"``, ``WARNING -> "warning"``,
+    ``INFO -> "note"``.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; known: info, warning, error"
+            ) from None
+
+    @property
+    def sarif_level(self) -> str:
+        return {Severity.INFO: "note",
+                Severity.WARNING: "warning",
+                Severity.ERROR: "error"}[self]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is stored relative to the analysis root so findings (and
+    baseline fingerprints) are stable across checkouts.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    snippet: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity used by baseline suppression.
+
+        Deliberately excludes the line *number* so unrelated edits above
+        a finding do not invalidate a baseline entry: the identity is
+        the rule, the file, and the normalized source line text.
+        """
+        basis = "\x1f".join(
+            (self.rule_id, self.path.replace("\\", "/"),
+             " ".join(self.snippet.split()))
+        )
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:20]
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+            "path": self.path.replace("\\", "/"),
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"

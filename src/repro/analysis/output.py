@@ -1,0 +1,118 @@
+"""Renderers: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI code-scanning UIs ingest; the
+document carries the full rule catalog in the tool descriptor so
+viewers can show rationale next to each result.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .model import Finding
+from .rules import Rule
+
+__all__ = ["format_text", "format_json", "format_sarif", "SARIF_SCHEMA_URI"]
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "pressio-lint"
+
+
+def format_text(findings: list[Finding], *, suppressed: int = 0,
+                files_scanned: int = 0) -> str:
+    """One ``path:line:col: ID severity: message`` line per finding."""
+    lines = [
+        f"{f.location()}: {f.rule_id} {f.severity.name.lower()}: {f.message}"
+        for f in findings
+    ]
+    by_rule = Counter(f.rule_id for f in findings)
+    if findings:
+        breakdown = ", ".join(f"{rid}: {n}"
+                              for rid, n in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding(s) in {files_scanned} file(s) "
+            f"({breakdown}); {suppressed} baseline-suppressed"
+        )
+    else:
+        lines.append(
+            f"no findings in {files_scanned} file(s); "
+            f"{suppressed} baseline-suppressed"
+        )
+    return "\n".join(lines)
+
+
+def format_json(findings: list[Finding], *, suppressed: int = 0,
+                files_scanned: int = 0) -> str:
+    doc = {
+        "tool": TOOL_NAME,
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "total": len(findings),
+            "suppressed": suppressed,
+            "files_scanned": files_scanned,
+            "by_rule": dict(Counter(f.rule_id for f in findings)),
+            "by_severity": dict(
+                Counter(f.severity.name.lower() for f in findings)
+            ),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def _sarif_rule(rule: Rule) -> dict:
+    return {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "fullDescription": {"text": rule.rationale or rule.description},
+        "defaultConfiguration": {"level": rule.severity.sarif_level},
+        "helpUri": "https://example.invalid/docs/LINT_RULES.md",
+    }
+
+
+def format_sarif(findings: list[Finding], rules: list[Rule]) -> str:
+    """A single-run SARIF 2.1.0 log with the rule catalog embedded."""
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule_id,
+            "level": f.severity.sarif_level,
+            "message": {"text": f.message},
+            "partialFingerprints": {"pressioLint/v1": f.fingerprint()},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(f.line, 1),
+                        "startColumn": f.col + 1,
+                        "snippet": {"text": f.snippet},
+                    },
+                },
+            }],
+        })
+    doc = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri":
+                        "https://example.invalid/docs/LINT_RULES.md",
+                    "rules": [_sarif_rule(r) for r in rules],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"

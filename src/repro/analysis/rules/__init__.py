@@ -1,0 +1,112 @@
+"""Rule base class and registry with per-rule enable/disable.
+
+A rule is a small object with identity (``rule_id``), metadata used by
+the SARIF exporter and the rule catalog, and a :meth:`Rule.check` that
+yields :class:`~repro.analysis.model.Finding` objects for one module.
+Registration happens at import time via :func:`register_rule`, the same
+extension pattern the plugin registries use — third-party rule packs
+can register without modifying this package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Type
+
+from ..model import Finding, Severity
+from ..project import ProjectIndex, SourceModule
+
+__all__ = ["Rule", "register_rule", "all_rules", "get_rule",
+           "resolve_selection"]
+
+_RULES: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    rule_id: str = "XX000"
+    name: str = "unnamed"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: which paper claim / Section V pitfall the rule guards
+    rationale: str = ""
+
+    def check(self, module: SourceModule,
+              index: ProjectIndex) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------
+    def finding(self, module: SourceModule, node, message: str,
+                **extra) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            path=module.rel,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            snippet=module.line(line).strip(),
+            extra=extra,
+        )
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule instance to the registry."""
+    instance = cls()
+    if instance.rule_id in _RULES:
+        raise ValueError(f"duplicate rule id {instance.rule_id!r}")
+    _RULES[instance.rule_id] = instance
+    return cls
+
+
+def _load_packs() -> None:
+    from . import concurrency, contract, hotpath  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id."""
+    _load_packs()
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule | None:
+    _load_packs()
+    return _RULES.get(rule_id)
+
+
+def resolve_selection(enable: Iterable[str] | None,
+                      disable: Iterable[str] | None) -> list[Rule]:
+    """Apply --enable/--disable id selections to the registry.
+
+    ``enable`` (when non-empty) restricts the run to exactly those ids;
+    ``disable`` removes ids from whatever is selected.  Unknown ids
+    raise ValueError so typos fail loudly rather than silently passing.
+    """
+    rules = all_rules()
+    known = {r.rule_id for r in rules}
+    for rid in list(enable or []) + list(disable or []):
+        if rid not in known:
+            raise ValueError(
+                f"unknown rule id {rid!r}; known: {', '.join(sorted(known))}"
+            )
+    selected = rules
+    if enable:
+        wanted = set(enable)
+        selected = [r for r in selected if r.rule_id in wanted]
+    if disable:
+        dropped = set(disable)
+        selected = [r for r in selected if r.rule_id not in dropped]
+    return selected
+
+
+def iter_rule_docs() -> Iterator[dict]:
+    """Metadata rows for --list-rules and the SARIF tool descriptor."""
+    for rule in all_rules():
+        yield {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "severity": rule.severity.name.lower(),
+            "description": rule.description,
+            "rationale": rule.rationale,
+        }

@@ -1,0 +1,172 @@
+"""Concurrency rules (``TS*``): thread-safety as an enforced contract.
+
+The paper (Section IV-B) argues the safest design *tells* callers what
+is thread-safe instead of hoping.  TS002 makes that declaration
+mandatory and machine-checkable; TS001 looks for the classic bug the
+declaration exists to prevent — shared-state writes from callables the
+parallel meta-compressors fan out across threads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..model import Finding, Severity
+from ..project import ClassInfo, ProjectIndex, SourceModule, dotted_name
+from ..visitor import collect_worker_defs, function_locals, is_abstract_method
+from . import Rule, register_rule
+
+#: accepted thread_safety declarations, mirroring pressio_thread_safety
+THREAD_SAFETY_VALUES = ("single", "serialized", "multithreaded")
+
+
+def _inside_lock(node: ast.AST, fn: ast.FunctionDef) -> bool:
+    """True when ``node`` sits under a ``with <...lock...>:`` block."""
+    for candidate in ast.walk(fn):
+        if not isinstance(candidate, ast.With):
+            continue
+        holds_lock = any(
+            "lock" in (dotted_name(item.context_expr) or "").lower()
+            for item in candidate.items
+        )
+        if holds_lock and any(sub is node for sub in ast.walk(candidate)):
+            return True
+    return False
+
+
+@register_rule
+class SharedStateWriteRule(Rule):
+    """TS001: no unsynchronized shared writes in thread-mapped callables."""
+
+    rule_id = "TS001"
+    name = "unsynchronized-shared-write"
+    severity = Severity.ERROR
+    description = (
+        "A callable handed to a thread pool (pool.submit/map, self._map, "
+        "wrap_task) must not write self.* attributes, global/nonlocal "
+        "names, or subscripts of closed-over objects unless the write is "
+        "under a 'with ...lock...:' block."
+    )
+    rationale = (
+        "meta/parallel.py fans these callables across worker threads; an "
+        "unsynchronized write races exactly the way the pressio:thread_safe "
+        "introspection exists to prevent (paper Section IV-B/IV-D)."
+    )
+
+    def check(self, module: SourceModule,
+              index: ProjectIndex) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        for owner in ast.walk(module.tree):
+            if not isinstance(owner, ast.FunctionDef):
+                continue
+            for worker in collect_worker_defs(owner):
+                yield from self._check_worker(module, worker)
+
+    def _check_worker(self, module: SourceModule,
+                      worker: ast.FunctionDef) -> Iterable[Finding]:
+        locals_ = function_locals(worker)
+        declared_global: set[str] = set()
+        declared_nonlocal: set[str] = set()
+        for node in ast.walk(worker):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Nonlocal):
+                declared_nonlocal.update(node.names)
+
+        def flag(node: ast.AST, what: str) -> Finding:
+            return self.finding(
+                module, node,
+                f"thread-mapped callable {worker.name!r} writes {what} "
+                f"without holding a lock; workers run concurrently in "
+                f"the parallel meta-compressors",
+            )
+
+        for node in ast.walk(worker):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if _inside_lock(node, worker):
+                    continue
+                if isinstance(target, ast.Attribute):
+                    base = dotted_name(target.value) or ""
+                    root = base.split(".")[0]
+                    if root == "self" or (root and root not in locals_):
+                        yield flag(node, f"attribute {base}.{target.attr}")
+                elif isinstance(target, ast.Name):
+                    if target.id in declared_global:
+                        yield flag(node, f"module global {target.id!r}")
+                    elif target.id in declared_nonlocal:
+                        yield flag(node, f"nonlocal {target.id!r}")
+                elif isinstance(target, ast.Subscript):
+                    base = dotted_name(target.value) or ""
+                    root = base.split(".")[0]
+                    if root and root != "self" and root not in locals_:
+                        yield flag(node, f"closed-over container {root!r}")
+
+
+def _is_concrete_compressor(info: ClassInfo, index: ProjectIndex) -> bool:
+    if info.registered_kind == "compressor":
+        return True
+    if info.registered_kind is not None:
+        return False
+    if info.name.startswith("_"):
+        return False
+    if not index.is_subclass_of(info, "PressioCompressor"):
+        return False
+    if info.name == "PressioCompressor":
+        return False
+    fn = info.methods.get("_compress")
+    return fn is not None and not is_abstract_method(fn)
+
+
+@register_rule
+class ThreadSafetyDeclarationRule(Rule):
+    """TS002: every compressor plugin declares ``thread_safety``."""
+
+    rule_id = "TS002"
+    name = "missing-thread-safety-declaration"
+    severity = Severity.ERROR
+    description = (
+        "Every compressor plugin class (registered via @compressor_plugin/"
+        "register_compressor, or a concrete public PressioCompressor "
+        "subclass) must carry a thread_safety class attribute set to one "
+        "of 'single', 'serialized', or 'multithreaded' — declared in its "
+        "body or inherited from a project-resolvable base."
+    )
+    rationale = (
+        "Mirrors pressio_thread_safety: the introspection field Table I "
+        "credits LibPressio with and faults other interface libraries for "
+        "lacking; the parallel meta-compressors plan worker counts from it."
+    )
+
+    def check(self, module: SourceModule,
+              index: ProjectIndex) -> Iterable[Finding]:
+        for info in module.classes:
+            if not _is_concrete_compressor(info, index):
+                continue
+            chain = index.class_and_ancestors(info)
+            declared = next(
+                (cls for cls in chain if "thread_safety" in cls.attr_names),
+                None,
+            )
+            if declared is None:
+                yield self.finding(
+                    module, info.node,
+                    f"compressor plugin {info.name} does not declare a "
+                    f"thread_safety class attribute (expected one of "
+                    f"{', '.join(THREAD_SAFETY_VALUES)})",
+                )
+                continue
+            value = declared.str_attrs.get("thread_safety")
+            if value not in THREAD_SAFETY_VALUES:
+                yield self.finding(
+                    module, declared.node if declared is info else info.node,
+                    f"compressor plugin {info.name} declares thread_safety "
+                    f"with a non-literal or unknown value; expected one of "
+                    f"{', '.join(THREAD_SAFETY_VALUES)}",
+                )

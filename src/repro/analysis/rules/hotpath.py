@@ -1,0 +1,124 @@
+"""Hot-path rules (``HP*``): the <1% disabled-observability pin.
+
+``tests/trace/test_overhead.py`` *samples* the claim that a disabled
+observer costs one module-global read; these rules *prove* the
+syntactic form that makes it true, so a stray logging or tracing call
+slipped into an operation body fails CI instead of a timing test that
+may or may not notice it under scheduler noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..model import Finding, Severity
+from ..project import ProjectIndex, SourceModule, dotted_name
+from ..visitor import GuardedCallVisitor, classify_observability_call
+from . import Rule, register_rule
+
+_OP_METHODS = ("_compress", "_decompress")
+
+
+@register_rule
+class UnguardedObservabilityRule(Rule):
+    """HP001: observability calls in op bodies need a sentinel guard."""
+
+    rule_id = "HP001"
+    name = "unguarded-observability"
+    severity = Severity.ERROR
+    description = (
+        "Inside _compress/_decompress bodies, calls into the tracer, the "
+        "metrics registry, loggers/print, or plugin registries must sit "
+        "inside an if whose test reads repro._hot.ANY or a runtime ACTIVE "
+        "sentinel (or inside an except arm — the cold error path)."
+    )
+    rationale = (
+        "Paper Fig. 3 / ROADMAP <1% overhead pin: unguarded observability "
+        "in an operation body costs attribute lookups and calls on every "
+        "operation even when nothing is watching."
+    )
+
+    def check(self, module: SourceModule,
+              index: ProjectIndex) -> Iterable[Finding]:
+        for info in module.classes:
+            for method_name in _OP_METHODS:
+                fn = info.methods.get(method_name)
+                if fn is None:
+                    continue
+                visitor = GuardedCallVisitor().visit(fn)
+                for call, guarded in visitor.calls:
+                    if guarded:
+                        continue
+                    label = classify_observability_call(call, module)
+                    if label is None:
+                        continue
+                    target = dotted_name(call.func) or "<call>"
+                    yield self.finding(
+                        module, call,
+                        f"{info.name}.{method_name} performs an unguarded "
+                        f"{label} call ({target}); guard it with "
+                        f"'if _hot.ANY:' / 'if _trace.ACTIVE is not None:' "
+                        f"so the disabled path stays call-free",
+                    )
+
+
+def _is_hot_guard_stmt(stmt: ast.stmt, op_attr: str) -> bool:
+    """Match ``if not <...>.ANY: return self._compress_op(...)``."""
+    if not isinstance(stmt, ast.If) or stmt.orelse:
+        return False
+    test = stmt.test
+    if not (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)):
+        return False
+    sentinel = dotted_name(test.operand) or ""
+    if sentinel.split(".")[-1] != "ANY":
+        return False
+    if len(stmt.body) != 1 or not isinstance(stmt.body[0], ast.Return):
+        return False
+    value = stmt.body[0].value
+    if not isinstance(value, ast.Call):
+        return False
+    return (dotted_name(value.func) or "").split(".")[-1] == op_attr
+
+
+@register_rule
+class HotWrapperGuardRule(Rule):
+    """HP002: public wrappers must open with the single-read fast path."""
+
+    rule_id = "HP002"
+    name = "hot-wrapper-guard"
+    severity = Severity.ERROR
+    description = (
+        "In a class that defines _compress_op/_decompress_op, the public "
+        "compress/decompress wrappers must begin with "
+        "'if not _hot.ANY: return self._compress_op(...)' so the disabled "
+        "path performs exactly one module-global read before the body."
+    )
+    rationale = (
+        "This is the statically checkable form of the overhead claim: "
+        "any statement before that guard executes on every call, watched "
+        "or not, and silently erodes the <1% pin."
+    )
+
+    def check(self, module: SourceModule,
+              index: ProjectIndex) -> Iterable[Finding]:
+        for info in module.classes:
+            for public, op_attr in (("compress", "_compress_op"),
+                                    ("decompress", "_decompress_op")):
+                if op_attr not in info.methods:
+                    continue
+                fn = info.methods.get(public)
+                if fn is None:
+                    continue
+                body = [stmt for stmt in fn.body
+                        if not (isinstance(stmt, ast.Expr)
+                                and isinstance(stmt.value, ast.Constant))]
+                if body and _is_hot_guard_stmt(body[0], op_attr):
+                    continue
+                yield self.finding(
+                    module, body[0] if body else fn,
+                    f"{info.name}.{public} must start with the hot-path "
+                    f"fast path 'if not _hot.ANY: return "
+                    f"self.{op_attr}(...)'; anything before it runs on "
+                    f"every call even with observability disabled",
+                )

@@ -13,6 +13,7 @@ from ..core.io import PressioIO
 from ..core.library import Pressio
 from ..core.metrics import PressioMetrics
 from ..core.options import Option, OptionType, PressioOptions
+from ..obs import runtime as _obs
 
 __all__ = [
     # library
@@ -260,7 +261,8 @@ def _get(options: PressioOptions, name: str, type_: OptionType):
     """C-style getter: (status, value) with status 0 on success."""
     try:
         return 0, options.get_as(name, type_)
-    except Exception:  # noqa: BLE001
+    except Exception as e:  # noqa: BLE001
+        _obs.record_error("options_get", "capi", e, key=name)
         return 1, None
 
 
@@ -337,7 +339,8 @@ def pressio_compressor_compress(compressor: PressioCompressor,
     """
     try:
         result = compressor.compress(input, output)
-    except Exception:  # noqa: BLE001 - status captured on compressor
+    except Exception as e:  # noqa: BLE001 - status captured on compressor
+        _obs.record_error("capi_compress", compressor.get_name(), e)
         return compressor.error_code() or 1
     _assign(output, result)
     return 0
@@ -348,7 +351,8 @@ def pressio_compressor_decompress(compressor: PressioCompressor,
                                   output: PressioData) -> int:
     try:
         result = compressor.decompress(input, output)
-    except Exception:  # noqa: BLE001
+    except Exception as e:  # noqa: BLE001
+        _obs.record_error("capi_decompress", compressor.get_name(), e)
         return compressor.error_code() or 1
     _assign(output, result)
     return 0
@@ -416,14 +420,16 @@ def pressio_io_read(io: PressioIO, template: PressioData | None
                     ) -> PressioData | None:
     try:
         return io.read(template)
-    except Exception:  # noqa: BLE001
+    except Exception as e:  # noqa: BLE001
+        _obs.record_error("capi_io_read", io.get_name(), e)
         return None
 
 
 def pressio_io_write(io: PressioIO, data: PressioData) -> int:
     try:
         io.write(data)
-    except Exception:  # noqa: BLE001
+    except Exception as e:  # noqa: BLE001
+        _obs.record_error("capi_io_write", io.get_name(), e)
         return 1
     return 0
 

@@ -46,6 +46,8 @@ _log = get_logger("compressors.external")
 class ExternalCompressor(PressioCompressor):
     """Out-of-process compression via a spawned worker interpreter."""
 
+    thread_safety = "serialized"
+
     def __init__(self) -> None:
         super().__init__()
         self._inner = "sz"

@@ -22,6 +22,8 @@ class FpzipCompressor(PressioCompressor):
     paper builds its data-abstraction argument on.
     """
 
+    thread_safety = "serialized"
+
     def __init__(self) -> None:
         super().__init__()
         self._backend = "zlib"

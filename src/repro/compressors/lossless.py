@@ -29,6 +29,7 @@ class LosslessCompressor(PressioCompressor):
     """Generic wrapper turning a byte codec into a pressio plugin."""
 
     codec_name = "zlib"
+    thread_safety = "multithreaded"
 
     def __init__(self) -> None:
         super().__init__()

@@ -13,7 +13,8 @@ from ..core.data import PressioData
 from ..core.dtype import DType, dtype_to_numpy
 from ..core.options import OptionType, PressioOptions
 from ..core.registry import compressor_plugin
-from ..core.status import InvalidOptionError, InvalidTypeError
+from ..core.status import (InvalidDimensionsError, InvalidOptionError,
+                           InvalidTypeError)
 from ..native import mgard as native_mgard
 
 __all__ = ["MGARDCompressor"]
@@ -22,6 +23,8 @@ __all__ = ["MGARDCompressor"]
 @compressor_plugin("mgard")
 class MGARDCompressor(PressioCompressor):
     """Multigrid error-bounded lossy compression via the MGARD pipeline."""
+
+    thread_safety = "serialized"
 
     def __init__(self) -> None:
         super().__init__()
@@ -81,6 +84,13 @@ class MGARDCompressor(PressioCompressor):
         arr = input.to_numpy()
         if arr.dtype.kind not in "fiu":
             raise InvalidTypeError(f"mgard cannot compress dtype {arr.dtype}")
+        # the multigrid hierarchy needs >= MIN_DIM samples per dimension;
+        # fail here with a taxonomy-coded error instead of deep in the native
+        if any(d < native_mgard.MIN_DIM for d in input.dims):
+            raise InvalidDimensionsError(
+                f"mgard requires >= {native_mgard.MIN_DIM} samples per "
+                f"dimension, got dims {tuple(input.dims)}"
+            )
         stream = native_mgard.compress(arr, self._tolerance, self._s,
                                        backend=self._backend,
                                        level=self._level)

@@ -27,6 +27,8 @@ _MAGIC = b"NOP1"
 class NoopCompressor(PressioCompressor):
     """Stores the input verbatim behind a self-describing header."""
 
+    thread_safety = "multithreaded"
+
     def _configuration(self) -> PressioOptions:
         cfg = PressioOptions()
         cfg.set("pressio:thread_safe", ThreadSafety.MULTIPLE)

@@ -58,6 +58,8 @@ def mask_mantissa(arr: np.ndarray, keep_bits: int) -> np.ndarray:
 class _RoundingBase(PressioCompressor):
     """Shared machinery: mask mantissa, then lossless-pack the bytes."""
 
+    thread_safety = "multithreaded"
+
     def __init__(self) -> None:
         super().__init__()
         self._backend = "zlib"

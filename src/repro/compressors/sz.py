@@ -55,6 +55,8 @@ def _release_sz() -> None:
 class SZCompressor(PressioCompressor):
     """Error-bounded lossy compression via the SZ-family pipeline."""
 
+    thread_safety = "single"
+
     def __init__(self) -> None:
         super().__init__()
         self._params = sz_params()

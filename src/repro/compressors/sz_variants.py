@@ -34,6 +34,8 @@ __all__ = ["SZThreadsafeCompressor", "SZOmpCompressor"]
 class SZThreadsafeCompressor(SZCompressor):
     """SZ pipeline with per-instance configuration (re-entrant)."""
 
+    thread_safety = "multithreaded"
+
     def __init__(self) -> None:
         # deliberately skip SZCompressor.__init__'s global acquire:
         # the whole point of the threadsafe variant is no shared state
@@ -107,6 +109,10 @@ class SZOmpCompressor(SZThreadsafeCompressor):
 
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy())
+        if arr.dtype.kind != "f":
+            # the slab path feeds sz_core directly; keep the serial
+            # path's typed rejection instead of an arbitrary native error
+            return super()._compress(input)
         if arr.ndim == 0 or arr.shape[0] < 2 * self._nthreads:
             return super()._compress(input)
         slabs = self._slabs(arr)

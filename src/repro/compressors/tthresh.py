@@ -24,6 +24,8 @@ __all__ = ["TthreshCompressor"]
 class TthreshCompressor(PressioCompressor):
     """SVD-principled lossy compression with a relative-L2 target."""
 
+    thread_safety = "serialized"
+
     def __init__(self) -> None:
         super().__init__()
         self._target = 1e-3

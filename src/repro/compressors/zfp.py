@@ -8,6 +8,8 @@ and exposes zfp's four modes through typed options.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.compressor import PressioCompressor
@@ -33,6 +35,8 @@ _MODE_IDS = {v: k for k, v in _MODE_NAMES.items()}
 @compressor_plugin("zfp")
 class ZFPCompressor(PressioCompressor):
     """Transform-based error-bounded lossy compression via the zfp pipeline."""
+
+    thread_safety = "serialized"
 
     def __init__(self) -> None:
         super().__init__()
@@ -137,6 +141,12 @@ class ZFPCompressor(PressioCompressor):
             raise InvalidTypeError(f"zfp cannot compress dtype {arr.dtype}")
         # translate C-order dims -> zfp's Fortran-order field transparently
         dims = input.dims
+        if any(0 < d < 4 for d in dims):
+            warnings.warn(
+                f"zfp pads dimensions smaller than its 4^d block size "
+                f"(dims {tuple(dims)}); expect degraded compression ratios",
+                stacklevel=2,
+            )
         nxyzw = tuple(reversed(dims)) + (0,) * (4 - len(dims))
         field = native_zfp.zfp_field(arr.reshape(-1), _zfp_type_of(arr.dtype),
                                      *nxyzw[:4])

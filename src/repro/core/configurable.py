@@ -127,6 +127,9 @@ class Configurable:
     def get_configuration(self) -> PressioOptions:
         cfg = self._configuration()
         cfg.set("pressio:version", self.version())
+        declared = getattr(self, "thread_safety", None)
+        if declared is not None:
+            cfg.set("pressio:thread_safety", declared)
         return cfg
 
     def get_documentation(self) -> PressioOptions:

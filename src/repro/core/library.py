@@ -11,6 +11,7 @@ from __future__ import annotations
 import importlib
 import threading
 
+from ..obs import runtime as _obs
 from . import registry
 from .compressor import PressioCompressor
 from .io import PressioIO
@@ -71,6 +72,7 @@ class Pressio:
             return comp
         except Exception as e:  # noqa: BLE001 - C-style status capture
             self.status.set_from(e)
+            _obs.record_error("get_compressor", compressor_id, e)
             return None
 
     def get_metric(self, metric_ids: str | list[str]) -> PressioMetrics | None:
@@ -88,6 +90,7 @@ class Pressio:
             return m
         except Exception as e:  # noqa: BLE001
             self.status.set_from(e)
+            _obs.record_error("get_metric", str(metric_ids), e)
             return None
 
     # C API naming parity
@@ -102,6 +105,7 @@ class Pressio:
             return io
         except Exception as e:  # noqa: BLE001
             self.status.set_from(e)
+            _obs.record_error("get_io", io_id, e)
             return None
 
     # -- enumeration -------------------------------------------------------

@@ -21,6 +21,7 @@ class MetaCompressor(PressioCompressor):
     """Holds and forwards to an inner compressor plugin."""
 
     default_inner = "noop"
+    thread_safety = "serialized"
 
     def __init__(self) -> None:
         super().__init__()

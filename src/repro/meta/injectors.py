@@ -10,6 +10,8 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ..core.data import PressioData
@@ -67,16 +69,22 @@ class FaultInjectorCompressor(MetaCompressor):
         stream = bytearray(input.to_bytes())
         usable = len(stream) - self._skip_header_bytes
         if self._num_faults > 0 and usable > 0:
-            with _trace.stage("fault_injector:inject",
-                              num_faults=self._num_faults, seed=self._seed):
+            if _trace.ACTIVE is not None:
+                span = _trace.stage("fault_injector:inject",
+                                    num_faults=self._num_faults,
+                                    seed=self._seed)
+            else:
+                span = nullcontext()
+            with span:
                 rng = np.random.default_rng(self._seed)
                 positions = rng.integers(self._skip_header_bytes, len(stream),
                                          size=self._num_faults)
                 bits = rng.integers(0, 8, size=self._num_faults)
                 for pos, bit in zip(positions, bits):
                     stream[pos] ^= 1 << int(bit)
-            _trace.add_counter("fault_injector:bits_flipped",
-                               self._num_faults)
+            if _trace.ACTIVE is not None:
+                _trace.add_counter("fault_injector:bits_flipped",
+                                   self._num_faults)
         return self._inner.decompress(PressioData.from_bytes(bytes(stream)),
                                       output)
 
@@ -120,9 +128,13 @@ class ErrorInjectorCompressor(MetaCompressor):
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy(), dtype=np.float64)
         if self._scale > 0:
-            with _trace.stage("error_injector:perturb",
-                              distribution=self._distribution,
-                              scale=self._scale):
+            if _trace.ACTIVE is not None:
+                span = _trace.stage("error_injector:perturb",
+                                    distribution=self._distribution,
+                                    scale=self._scale)
+            else:
+                span = nullcontext()
+            with span:
                 rng = np.random.default_rng(self._seed)
                 if self._distribution == "normal":
                     noise = rng.normal(0.0, self._scale, size=arr.shape)
@@ -130,7 +142,9 @@ class ErrorInjectorCompressor(MetaCompressor):
                     noise = rng.uniform(-self._scale, self._scale,
                                         size=arr.shape)
                 arr = arr + noise
-            _trace.add_counter("error_injector:perturbed_elements", arr.size)
+            if _trace.ACTIVE is not None:
+                _trace.add_counter("error_injector:perturbed_elements",
+                                   arr.size)
         from ..core.dtype import dtype_to_numpy
 
         noisy = arr.astype(dtype_to_numpy(input.dtype))

@@ -28,6 +28,8 @@ _MAGIC = b"SWT1"
 class SwitchCompressor(PressioCompressor):
     """Dispatches to one of several registered candidates at runtime."""
 
+    thread_safety = "serialized"
+
     def __init__(self) -> None:
         super().__init__()
         self._candidate_ids: list[str] = ["noop"]
@@ -97,8 +99,9 @@ class SwitchCompressor(PressioCompressor):
 
     # -- compression --------------------------------------------------------
     def _compress(self, input: PressioData) -> PressioData:
-        _trace.annotate(active_id=self._active)
-        _trace.add_counter(f"switch:dispatch:{self._active}")
+        if _trace.ACTIVE is not None:
+            _trace.annotate(active_id=self._active)
+            _trace.add_counter(f"switch:dispatch:{self._active}")
         inner_out = self.active.compress(input)
         tag = self._active.encode("utf-8")
         header = write_header(_MAGIC, DType.BYTE, (len(tag),),
@@ -110,7 +113,8 @@ class SwitchCompressor(PressioCompressor):
         _dtype, _dims, _d, ints, pos = read_header(stream, _MAGIC)
         tag_len = ints[0]
         tag = stream[pos:pos + tag_len].decode("utf-8")
-        _trace.annotate(active_id=tag)
+        if _trace.ACTIVE is not None:
+            _trace.annotate(active_id=tag)
         candidate = self._ensure(tag)
         return candidate.decompress(
             PressioData.from_bytes(stream[pos + tag_len:]), output

@@ -8,6 +8,8 @@ inner compressor with a reversible (or deliberately reducing, for
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ..core.data import PressioData
@@ -80,7 +82,11 @@ class TransposeCompressor(MetaCompressor):
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy())
         order = self._order_for(arr.ndim)
-        with _trace.stage("transpose:forward", order=list(order)):
+        if _trace.ACTIVE is not None:
+            span = _trace.stage("transpose:forward", order=list(order))
+        else:
+            span = nullcontext()
+        with span:
             transposed = np.ascontiguousarray(arr.transpose(order))
         inner_out = self._inner.compress(PressioData.from_numpy(transposed,
                                                                 copy=False))
@@ -95,7 +101,11 @@ class TransposeCompressor(MetaCompressor):
         out = self._inner.decompress(PressioData.from_bytes(inner_stream),
                                      inner_template)
         arr = np.asarray(out.to_numpy()).reshape(t_dims)
-        with _trace.stage("transpose:inverse", order=list(order)):
+        if _trace.ACTIVE is not None:
+            span = _trace.stage("transpose:inverse", order=list(order))
+        else:
+            span = nullcontext()
+        with span:
             inverse = np.argsort(order)
             restored = np.ascontiguousarray(arr.transpose(inverse))
         return PressioData.from_numpy(restored, copy=False)
@@ -154,7 +164,8 @@ class DeltaEncodingCompressor(MetaCompressor):
 
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy()).reshape(-1)
-        _trace.annotate(stage="delta_encoding:forward")
+        if _trace.ACTIVE is not None:
+            _trace.annotate(stage="delta_encoding:forward")
         if arr.dtype.kind in "iu":
             work = arr.astype(np.int64)
             delta = np.empty_like(work)
@@ -221,7 +232,11 @@ class LinearQuantizerCompressor(MetaCompressor):
 
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy(), dtype=np.float64)
-        with _trace.stage("linear_quantizer:quantize", step=self._step):
+        if _trace.ACTIVE is not None:
+            span = _trace.stage("linear_quantizer:quantize", step=self._step)
+        else:
+            span = nullcontext()
+        with span:
             codes = np.rint(arr / self._step).astype(np.int64)
         inner_out = self._inner.compress(
             PressioData.from_numpy(codes, copy=False)
@@ -236,7 +251,11 @@ class LinearQuantizerCompressor(MetaCompressor):
         out = self._inner.decompress(PressioData.from_bytes(inner_stream),
                                      inner_template)
         codes = np.asarray(out.to_numpy(), dtype=np.float64)
-        with _trace.stage("linear_quantizer:dequantize", step=step):
+        if _trace.ACTIVE is not None:
+            span = _trace.stage("linear_quantizer:dequantize", step=step)
+        else:
+            span = nullcontext()
+        with span:
             restored = (codes * step).astype(dtype_to_numpy(dtype)).reshape(dims)
         return PressioData.from_numpy(restored, copy=False)
 
@@ -300,9 +319,15 @@ class SampleCompressor(MetaCompressor):
                 f"cannot sample every {self._rate} of leading dim "
                 f"{arr.shape[:1]}"
             )
-        with _trace.stage("sample:select", mode=self._mode, rate=self._rate):
+        if _trace.ACTIVE is not None:
+            span = _trace.stage("sample:select", mode=self._mode,
+                                rate=self._rate)
+        else:
+            span = nullcontext()
+        with span:
             sampled = np.ascontiguousarray(arr[self._select(arr.shape[0])])
-        _trace.annotate(sampled_dims=list(sampled.shape))
+        if _trace.ACTIVE is not None:
+            _trace.annotate(sampled_dims=list(sampled.shape))
         inner_out = self._inner.compress(
             PressioData.from_numpy(sampled, copy=False)
         )

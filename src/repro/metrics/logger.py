@@ -33,6 +33,7 @@ from ..core.metrics import PressioMetrics
 from ..core.options import OptionType, PressioOptions
 from ..core.registry import metric_plugin, metrics_registry
 from ..core.status import InvalidOptionError
+from ..obs import runtime as _obs
 
 __all__ = ["CsvLoggerMetrics"]
 
@@ -48,8 +49,8 @@ def _flush_live_loggers() -> None:
     for logger in list(_LIVE_LOGGERS):
         try:
             logger.flush()
-        except Exception:  # noqa: BLE001 - never block interpreter exit
-            pass
+        except Exception as e:  # noqa: BLE001 - never block interpreter exit
+            _obs.record_error("atexit_flush", "csv_logger", e)
 
 
 @metric_plugin("csv_logger")

@@ -301,6 +301,10 @@ def run(argv: list[str] | None = None) -> int:
         from ..obs.bench import run_bench
 
         return run_bench(argv[1:])
+    if argv and argv[0] == "lint":
+        from ..analysis.cli import run_lint
+
+        return run_lint(argv[1:])
     args = build_parser().parse_args(argv)
     library = Pressio()
 

@@ -26,6 +26,7 @@ import numpy as np
 from ..core.data import PressioData
 from ..core.library import Pressio
 from ..core.status import PressioError
+from ..obs import runtime as _obs
 
 __all__ = ["FuzzReport", "fuzz_compressor", "main"]
 
@@ -99,6 +100,7 @@ def fuzz_compressor(compressor_id: str, iterations: int = 100,
             report.clean_rejections += 1
             continue
         except Exception as e:  # noqa: BLE001 - this is the fuzz target
+            _obs.record_error("fuzz_compress", compressor_id, e)
             report.crashes.append(
                 f"iter {i}: compress raised {type(e).__name__}: {e} "
                 f"(shape={arr.shape}, dtype={arr.dtype})"
@@ -126,6 +128,7 @@ def fuzz_compressor(compressor_id: str, iterations: int = 100,
                 )
             continue
         except Exception as e:  # noqa: BLE001
+            _obs.record_error("fuzz_decompress", compressor_id, e)
             report.crashes.append(
                 f"iter {i}: decompress raised {type(e).__name__}: {e} "
                 f"(corrupt={corrupt})"

@@ -1,0 +1,18 @@
+"""Seeded HP001 violation: unguarded trace call in an operation body.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+from repro.trace import runtime as _trace
+
+
+class ChattyCompressor:
+    def _compress(self, input):
+        # runs on every operation even with tracing disabled -> HP001
+        _trace.annotate(input_bytes=input.nbytes)
+        return input
+
+    def _decompress(self, input, output):
+        if _trace.ACTIVE is not None:
+            _trace.annotate(output_bytes=output.nbytes)  # guarded: clean
+        return output

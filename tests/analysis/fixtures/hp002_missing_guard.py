@@ -1,0 +1,28 @@
+"""Seeded HP002 violation: wrapper does work before the _hot.ANY guard.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+from repro import _hot
+
+
+class EagerWrapper:
+    def _compress_op(self, input, output=None):
+        return input
+
+    def compress(self, input, output=None):
+        # bookkeeping before the fast path runs on every call -> HP002
+        self._calls = getattr(self, "_calls", 0) + 1
+        if not _hot.ANY:
+            return self._compress_op(input, output)
+        return self._compress_op(input, output)
+
+
+class WellGuardedWrapper:
+    def _compress_op(self, input, output=None):
+        return input
+
+    def compress(self, input, output=None):
+        if not _hot.ANY:
+            return self._compress_op(input, output)
+        return self._compress_op(input, output)

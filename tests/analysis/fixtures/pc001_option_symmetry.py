@@ -1,0 +1,27 @@
+"""Seeded PC001 violation: reads an option key that _options never declares.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+from repro.core.compressor import PressioCompressor
+from repro.core.options import OptionType, PressioOptions
+from repro.core.registry import compressor_plugin
+
+
+@compressor_plugin("fixture_pc001")
+class OptionDriftCompressor(PressioCompressor):
+    thread_safety = "serialized"
+
+    def __init__(self):
+        super().__init__()
+        self._level = 1
+
+    def _options(self):
+        opts = PressioOptions()
+        opts.set("fixture_pc001:level", self._level)
+        return opts
+
+    def _set_options(self, options):
+        # accepts a key get_options never advertises -> PC001
+        self._level = self._take(options, "fixture_pc001:mystery",
+                                 OptionType.INT64, self._level)

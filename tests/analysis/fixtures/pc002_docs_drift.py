@@ -1,0 +1,26 @@
+"""Seeded PC002 violation: documents a key _options does not advertise.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+from repro.core.compressor import PressioCompressor
+from repro.core.options import PressioOptions
+from repro.core.registry import compressor_plugin
+
+
+@compressor_plugin("fixture_pc002")
+class StaleDocsCompressor(PressioCompressor):
+    thread_safety = "serialized"
+
+    def _options(self):
+        opts = PressioOptions()
+        opts.set("fixture_pc002:level", 1)
+        return opts
+
+    def _documentation(self):
+        docs = PressioOptions()
+        docs.set("pressio:description", "docs-drift fixture")
+        docs.set("fixture_pc002:level", "compression level")
+        # renamed long ago; the documentation never followed -> PC002
+        docs.set("fixture_pc002:old_level", "obsolete name for level")
+        return docs

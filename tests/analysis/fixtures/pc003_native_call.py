@@ -1,0 +1,19 @@
+"""Seeded PC003 violation: native call without dtype/dims validation.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+from repro.core.compressor import PressioCompressor
+from repro.core.data import PressioData
+from repro.core.registry import compressor_plugin
+from repro.native import mgard as native_mgard
+
+
+@compressor_plugin("fixture_pc003")
+class UnvalidatedNativeCompressor(PressioCompressor):
+    thread_safety = "serialized"
+
+    def _compress(self, input):
+        # straight into the native with no dtype/dims check -> PC003
+        stream = native_mgard.compress(input.to_numpy(), 1e-3, 0.0)
+        return PressioData.from_bytes(stream)

@@ -1,0 +1,19 @@
+"""Seeded PC004 violations: broad excepts outside the error contract.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # silent-swallow variant -> PC004
+        pass
+
+
+def collect_failures(fn, failures):
+    try:
+        return fn()
+    except Exception as e:  # no raise/status/taxonomy route -> PC004
+        failures.append(str(e))
+        return None

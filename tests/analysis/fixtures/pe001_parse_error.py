@@ -1,0 +1,4 @@
+"""Seeded PE001: this file deliberately does not parse."""
+
+def broken(:
+    return None

@@ -1,0 +1,27 @@
+"""Seeded TS001 violations: unsynchronized shared writes in a worker.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class SlabRunner:
+    def __init__(self):
+        self._last = None
+        self._lock = threading.Lock()
+
+    def run(self, tasks):
+        results = {}
+
+        def work(task):
+            self._last = task           # racy attribute write -> TS001
+            results[task] = task * 2    # racy closed-over write -> TS001
+            with self._lock:
+                self._safe = task       # under a lock: clean
+            return task
+
+        with ThreadPoolExecutor() as pool:
+            list(pool.map(work, tasks))
+        return results

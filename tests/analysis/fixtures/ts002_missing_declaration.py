@@ -1,0 +1,22 @@
+"""Seeded TS002 violations: missing / bogus thread_safety declarations.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+from repro.core.compressor import PressioCompressor
+from repro.core.registry import compressor_plugin
+
+
+@compressor_plugin("fixture_ts002")
+class UndeclaredCompressor(PressioCompressor):
+    # no thread_safety attribute at all -> TS002
+    def _compress(self, input):
+        return input
+
+
+@compressor_plugin("fixture_ts002_bad")
+class MislabelledCompressor(PressioCompressor):
+    thread_safety = "thread-hostile"  # not a known value -> TS002
+
+    def _compress(self, input):
+        return input

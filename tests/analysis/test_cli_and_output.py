@@ -1,0 +1,171 @@
+"""CLI behavior, report formats, baseline round-trip, suppressions."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import all_rules, analyze_paths
+from repro.analysis.cli import run_lint
+from repro.analysis.output import SARIF_SCHEMA_URI, format_sarif
+from repro.tools.cli import run as pressio_run
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PC004 = str(FIXTURES / "pc004_broad_except.py")
+HP001 = str(FIXTURES / "hp001_unguarded_trace.py")
+PC002 = str(FIXTURES / "pc002_docs_drift.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def ok():\n    return 1\n")
+        assert run_lint([str(clean)]) == 0
+
+    def test_findings_exit_one(self, capsys):
+        assert run_lint([PC004]) == 1
+        out = capsys.readouterr().out
+        assert "PC004" in out
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert run_lint([]) == 2
+        assert run_lint([PC004, "--enable", "XX999"]) == 2
+        err = capsys.readouterr().err
+        assert "XX999" in err
+
+    def test_fail_level_gates(self):
+        # PC002 is WARNING severity: fails at the default level ...
+        assert run_lint([PC002]) == 1
+        # ... passes when only errors gate, and with gating off
+        assert run_lint([PC002, "--fail-level", "error"]) == 0
+        assert run_lint([PC004, "--fail-level", "never"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert run_lint(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.rule_id in out
+
+
+class TestRuleSelection:
+    def test_disable_skips_rule(self):
+        assert run_lint([PC004, "--disable", "PC004"]) == 0
+
+    def test_enable_restricts_to_rule(self):
+        assert run_lint([PC004, "--enable", "HP001"]) == 0
+        assert run_lint([HP001, "--enable", "HP001"]) == 1
+
+
+class TestInlineSuppression:
+    def test_disable_comment_suppresses(self, tmp_path):
+        noisy = tmp_path / "noisy.py"
+        noisy.write_text(
+            "def swallow(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:  # pressio-lint: disable=PC004\n"
+            "        pass\n"
+        )
+        assert run_lint([str(noisy)]) == 0
+
+    def test_other_rule_id_does_not_suppress(self, tmp_path):
+        noisy = tmp_path / "noisy.py"
+        noisy.write_text(
+            "def swallow(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:  # pressio-lint: disable=HP001\n"
+            "        pass\n"
+        )
+        assert run_lint([str(noisy)]) == 1
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_everything(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert run_lint([PC004, "--write-baseline", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        assert doc["version"] == 1
+        assert len(doc["suppressions"]) == 2
+        assert all(s["rule"] == "PC004" for s in doc["suppressions"])
+
+        capsys.readouterr()
+        assert run_lint([PC004, "--baseline", str(baseline)]) == 0
+        assert "2 baseline-suppressed" in capsys.readouterr().out
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        absent = tmp_path / "nope.json"
+        assert run_lint([PC004, "--baseline", str(absent)]) == 1
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"version\": 99}")
+        assert run_lint([PC004, "--baseline", str(bad)]) == 2
+
+    def test_fingerprint_survives_line_moves(self):
+        finding = analyze_paths([PC004])[0]
+        moved = type(finding)(
+            rule_id=finding.rule_id, severity=finding.severity,
+            message=finding.message, path=finding.path,
+            line=finding.line + 40, col=finding.col,
+            snippet=finding.snippet,
+        )
+        assert moved.fingerprint() == finding.fingerprint()
+
+
+class TestFormats:
+    def test_json_format(self, capsys):
+        run_lint([PC004, "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "pressio-lint"
+        assert doc["summary"]["total"] == 2
+        assert doc["summary"]["by_rule"] == {"PC004": 2}
+        for entry in doc["findings"]:
+            assert entry["rule"] == "PC004"
+            assert entry["severity"] == "error"
+            assert entry["fingerprint"]
+
+    def test_sarif_shape(self, capsys):
+        run_lint([PC004, "--format", "sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "pressio-lint"
+        catalog = {r["id"] for r in driver["rules"]}
+        assert catalog == {r.rule_id for r in all_rules()}
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "note", "warning", "error")
+        assert len(run["results"]) == 2
+        for result in run["results"]:
+            assert result["ruleId"] == "PC004"
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+            assert result["partialFingerprints"]["pressioLint/v1"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_sarif_empty_run_is_valid(self):
+        doc = json.loads(format_sarif([], all_rules()))
+        assert doc["runs"][0]["results"] == []
+
+    def test_output_file(self, tmp_path, capsys):
+        report = tmp_path / "lint.sarif"
+        code = run_lint([PC004, "--format", "sarif",
+                         "--output", str(report)])
+        assert code == 1
+        doc = json.loads(report.read_text())
+        assert doc["runs"][0]["results"]
+        assert "lint.sarif" in capsys.readouterr().err
+
+
+class TestToolsCliIntegration:
+    def test_lint_subcommand_dispatches(self, capsys):
+        assert pressio_run(["lint", "--list-rules"]) == 0
+        assert "PC001" in capsys.readouterr().out
+
+    def test_lint_subcommand_reports_findings(self, capsys):
+        assert pressio_run(["lint", PC004]) == 1
+        assert "PC004" in capsys.readouterr().out
