@@ -1,0 +1,363 @@
+"""The shared check batteries every subject runs through.
+
+Four batteries produce the columns of the conformance matrix:
+
+* ``bounds`` — error-bound oracles over the synthetic field corpus;
+* ``differential`` — the same guarantee re-checked under chunking /
+  transpose / float32-cast stacks and against the ``noop`` reference
+  (compression ratios may change there; bounds may not);
+* ``shapes`` — invalid input must fail *loudly*: garbage and truncated
+  streams, zero-element buffers, and mismatched decompression templates
+  must raise typed :class:`~repro.core.status.PressioError`\\ s or
+  produce the self-described correct answer — never silent garbage;
+* ``sequence`` — the seeded stateful API-sequence engine
+  (:mod:`.sequence`).
+
+A battery returns :class:`~repro.conformance.report.CellResult` rows;
+anything it cannot judge is recorded as SKIP with the reason, so bounded
+coverage is always visible in the report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib as _zlib
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.registry import compressor_registry
+from ..core.status import PressioError
+from . import oracles
+from .fields import ConformanceField, conformance_fields, get_field
+from .report import ERROR, FAIL, PASS, SKIP, CellResult
+from .sequence import SequenceEngine
+from .subjects import BoundSpec, Subject
+
+__all__ = ["RunContext", "Battery", "BoundOracleBattery",
+           "DifferentialBattery", "ShapeContractBattery",
+           "SequenceBattery", "default_batteries"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunContext:
+    """Shared knobs for one matrix run."""
+
+    seed: int = 20210429
+    smoke: bool = False
+
+
+def _roundtrip(comp, arr: np.ndarray) -> np.ndarray:
+    data = PressioData.from_numpy(np.asarray(arr))
+    stream = comp.compress(data)
+    template = PressioData.empty(data.dtype, data.dims)
+    out = comp.decompress(stream, template)
+    return np.asarray(out.to_numpy())
+
+
+def _fresh(subject: Subject, spec: BoundSpec | None):
+    comp = subject.create()
+    if spec is not None and spec.options:
+        if comp.set_options(spec.options_dict()) != 0:
+            raise RuntimeError(
+                f"{subject.id}: bound options rejected: {comp.error_msg()}")
+    return comp
+
+
+def _cell_from_oracle(subject: Subject, battery: str, check: str,
+                      res: oracles.OracleResult) -> CellResult:
+    return CellResult(subject.id, battery, check,
+                      PASS if res.ok else FAIL, res.detail,
+                      measured=res.measured, allowed=res.allowed)
+
+
+class Battery:
+    """One column of the matrix."""
+
+    id = "battery"
+
+    def run(self, subject: Subject, ctx: RunContext) -> list[CellResult]:
+        raise NotImplementedError
+
+
+class BoundOracleBattery(Battery):
+    """Recompute every advertised bound from decompressed output."""
+
+    id = "bounds"
+
+    _ORACLES = {
+        "abs": oracles.abs_bound,
+        "rel": oracles.value_range_rel_bound,
+        "pw_rel": oracles.pw_rel_bound,
+        "rel_l2": oracles.rel_l2_bound,
+    }
+
+    def run(self, subject: Subject, ctx: RunContext) -> list[CellResult]:
+        specs: list[BoundSpec | None] = list(subject.bounds)
+        if subject.lossless:
+            specs.append(None)  # None = bit-exact lossless contract
+        if not specs:
+            return [CellResult(
+                subject.id, self.id, "bounds", SKIP,
+                "no advertised error bound; extend subjects.py to cover it")]
+        cells = []
+        for field in conformance_fields(ctx.smoke):
+            for spec in specs:
+                cell = self._check(subject, spec, field)
+                if cell is not None:
+                    cells.append(cell)
+        return cells
+
+    def _check(self, subject: Subject, spec: BoundSpec | None,
+               field: ConformanceField) -> CellResult | None:
+        mode = "lossless" if spec is None else spec.mode
+        check = f"{mode}:{field.name}"
+        special = "special" in field.tags
+        if spec is not None and mode == "pw_rel" and not special \
+                and "positive" not in field.tags:
+            # pointwise-relative modes are only guaranteed on data
+            # bounded away from zero
+            return None
+        arr = get_field(field.name)
+        try:
+            comp = _fresh(subject, spec)
+            out = _roundtrip(comp, arr)
+        except PressioError as e:
+            if special or "tiny" in field.tags:
+                # failing loudly on degenerate input is conformant —
+                # Section V's MGARD <3-row case, made a contract
+                return CellResult(subject.id, self.id, check, PASS,
+                                  f"rejected loudly: {type(e).__name__}")
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"typed error on valid input: {e}")
+        # the harness converts escapes into verdict cells; counting them
+        # in pressio_errors_total would pollute the taxonomy with
+        # deliberately-provoked failures
+        # pressio-lint: disable=PC004
+        except Exception as e:  # noqa: BLE001 - untyped escape = violation
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"untyped {type(e).__name__}: {e}")
+        if special:
+            if spec is None:
+                res = oracles.special_values(arr, out, None)
+            elif mode == "abs":
+                res = oracles.special_values(arr, out, spec.bound)
+            else:
+                # rel-family bounds have no pointwise meaning across
+                # NaN/Inf; the contract is mask preservation only
+                res = oracles.special_values(arr, out, float("inf"))
+        elif spec is None:
+            res = oracles.lossless_bitexact(arr, out)
+        else:
+            res = self._ORACLES[mode](arr, out, spec.bound)
+        return _cell_from_oracle(subject, self.id, check, res)
+
+
+class DifferentialBattery(Battery):
+    """Same guarantee, different composition: stacks change ratios, not
+    bounds."""
+
+    id = "differential"
+
+    def run(self, subject: Subject, ctx: RunContext) -> list[CellResult]:
+        if subject.stack:
+            return [CellResult(subject.id, self.id, "stacks", SKIP,
+                               "subject is itself a meta-compressor stack")]
+        spec = subject.bounds[0] if subject.bounds else None
+        if spec is None and not subject.lossless:
+            return [CellResult(subject.id, self.id, "stacks", SKIP,
+                               "no bound or lossless contract to preserve")]
+        arr = get_field("smooth")
+        cells = [self._reference_cell(subject, spec, arr)]
+        for stack_id, meta_id, meta_opts in (
+            ("chunked", "chunking", {"chunking:chunk_size": 512}),
+            ("transposed_stack", "transpose", {}),
+        ):
+            cells.append(
+                self._stacked_cell(subject, spec, arr, stack_id, meta_id,
+                                   meta_opts))
+        cells.append(self._cast_cell(subject, spec))
+        return cells
+
+    # -- the noop/lossless cross-reference -------------------------------
+    def _reference_cell(self, subject: Subject, spec: BoundSpec | None,
+                        arr: np.ndarray) -> CellResult:
+        check = "noop_reference"
+        try:
+            noop = compressor_registry.create("noop")
+            reference = _roundtrip(noop, arr)
+            out = _roundtrip(_fresh(subject, spec), arr)
+        # pressio-lint: disable=PC004
+        except Exception as e:  # noqa: BLE001 - escape becomes a cell
+            return CellResult(subject.id, self.id, check, ERROR,
+                              f"{type(e).__name__}: {e}")
+        ref_res = oracles.lossless_bitexact(arr, reference)
+        if not ref_res.ok:
+            return CellResult(subject.id, self.id, check, ERROR,
+                              "noop reference itself is not identity")
+        res = self._judge(spec, subject, arr, out)
+        return _cell_from_oracle(subject, self.id, check, res)
+
+    # -- bound preservation under meta-compressor stacks ------------------
+    def _stacked_cell(self, subject: Subject, spec: BoundSpec | None,
+                      arr: np.ndarray, check: str, meta_id: str,
+                      meta_opts: dict) -> CellResult:
+        options = {f"{meta_id}:compressor": subject.plugin_id}
+        options.update(meta_opts)
+        options.update(dict(subject.base_options))
+        if spec is not None:
+            options.update(spec.options_dict())
+        try:
+            meta = compressor_registry.create(meta_id)
+            if meta.set_options(options) != 0:
+                return CellResult(subject.id, self.id, check, SKIP,
+                                  f"stack rejected options: "
+                                  f"{meta.error_msg()}")
+            out = _roundtrip(meta, arr)
+        except PressioError as e:
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"stack broke the plugin: {e}")
+        # pressio-lint: disable=PC004
+        except Exception as e:  # noqa: BLE001 - escape becomes a cell
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"untyped {type(e).__name__}: {e}")
+        res = self._judge(spec, subject, arr, out)
+        return _cell_from_oracle(subject, self.id, check, res)
+
+    # -- dtype cast: float32 variant of the same field --------------------
+    def _cast_cell(self, subject: Subject,
+                   spec: BoundSpec | None) -> CellResult:
+        check = "cast_f32"
+        arr32 = get_field("smooth_f32")
+        try:
+            out = _roundtrip(_fresh(subject, spec), arr32)
+        except PressioError as e:
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"typed error on float32 input: {e}")
+        # pressio-lint: disable=PC004
+        except Exception as e:  # noqa: BLE001 - escape becomes a cell
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"untyped {type(e).__name__}: {e}")
+        res = self._judge(spec, subject, arr32, out)
+        return _cell_from_oracle(subject, self.id, check, res)
+
+    def _judge(self, spec: BoundSpec | None, subject: Subject,
+               arr: np.ndarray, out: np.ndarray) -> oracles.OracleResult:
+        if spec is None:
+            return oracles.lossless_bitexact(arr, out)
+        return BoundOracleBattery._ORACLES[spec.mode](arr, out, spec.bound)
+
+
+class ShapeContractBattery(Battery):
+    """Invalid shapes and corrupt streams must fail loudly."""
+
+    id = "shapes"
+
+    def run(self, subject: Subject, ctx: RunContext) -> list[CellResult]:
+        spec = subject.bounds[0] if subject.bounds else None
+        arr = get_field("smooth").reshape(-1)[:256].copy()
+        try:
+            comp = _fresh(subject, spec)
+            data = PressioData.from_numpy(arr)
+            stream = comp.compress(data).to_bytes()
+            plain = np.asarray(comp.decompress(
+                PressioData.from_bytes(stream),
+                PressioData.empty(data.dtype, data.dims)).to_numpy())
+        # pressio-lint: disable=PC004
+        except Exception as e:  # noqa: BLE001 - escape becomes a cell
+            return [CellResult(subject.id, self.id, "setup", ERROR,
+                               f"{type(e).__name__}: {e}")]
+        cells = [
+            self._expect_typed(subject, comp, "garbage_stream",
+                               b"\x93JUNKGARBAGE" * 16, data),
+            self._expect_typed(subject, comp, "truncated_stream",
+                               stream[:max(len(stream) // 2, 1)], data),
+            self._empty_input(subject, comp),
+            self._template_mismatch(subject, comp, stream, plain, data),
+        ]
+        return cells
+
+    def _expect_typed(self, subject: Subject, comp, check: str,
+                      payload: bytes, data: PressioData) -> CellResult:
+        try:
+            comp.decompress(PressioData.from_bytes(payload),
+                            PressioData.empty(data.dtype, data.dims))
+        except PressioError as e:
+            return CellResult(subject.id, self.id, check, PASS,
+                              type(e).__name__)
+        # pressio-lint: disable=PC004
+        except Exception as e:  # noqa: BLE001 - escape becomes a cell
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"untyped {type(e).__name__}: {e}")
+        return CellResult(subject.id, self.id, check, FAIL,
+                          "accepted a corrupt stream without error")
+
+    def _empty_input(self, subject: Subject, comp) -> CellResult:
+        check = "empty_input"
+        empty = np.zeros((0,), dtype=np.float64)
+        try:
+            out = _roundtrip(comp, empty)
+        except PressioError as e:
+            return CellResult(subject.id, self.id, check, PASS,
+                              f"rejected loudly: {type(e).__name__}")
+        # pressio-lint: disable=PC004
+        except Exception as e:  # noqa: BLE001 - escape becomes a cell
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"untyped {type(e).__name__}: {e}")
+        if out.size != 0:
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"0-element input returned {out.size} elements")
+        return CellResult(subject.id, self.id, check, PASS)
+
+    def _template_mismatch(self, subject: Subject, comp, stream: bytes,
+                           plain: np.ndarray,
+                           data: PressioData) -> CellResult:
+        check = "template_mismatch"
+        try:
+            out = comp.decompress(PressioData.from_bytes(stream),
+                                  PressioData.empty(data.dtype, (13,)))
+        except PressioError as e:
+            return CellResult(subject.id, self.id, check, PASS,
+                              f"rejected loudly: {type(e).__name__}")
+        # pressio-lint: disable=PC004
+        except Exception as e:  # noqa: BLE001 - escape becomes a cell
+            return CellResult(subject.id, self.id, check, FAIL,
+                              f"untyped {type(e).__name__}: {e}")
+        got = np.asarray(out.to_numpy()).reshape(-1)
+        if got.size != plain.reshape(-1).size or \
+                got.tobytes() != np.ascontiguousarray(
+                    plain.reshape(-1)).tobytes():
+            return CellResult(
+                subject.id, self.id, check, FAIL,
+                "wrong template produced output differing from the "
+                "self-described stream contents")
+        return CellResult(subject.id, self.id, check, PASS,
+                          "self-described")
+
+
+class SequenceBattery(Battery):
+    """Seeded randomized API sequences (state-leak detector)."""
+
+    id = "sequence"
+
+    def run(self, subject: Subject, ctx: RunContext) -> list[CellResult]:
+        steps = 16 if ctx.smoke else 48
+        # per-subject seed derived deterministically from the run seed
+        seed = ctx.seed ^ _zlib.crc32(subject.id.encode())
+        engine = SequenceEngine(subject, seed=seed, steps=steps)
+        try:
+            issues = engine.run()
+        # pressio-lint: disable=PC004
+        except Exception as e:  # noqa: BLE001 - escape becomes a cell
+            return [CellResult(subject.id, self.id, "api_sequence", ERROR,
+                               f"{type(e).__name__}: {e}")]
+        if issues:
+            return [CellResult(subject.id, self.id, "api_sequence", FAIL,
+                               "; ".join(issues[:3]))]
+        return [CellResult(subject.id, self.id, "api_sequence", PASS,
+                           f"{engine.ops_executed} ops, seed {seed}")]
+
+
+def default_batteries() -> tuple[Battery, ...]:
+    return (BoundOracleBattery(), DifferentialBattery(),
+            ShapeContractBattery(), SequenceBattery())

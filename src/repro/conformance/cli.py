@@ -1,0 +1,139 @@
+"""The ``pressio conformance`` subcommand.
+
+Exit codes: 0 all cells conform, 1 violations found (including the
+*expected* planted violations under ``--self-test``), 2 usage error,
+3 a ``--self-test`` violation went **undetected** — the harness itself
+is broken, the worst outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["build_conformance_parser", "run_conformance"]
+
+DEFAULT_SEED = 20210429
+
+
+def build_conformance_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pressio conformance",
+        description="verify every registered compressor against its "
+                    "advertised contract (error bounds, stream formats, "
+                    "API state)",
+    )
+    scope = parser.add_mutually_exclusive_group()
+    scope.add_argument("--all", action="store_true",
+                       help="full subject x field matrix (default)")
+    scope.add_argument("--smoke", action="store_true",
+                       help="fast per-PR subset of subjects and fields")
+    scope.add_argument("--plugins", default=None, metavar="ID[,ID...]",
+                       help="restrict to the named subjects/plugins")
+    scope.add_argument("--self-test", action="store_true",
+                       help="plant seeded violations and prove the "
+                            "batteries detect them")
+    scope.add_argument("--list", action="store_true", dest="list_subjects",
+                       help="list subjects, batteries, and exclusions")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"run seed (default {DEFAULT_SEED})")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full JSON report to PATH "
+                             "('-' for stdout)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="stdout format")
+    parser.add_argument("--golden-dir", default=None,
+                        help="golden corpus directory (default: the "
+                             "committed tests/golden)")
+    parser.add_argument("--regen-golden", action="store_true",
+                        help="regenerate the golden corpus into "
+                             "--golden-dir (or tests/golden) and exit")
+    parser.add_argument("--no-golden", action="store_true",
+                        help="skip the golden corpus section")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="show every cell, not just violations")
+    return parser
+
+
+def _emit(report, args) -> None:
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text(verbose=args.verbose))
+    if args.json:
+        payload = report.to_json()
+        if args.json == "-":
+            if args.format != "json":
+                print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+
+
+def run_conformance(argv: list[str]) -> int:
+    args = build_conformance_parser().parse_args(argv)
+
+    if args.regen_golden:
+        import pathlib
+
+        from .golden import GOLDEN_VERSION, write_corpus
+
+        target = pathlib.Path(args.golden_dir) if args.golden_dir \
+            else pathlib.Path("tests") / "golden"
+        manifest = write_corpus(target)
+        print(f"wrote {len(manifest['files'])} golden streams "
+              f"(version {GOLDEN_VERSION}) to {target}")
+        return 0
+
+    if args.list_subjects:
+        from .battery import default_batteries
+        from .subjects import build_subjects
+
+        subjects, excluded = build_subjects()
+        print("batteries:", ", ".join(b.id for b in default_batteries()))
+        print("subjects:")
+        for s in subjects:
+            kinds = []
+            if s.lossless:
+                kinds.append("lossless")
+            kinds.extend(spec.mode for spec in s.bounds)
+            if s.stack:
+                kinds.append("stack")
+            print(f"  {s.id:24s} {'/'.join(kinds) or 'contract-only'}")
+        for subject, reason in excluded:
+            print(f"excluded: {subject} — {reason}")
+        return 0
+
+    if args.self_test:
+        from .selftest import run_self_test
+
+        report, detections = run_self_test(seed=args.seed)
+        _emit(report, args)
+        missed = [name for name, hit in detections.items() if not hit]
+        for name, hit in detections.items():
+            status = "detected" if hit else "MISSED"
+            print(f"self-test {name}: {status}", file=sys.stderr)
+        if missed:
+            print(f"error: {len(missed)} planted violation(s) went "
+                  f"undetected: {', '.join(missed)}", file=sys.stderr)
+            return 3
+        # violations present and all caught: nonzero like any failing run
+        return 1
+
+    from .matrix import run_matrix
+
+    include = None
+    if args.plugins:
+        include = [p.strip() for p in args.plugins.split(",") if p.strip()]
+        if not include:
+            print("error: --plugins given but empty", file=sys.stderr)
+            return 2
+    try:
+        report = run_matrix(include=include, smoke=args.smoke,
+                            seed=args.seed, golden_dir=args.golden_dir,
+                            with_golden=not args.no_golden)
+    except KeyError as e:
+        print(f"error: {e.args[0]}", file=sys.stderr)
+        return 2
+    _emit(report, args)
+    return report.exit_code()

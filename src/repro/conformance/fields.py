@@ -1,0 +1,137 @@
+"""SDRBench-shaped synthetic verification fields.
+
+SDRBench's lesson is that compressor claims only become comparable over
+standardized data.  The conformance battery uses a fixed, seeded corpus
+of small fields that each stress a different part of the plugin
+contract:
+
+* ``smooth`` — steep-spectrum field every predictive compressor likes;
+* ``turbulent`` — shallow-spectrum field where prediction struggles and
+  quantizer slack is most likely to leak past the bound;
+* ``constant`` — degenerate zero-range input (rel bounds divide by the
+  value range; Huffman tables collapse to one symbol);
+* ``positive`` — strictly positive lognormal field for pointwise-rel
+  oracles;
+* ``nan_inf`` — finite field laced with NaN/Inf at fixed positions
+  (plugins must fail loudly or preserve the special-value mask);
+* ``tiny`` — 2-element 1-D input (MGARD's <3-row failure from Section V,
+  ZFP's 4^d block padding);
+* ``transposed`` — non-cubic anisotropic field with its axes reversed,
+  the dimension-order trap from Section V;
+* ``smooth_f32`` — single-precision variant (dtype-handling paths).
+
+Every generator is seeded and wall-clock free, so a field is identical
+across runs, platforms, and processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from ..datasets import gaussian_random_field
+
+__all__ = ["ConformanceField", "conformance_fields", "get_field",
+           "SMOKE_FIELDS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConformanceField:
+    """A named, deterministic verification input."""
+
+    name: str
+    build: Callable[[], np.ndarray]
+    #: properties batteries key off: finite, positive, special, tiny
+    tags: frozenset
+
+    def array(self) -> np.ndarray:
+        arr = self.build()
+        arr.setflags(write=False)
+        return arr
+
+
+def _smooth() -> np.ndarray:
+    return gaussian_random_field((16, 16, 16), spectral_index=5.0, seed=101)
+
+
+def _turbulent() -> np.ndarray:
+    return gaussian_random_field((16, 16, 16), spectral_index=1.2, seed=102)
+
+
+def _constant() -> np.ndarray:
+    return np.full((12, 12, 12), 3.14159, dtype=np.float64)
+
+
+def _positive() -> np.ndarray:
+    base = gaussian_random_field((12, 12, 12), spectral_index=3.0, seed=103)
+    return np.exp(0.8 * base)
+
+
+def _nan_inf() -> np.ndarray:
+    arr = gaussian_random_field((12, 12, 12), spectral_index=4.0, seed=104)
+    arr = arr.copy()
+    arr[0, 0, 0] = np.nan
+    arr[3, 5, 7] = np.inf
+    arr[9, 2, 4] = -np.inf
+    arr[6, 6, 6] = np.nan
+    return arr
+
+
+def _tiny() -> np.ndarray:
+    return np.array([0.25, 0.75], dtype=np.float64)
+
+
+def _transposed() -> np.ndarray:
+    # anisotropic (smoothest along the first generated axis), non-cubic,
+    # then axis-reversed: strides no longer match the generation order
+    base = gaussian_random_field((6, 18, 10), spectral_index=4.0, seed=105,
+                                 anisotropy=(4.0, 1.0, 1.0))
+    return np.ascontiguousarray(base.transpose(2, 1, 0))
+
+
+def _smooth_f32() -> np.ndarray:
+    return _smooth().astype(np.float32)
+
+
+_FIELDS = (
+    ConformanceField("smooth", _smooth, frozenset({"finite"})),
+    ConformanceField("turbulent", _turbulent, frozenset({"finite"})),
+    ConformanceField("constant", _constant,
+                     frozenset({"finite", "positive", "constant"})),
+    ConformanceField("positive", _positive,
+                     frozenset({"finite", "positive"})),
+    ConformanceField("nan_inf", _nan_inf, frozenset({"special"})),
+    ConformanceField("tiny", _tiny, frozenset({"finite", "tiny",
+                                               "positive"})),
+    ConformanceField("transposed", _transposed, frozenset({"finite"})),
+    ConformanceField("smooth_f32", _smooth_f32,
+                     frozenset({"finite", "f32"})),
+)
+
+#: the per-PR smoke subset: one easy field, one adversarial, one special
+SMOKE_FIELDS = ("smooth", "constant", "nan_inf", "tiny")
+
+_cache: dict[str, np.ndarray] = {}
+
+
+def get_field(name: str) -> np.ndarray:
+    """Build (once) and return the named field, read-only."""
+    arr = _cache.get(name)
+    if arr is None:
+        for f in _FIELDS:
+            if f.name == name:
+                arr = f.array()
+                break
+        else:
+            raise KeyError(f"no conformance field {name!r}")
+        _cache[name] = arr
+    return arr
+
+
+def conformance_fields(smoke: bool = False) -> tuple[ConformanceField, ...]:
+    """The field battery; ``smoke`` selects the fast per-PR subset."""
+    if smoke:
+        return tuple(f for f in _FIELDS if f.name in SMOKE_FIELDS)
+    return _FIELDS

@@ -1,0 +1,52 @@
+"""Matrix orchestration: subjects × batteries → ConformanceReport."""
+
+from __future__ import annotations
+
+from .battery import Battery, RunContext, default_batteries
+from .golden import default_corpus_dir, verify_corpus
+from .report import ERROR, CellResult, ConformanceReport
+from .subjects import Subject, build_subjects
+
+__all__ = ["run_matrix"]
+
+
+def run_matrix(include: list[str] | None = None, smoke: bool = False,
+               seed: int = 20210429, golden_dir=None,
+               batteries: tuple[Battery, ...] | None = None,
+               subjects: list[Subject] | None = None,
+               with_golden: bool = True) -> ConformanceReport:
+    """Run every subject through every battery and return the report.
+
+    ``include`` restricts subjects by id; ``smoke`` selects the fast
+    per-PR subset of subjects and fields.  ``golden_dir`` points at the
+    corpus (default: the committed ``tests/golden`` if found; its
+    absence is reported as a skip, never silently).  Callers may inject
+    ``subjects``/``batteries`` directly — that is how the self-test
+    feeds seeded violators through the very same machinery.
+    """
+    report = ConformanceReport(seed=seed, mode="smoke" if smoke else "full")
+    ctx = RunContext(seed=seed, smoke=smoke)
+    if subjects is None:
+        subjects, excluded = build_subjects(smoke=smoke, include=include)
+        for subject_id, reason in excluded:
+            report.exclude(subject_id, reason)
+    if batteries is None:
+        batteries = default_batteries()
+    for subject in subjects:
+        for battery in batteries:
+            try:
+                cells = battery.run(subject, ctx)
+            # pressio-lint: disable=PC004
+            except Exception as e:  # noqa: BLE001 - harness bug, not verdict
+                cells = [CellResult(subject.id, battery.id, "harness",
+                                    ERROR, f"{type(e).__name__}: {e}")]
+            report.extend(cells)
+    if with_golden and include is None:
+        directory = golden_dir if golden_dir is not None \
+            else default_corpus_dir()
+        if directory is None:
+            report.exclude("golden", "no committed corpus found; generate "
+                           "with `pressio conformance --regen-golden`")
+        else:
+            report.extend(verify_corpus(directory))
+    return report

@@ -1,0 +1,153 @@
+"""Error-bound oracles: recompute each guarantee from decompressed data.
+
+A metrics plugin *reports* error statistics; an oracle *judges* them
+against the bound the compressor advertised.  The floating-point slack
+conventions match the repo's property tests: a bound ``eb`` earns a
+multiplicative ``1 + 1e-9`` for bound arithmetic plus one unit-roundoff
+of the data magnitude for the reconstruction arithmetic itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["OracleResult", "abs_bound", "value_range_rel_bound",
+           "pw_rel_bound", "rel_l2_bound", "lossless_bitexact",
+           "special_values"]
+
+_BOUND_SLACK = 1 + 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleResult:
+    """Verdict of one oracle: measured vs allowed."""
+
+    ok: bool
+    measured: float
+    allowed: float
+    detail: str = ""
+
+
+def _as_f64(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def _ulp(arr: np.ndarray) -> float:
+    """One unit roundoff at the data's magnitude and precision."""
+    if arr.size == 0:
+        return 0.0
+    eps = float(np.finfo(arr.dtype).eps) if arr.dtype.kind == "f" \
+        else float(np.finfo(np.float64).eps)
+    peak = float(np.max(np.abs(_as_f64(arr)))) if arr.size else 0.0
+    return eps * peak
+
+
+def abs_bound(original: np.ndarray, decompressed: np.ndarray,
+              bound: float) -> OracleResult:
+    """Pointwise absolute bound: ``max |x - x'| <= eb``."""
+    a, b = _as_f64(original), _as_f64(decompressed)
+    if a.shape != b.shape:
+        return OracleResult(False, float("inf"), bound,
+                            f"shape changed: {a.shape} -> {b.shape}")
+    measured = float(np.max(np.abs(a - b))) if a.size else 0.0
+    allowed = bound * _BOUND_SLACK + _ulp(original)
+    return OracleResult(measured <= allowed, measured, allowed)
+
+
+def value_range_rel_bound(original: np.ndarray, decompressed: np.ndarray,
+                          bound: float) -> OracleResult:
+    """Value-range relative bound: ``max |x - x'| <= eb * (max - min)``.
+
+    On a constant field the range is zero, so the reconstruction must be
+    exact up to roundoff — the degenerate case rel-mode compressors most
+    often get wrong.
+    """
+    a = _as_f64(original)
+    value_range = float(a.max() - a.min()) if a.size else 0.0
+    return abs_bound(original, decompressed, bound * value_range)
+
+
+def pw_rel_bound(original: np.ndarray, decompressed: np.ndarray,
+                 bound: float) -> OracleResult:
+    """Pointwise relative bound: ``|x - x'| <= eb * |x|`` per point.
+
+    Exact zeros must reconstruct as exact zeros (their allowance is 0).
+    """
+    a, b = _as_f64(original), _as_f64(decompressed)
+    if a.shape != b.shape:
+        return OracleResult(False, float("inf"), bound,
+                            f"shape changed: {a.shape} -> {b.shape}")
+    if a.size == 0:
+        return OracleResult(True, 0.0, bound)
+    err = np.abs(a - b)
+    mag = np.abs(a)
+    nonzero = mag > 0
+    zero_err = float(err[~nonzero].max()) if (~nonzero).any() else 0.0
+    if zero_err > 0:
+        return OracleResult(False, float("inf"), bound,
+                            "exact zero reconstructed inexactly")
+    rel = float((err[nonzero] / mag[nonzero]).max()) if nonzero.any() else 0.0
+    allowed = bound * _BOUND_SLACK + float(np.finfo(np.float64).eps)
+    return OracleResult(rel <= allowed, rel, allowed)
+
+
+def rel_l2_bound(original: np.ndarray, decompressed: np.ndarray,
+                 bound: float) -> OracleResult:
+    """Relative Frobenius bound: ``||x - x'||_2 <= eb * ||x||_2``."""
+    a, b = _as_f64(original), _as_f64(decompressed)
+    if a.shape != b.shape:
+        return OracleResult(False, float("inf"), bound,
+                            f"shape changed: {a.shape} -> {b.shape}")
+    norm = float(np.linalg.norm(a.reshape(-1)))
+    err = float(np.linalg.norm((a - b).reshape(-1)))
+    if norm == 0.0:
+        return OracleResult(err == 0.0, err, 0.0)
+    measured = err / norm
+    allowed = bound * _BOUND_SLACK + float(np.finfo(np.float64).eps)
+    return OracleResult(measured <= allowed, measured, allowed)
+
+
+def lossless_bitexact(original: np.ndarray,
+                      decompressed: np.ndarray) -> OracleResult:
+    """Bit-for-bit equality, NaN-payload safe (compares raw bytes)."""
+    a = np.ascontiguousarray(original)
+    b = np.ascontiguousarray(decompressed)
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return OracleResult(
+            False, float("inf"), 0.0,
+            f"container changed: {a.dtype}{a.shape} -> {b.dtype}{b.shape}")
+    same = a.tobytes() == b.tobytes()
+    if same:
+        return OracleResult(True, 0.0, 0.0)
+    av, bv = a.view(np.uint8), b.view(np.uint8)
+    n_diff = int(np.count_nonzero(av.reshape(-1) != bv.reshape(-1)))
+    return OracleResult(False, float(n_diff), 0.0,
+                        f"{n_diff} differing bytes")
+
+
+def special_values(original: np.ndarray, decompressed: np.ndarray,
+                   bound: float | None) -> OracleResult:
+    """NaN/Inf-laced contract: the special-value mask is preserved and
+    finite values still obey the bound (bit-exact when ``bound`` is None).
+
+    Plugins may alternatively reject such input with a typed error — the
+    battery treats that as a pass before ever calling this oracle.  What
+    this oracle rules out is the silent third path: finite garbage where
+    specials used to be.
+    """
+    a, b = _as_f64(original), _as_f64(decompressed)
+    if a.shape != b.shape:
+        return OracleResult(False, float("inf"), bound or 0.0,
+                            f"shape changed: {a.shape} -> {b.shape}")
+    inf_a = np.isinf(a)
+    if not np.array_equal(np.isnan(a), np.isnan(b)) or \
+            not np.array_equal(inf_a, np.isinf(b)) or \
+            not np.array_equal(a[inf_a], b[inf_a]):  # sign of each Inf too
+        return OracleResult(False, float("inf"), bound or 0.0,
+                            "NaN/Inf mask not preserved")
+    finite = np.isfinite(a)
+    if bound is None:
+        return lossless_bitexact(original, decompressed)
+    return abs_bound(a[finite], b[finite], bound)

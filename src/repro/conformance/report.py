@@ -1,0 +1,166 @@
+"""Verdict cells and the plugin x battery conformance matrix report."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Iterable
+
+__all__ = ["PASS", "FAIL", "SKIP", "ERROR", "CellResult",
+           "ConformanceReport"]
+
+#: the check held on this subject
+PASS = "PASS"
+#: the check ran and the contract was violated
+FAIL = "FAIL"
+#: the check does not apply to this subject (recorded, never silent)
+SKIP = "SKIP"
+#: the harness itself could not complete the check
+ERROR = "ERROR"
+
+_SEVERITY = {PASS: 0, SKIP: 0, FAIL: 2, ERROR: 3}
+
+
+@dataclasses.dataclass
+class CellResult:
+    """One check outcome: a (subject, battery, check) coordinate."""
+
+    subject: str
+    battery: str
+    check: str
+    verdict: str
+    detail: str = ""
+    measured: float | None = None
+    allowed: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        d = {"subject": self.subject, "battery": self.battery,
+             "check": self.check, "verdict": self.verdict}
+        if self.detail:
+            d["detail"] = self.detail
+        if self.measured is not None:
+            d["measured"] = self.measured
+        if self.allowed is not None:
+            d["allowed"] = self.allowed
+        return d
+
+
+class ConformanceReport:
+    """Collects cells and renders the verdict matrix (text or JSON)."""
+
+    def __init__(self, seed: int, mode: str = "full") -> None:
+        self.seed = seed
+        self.mode = mode
+        self.cells: list[CellResult] = []
+        #: subjects excluded from the matrix, with the reason — bounded
+        #: coverage is always reported, never silently dropped
+        self.excluded: list[tuple[str, str]] = []
+
+    # -- accumulation -----------------------------------------------------
+    def add(self, cell: CellResult) -> None:
+        self.cells.append(cell)
+
+    def extend(self, cells: Iterable[CellResult]) -> None:
+        self.cells.extend(cells)
+
+    def exclude(self, subject: str, reason: str) -> None:
+        self.excluded.append((subject, reason))
+
+    # -- aggregation ------------------------------------------------------
+    def subjects(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.subject, None)
+        return list(seen)
+
+    def batteries(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.battery, None)
+        return list(seen)
+
+    def verdict(self, subject: str, battery: str) -> str | None:
+        """Worst verdict among this coordinate's checks (None = no cells)."""
+        worst: str | None = None
+        for c in self.cells:
+            if c.subject == subject and c.battery == battery:
+                if worst is None or _SEVERITY[c.verdict] > _SEVERITY[worst]:
+                    worst = c.verdict
+        return worst
+
+    def failures(self) -> list[CellResult]:
+        return [c for c in self.cells if c.verdict in (FAIL, ERROR)]
+
+    def counts(self) -> dict[str, int]:
+        out = {PASS: 0, FAIL: 0, SKIP: 0, ERROR: 0}
+        for c in self.cells:
+            out[c.verdict] += 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    # -- rendering --------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        matrix = {
+            s: {b: self.verdict(s, b) for b in self.batteries()
+                if self.verdict(s, b) is not None}
+            for s in self.subjects()
+        }
+        return {
+            "schema": "pressio-conformance-1",
+            "seed": self.seed,
+            "mode": self.mode,
+            "counts": self.counts(),
+            "ok": self.ok,
+            "matrix": matrix,
+            "cells": [c.to_dict() for c in self.cells],
+            "excluded": [{"subject": s, "reason": r}
+                         for s, r in self.excluded],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def format_text(self, verbose: bool = False) -> str:
+        subjects = self.subjects()
+        batteries = self.batteries()
+        lines: list[str] = []
+        if subjects:
+            width = max(len(s) for s in subjects) + 2
+            cols = [b[:12] for b in batteries]
+            lines.append(" " * width + "  ".join(c.ljust(12) for c in cols))
+            for s in subjects:
+                row = []
+                for b in batteries:
+                    v = self.verdict(s, b)
+                    row.append((v or "-").ljust(12))
+                lines.append(s.ljust(width) + "  ".join(row))
+        counts = self.counts()
+        lines.append("")
+        lines.append(
+            f"checks: {len(self.cells)}  pass: {counts[PASS]}  "
+            f"fail: {counts[FAIL]}  skip: {counts[SKIP]}  "
+            f"error: {counts[ERROR]}  (seed {self.seed}, {self.mode})"
+        )
+        for subject, reason in self.excluded:
+            lines.append(f"excluded: {subject} — {reason}")
+        shown = self.failures() if not verbose else self.cells
+        if self.failures():
+            lines.append("")
+            lines.append("violations:")
+        for c in shown:
+            if c.verdict not in (FAIL, ERROR) and not verbose:
+                continue
+            bound = ""
+            if c.measured is not None and c.allowed is not None:
+                bound = f" (measured {c.measured:.6g}, allowed {c.allowed:.6g})"
+            lines.append(
+                f"  [{c.verdict}] {c.subject} / {c.battery} / {c.check}"
+                f"{': ' + c.detail if c.detail else ''}{bound}"
+            )
+        return "\n".join(lines)

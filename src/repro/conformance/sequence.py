@@ -1,0 +1,190 @@
+"""Stateful API-sequence engine: seeded random option/compress/clone runs.
+
+One compressor instance is driven through a randomized — but fully
+seeded and wall-clock-free — sequence of API calls.  After every
+configuration change the engine re-establishes a *baseline* stream;
+each subsequent operation then has a concrete expectation to check
+against:
+
+* ``recompress`` — compressing the same input again must reproduce the
+  baseline byte-for-byte (no hidden state accumulates across calls);
+* ``roundtrip`` — decompressing the baseline must satisfy the loosest
+  bound in the subject's option pool (bit-exact for lossless subjects);
+* ``reconfigure`` — setting a pool option must succeed (rc 0) and the
+  new configuration must round-trip;
+* ``clone_independent`` — a clone must compress identically, and
+  mutating the *clone's* options must not change the original's output
+  (the state-leak a shared native context causes);
+* ``options_idempotent`` — ``set_options(get_options())`` must be a
+  no-op for the output stream;
+* ``stale_stream`` — streams produced under an earlier configuration
+  must still decompress after reconfiguration (formats self-describe).
+
+Any deviation is collected as a human-readable issue string; the
+battery turns a non-empty list into a FAIL cell.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.status import PressioError
+from .fields import get_field
+
+__all__ = ["SequenceEngine"]
+
+
+class SequenceEngine:
+    """Drive one subject through ``steps`` seeded API operations."""
+
+    def __init__(self, subject, seed: int, steps: int = 48):
+        self.subject = subject
+        self.seed = seed
+        self.steps = steps
+        self.ops_executed = 0
+        self._rng = random.Random(seed)
+        self._issues: list[str] = []
+        # small 1-D slice keeps native codecs fast while still exercising
+        # real quantization paths
+        self._arr = np.ascontiguousarray(
+            get_field("smooth").reshape(-1)[:512])
+        self._data = PressioData.from_numpy(self._arr)
+        # loosest bound any pool setting could impose; None = lossless
+        self._loose_bound = self._loosest_bound()
+
+    # -- helpers ----------------------------------------------------------
+    def _loosest_bound(self) -> float | None:
+        """Absolute error allowance for the roundtrip op, or None.
+
+        None means no bound information at all (a contract-only lossy
+        subject): roundtrip then only checks container shape.  The
+        allowance itself is deliberately loose — pool entries may be
+        steps, tolerances, or relative bounds, so it scales by the data
+        peak with a 100x guard band; this op is a state-leak detector,
+        not a bound oracle (the bounds battery is).
+        """
+        if self.subject.lossless:
+            return None
+        bounds = [s.bound for s in self.subject.bounds]
+        for _name, values in self.subject.seq_pool:
+            bounds.extend(v for v in values
+                          if isinstance(v, float) and 0 < v < 1)
+        if not bounds:
+            return None
+        peak = float(np.max(np.abs(self._arr))) if self._arr.size else 1.0
+        return max(bounds) * 100 * max(1.0, peak)
+
+    def _compress(self, comp) -> bytes:
+        return comp.compress(self._data).to_bytes()
+
+    def _decompress(self, comp, stream: bytes) -> np.ndarray:
+        out = comp.decompress(PressioData.from_bytes(stream),
+                              PressioData.empty(self._data.dtype,
+                                                self._data.dims))
+        return np.asarray(out.to_numpy())
+
+    def _issue(self, step: int, op: str, msg: str) -> None:
+        self._issues.append(f"step {step} {op}: {msg} "
+                            f"(seed {self.seed})")
+
+    def _first_spec_options(self) -> dict:
+        if self.subject.bounds:
+            return self.subject.bounds[0].options_dict()
+        return {}
+
+    # -- the run ----------------------------------------------------------
+    def run(self) -> list[str]:
+        comp = self.subject.create()
+        opts = self._first_spec_options()
+        if opts and comp.set_options(opts) != 0:
+            return [f"setup: bound options rejected: {comp.error_msg()}"]
+        baseline = self._compress(comp)
+        first_stream = baseline
+        ops = ["recompress", "roundtrip", "options_idempotent",
+               "clone_independent", "stale_stream"]
+        if self.subject.seq_pool:
+            # reconfiguration is the interesting stressor; over-weight it
+            ops += ["reconfigure", "reconfigure"]
+        for step in range(self.steps):
+            op = self._rng.choice(ops)
+            self.ops_executed += 1
+            try:
+                if op == "recompress":
+                    if self._compress(comp) != baseline:
+                        self._issue(step, op,
+                                    "same input produced different bytes")
+                elif op == "roundtrip":
+                    self._check_roundtrip(step, op, comp, baseline)
+                elif op == "reconfigure":
+                    name, values = self._rng.choice(self.subject.seq_pool)
+                    value = self._rng.choice(values)
+                    if comp.set_options({name: value}) != 0:
+                        self._issue(step, op,
+                                    f"rejected pool option {name}={value}: "
+                                    f"{comp.error_msg()}")
+                    else:
+                        baseline = self._compress(comp)
+                elif op == "options_idempotent":
+                    if comp.set_options(comp.get_options()) != 0:
+                        self._issue(step, op,
+                                    "set_options(get_options()) failed: "
+                                    f"{comp.error_msg()}")
+                    elif self._compress(comp) != baseline:
+                        self._issue(step, op,
+                                    "set_options(get_options()) changed "
+                                    "the output stream")
+                elif op == "clone_independent":
+                    baseline = self._check_clone(step, op, comp, baseline)
+                elif op == "stale_stream":
+                    out = self._decompress(comp, first_stream)
+                    if out.shape != self._arr.shape:
+                        self._issue(step, op,
+                                    "stale stream decoded to wrong shape")
+            except PressioError as e:
+                self._issue(step, op, f"typed error: {e}")
+            # pressio-lint: disable=PC004
+            except Exception as e:  # noqa: BLE001 - escape becomes an issue
+                self._issue(step, op,
+                            f"untyped {type(e).__name__}: {e}")
+            if len(self._issues) >= 5:
+                break
+        return self._issues
+
+    def _check_roundtrip(self, step: int, op: str, comp,
+                         baseline: bytes) -> None:
+        out = self._decompress(comp, baseline)
+        if out.shape != self._arr.shape:
+            self._issue(step, op,
+                        f"round-trip changed shape: {self._arr.shape} -> "
+                        f"{out.shape}")
+        elif self.subject.lossless:
+            if out.tobytes() != self._arr.tobytes():
+                self._issue(step, op, "lossless round-trip not bit-exact")
+        elif self._loose_bound is not None:
+            err = float(np.max(np.abs(out - self._arr)))
+            if err > self._loose_bound:
+                self._issue(step, op,
+                            f"error {err:.3g} exceeds loosest pool bound "
+                            f"{self._loose_bound:.3g}")
+
+    def _check_clone(self, step: int, op: str, comp,
+                     baseline: bytes) -> bytes:
+        dup = comp.clone()
+        if self._compress(dup) != baseline:
+            self._issue(step, op,
+                        "clone compresses differently from original")
+            return baseline
+        if self.subject.seq_pool:
+            name, values = self._rng.choice(self.subject.seq_pool)
+            value = self._rng.choice(values)
+            dup.set_options({name: value})
+            if self._compress(comp) != baseline:
+                self._issue(step, op,
+                            "mutating the clone changed the original's "
+                            "output (shared state)")
+                # re-baseline so later ops compare against reality
+                return self._compress(comp)
+        return baseline

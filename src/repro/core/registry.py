@@ -79,6 +79,45 @@ class Registry:
         with self._lock:
             return sorted(self._factories)
 
+    # -- capability introspection ----------------------------------------
+    def describe(self, plugin_id: str) -> dict:
+        """Instantiate ``plugin_id`` and return its read-only facts.
+
+        The returned mapping carries the plugin's ``get_configuration``
+        entries (``pressio:thread_safe``, ``pressio:stability``,
+        ``pressio:lossy``, ...) as plain values.  A plugin whose factory
+        or configuration raises yields ``{"error": "..."}`` instead of
+        propagating — enumerating capabilities must never be the thing
+        that crashes.
+        """
+        try:
+            instance = self.create(plugin_id)
+            cfg = instance.get_configuration()
+        except Exception as e:  # noqa: BLE001 - introspection must survive
+            from ..obs.runtime import record_error
+
+            record_error("describe", plugin_id, e)
+            return {"error": f"{type(e).__name__}: {e}"}
+        info: dict = {}
+        for key, opt in cfg.items():
+            if opt.has_value():
+                info[key] = opt.get()
+        return info
+
+    def capabilities(self) -> dict[str, dict]:
+        """Capability matrix over every registered plugin id.
+
+        Triggers the one-time first-party load so the sweep covers the
+        full plugin set, then maps each id to :meth:`describe`.  This is
+        what the conformance matrix (and any scheduler choosing plugins
+        by thread safety or stability) keys off.
+        """
+        from .library import load_first_party_plugins
+
+        load_first_party_plugins()
+        return {plugin_id: self.describe(plugin_id)
+                for plugin_id in self.ids()}
+
     def __contains__(self, plugin_id: str) -> bool:
         with self._lock:
             return plugin_id in self._factories

@@ -232,6 +232,10 @@ class LinearQuantizerCompressor(MetaCompressor):
 
     def _compress(self, input: PressioData) -> PressioData:
         arr = np.asarray(input.to_numpy(), dtype=np.float64)
+        if arr.size and not np.all(np.isfinite(arr)):
+            # rint(nan).astype(int64) is undefined and would decode as
+            # silent garbage; reject like the other quantizing plugins
+            raise ValueError("cannot quantize non-finite values")
         if _trace.ACTIVE is not None:
             span = _trace.stage("linear_quantizer:quantize", step=self._step)
         else:

@@ -235,6 +235,23 @@ class StreamingDecompressor:
             frames.append(np.asarray(out.to_numpy()).reshape(-1))
         return frames
 
+    def close(self) -> None:
+        """Assert the stream ended cleanly.
+
+        Raises :class:`CorruptStreamError` when the terminator was never
+        seen (producer died mid-stream) or bytes are still buffered (a
+        frame was cut short) — the silent-truncation case a consumer
+        must not mistake for end-of-data.
+        """
+        if not self.finished:
+            if self._dtype is None and not self._buffer:
+                raise CorruptStreamError("stream ended before its header")
+            raise CorruptStreamError(
+                f"stream ended without terminator "
+                f"({len(self._buffer)} bytes buffered)")
+        if self._buffer:
+            raise CorruptStreamError("data after stream terminator")
+
     def iter_frames(self, stream: bytes,
                     chunk_size: int = 4096) -> Iterator[np.ndarray]:
         """Convenience: drive feed() over a complete byte string."""

@@ -35,6 +35,16 @@ previous artifact::
 
     pressio serve-metrics --port 9100 --demo
     pressio bench --quick --output-dir bench-results
+
+The ``conformance`` subcommand verifies every registered compressor
+(and representative meta-compressor stacks) against its advertised
+contract: error-bound oracles, differential stack checks, stream-shape
+contracts, seeded API sequences, and golden-stream byte stability::
+
+    pressio conformance --all
+    pressio conformance --smoke --json verdicts.json
+    pressio conformance --self-test
+    pressio conformance --regen-golden
 """
 
 from __future__ import annotations
@@ -305,6 +315,10 @@ def run(argv: list[str] | None = None) -> int:
         from ..analysis.cli import run_lint
 
         return run_lint(argv[1:])
+    if argv and argv[0] == "conformance":
+        from ..conformance.cli import run_conformance
+
+        return run_conformance(argv[1:])
     args = build_parser().parse_args(argv)
     library = Pressio()
 

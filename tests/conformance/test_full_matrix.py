@@ -1,0 +1,47 @@
+"""The full plugin x battery conformance matrix.
+
+Marked ``conformance`` and additionally gated behind
+``PRESSIO_CONFORMANCE_FULL=1`` so per-PR CI runs only the smoke subset
+(tests/conformance/test_smoke.py); the nightly job runs everything.
+"""
+
+import os
+
+import pytest
+
+from repro.conformance import run_matrix
+
+pytestmark = [
+    pytest.mark.conformance,
+    pytest.mark.skipif(
+        os.environ.get("PRESSIO_CONFORMANCE_FULL") != "1",
+        reason="full matrix is nightly; set PRESSIO_CONFORMANCE_FULL=1"),
+]
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return run_matrix(smoke=False)
+
+
+def test_full_matrix_green(full_report):
+    assert full_report.ok, full_report.format_text()
+
+
+def test_every_lossy_subject_has_bound_cells(full_report):
+    from repro.conformance.report import SKIP
+    from repro.conformance.subjects import build_subjects
+
+    subjects, _ = build_subjects()
+    for subject in subjects:
+        if not subject.bounds:
+            continue
+        cells = [c for c in full_report.cells
+                 if c.subject == subject.id and c.battery == "bounds"
+                 and c.verdict != SKIP]
+        assert cells, f"{subject.id} advertised bounds but none were checked"
+
+
+def test_golden_section_included(full_report):
+    assert any(c.battery == "golden" for c in full_report.cells), (
+        "full matrix must verify the committed golden corpus")

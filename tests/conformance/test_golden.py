@@ -1,0 +1,100 @@
+"""The golden-stream corpus: byte stability of every on-disk format."""
+
+import json
+
+import pytest
+
+from repro.conformance.golden import (
+    GOLDEN_VERSION,
+    MANIFEST_NAME,
+    default_corpus_dir,
+    golden_field,
+    golden_specs,
+    verify_corpus,
+    write_corpus,
+)
+from repro.conformance.report import FAIL, PASS
+
+
+class TestGoldenField:
+    def test_pure_arithmetic_and_deterministic(self):
+        a, b = golden_field(), golden_field()
+        assert a.tobytes() == b.tobytes()
+        assert a.size == 1024 and a.dtype.kind == "f"
+
+    def test_no_pathological_values(self):
+        import numpy as np
+
+        arr = golden_field()
+        assert np.isfinite(arr).all()
+        assert len(np.unique(arr)) > 1000  # genuinely incompressible tail
+
+
+class TestCommittedCorpus:
+    """The corpus under tests/golden is part of the repository contract."""
+
+    def test_corpus_is_committed(self):
+        assert default_corpus_dir() is not None, (
+            "tests/golden missing; run pressio conformance --regen-golden "
+            "and commit the result")
+
+    def test_every_format_byte_stable(self):
+        cells = verify_corpus(default_corpus_dir())
+        bad = [c for c in cells if c.verdict != PASS]
+        assert not bad, "\n".join(
+            f"{c.subject}/{c.check}: {c.detail}" for c in bad)
+
+    def test_covers_every_spec(self):
+        cells = verify_corpus(default_corpus_dir())
+        subjects = {c.subject for c in cells}
+        assert subjects == {f"golden:{s.name}" for s in golden_specs()}
+
+
+class TestRegeneration:
+    def test_write_then_verify_roundtrip(self, tmp_path):
+        manifest = write_corpus(tmp_path)
+        assert manifest["version"] == GOLDEN_VERSION
+        cells = verify_corpus(tmp_path)
+        assert all(c.verdict == PASS for c in cells)
+
+    def test_bitflip_detected(self, tmp_path):
+        write_corpus(tmp_path)
+        target = tmp_path / "zlib.bin"
+        blob = bytearray(target.read_bytes())
+        blob[10] ^= 0x01
+        target.write_bytes(bytes(blob))
+        cells = verify_corpus(tmp_path)
+        flagged = [c for c in cells
+                   if c.subject == "golden:zlib" and c.verdict == FAIL]
+        assert flagged
+
+    def test_version_mismatch_instructs_regeneration(self, tmp_path):
+        write_corpus(tmp_path)
+        manifest_path = tmp_path / MANIFEST_NAME
+        doc = json.loads(manifest_path.read_text())
+        doc["version"] = GOLDEN_VERSION + 1
+        manifest_path.write_text(json.dumps(doc))
+        cells = verify_corpus(tmp_path)
+        assert len(cells) == 1 and cells[0].verdict == FAIL
+        assert "--regen-golden" in cells[0].detail
+
+    def test_missing_manifest_is_error(self, tmp_path):
+        cells = verify_corpus(tmp_path)
+        assert cells[0].verdict == "ERROR"
+
+    def test_stale_entry_detected(self, tmp_path):
+        write_corpus(tmp_path)
+        manifest_path = tmp_path / MANIFEST_NAME
+        doc = json.loads(manifest_path.read_text())
+        doc["files"]["ghost_format"] = {"file": "ghost.bin", "sha256": "0",
+                                        "bytes": 0}
+        manifest_path.write_text(json.dumps(doc))
+        cells = verify_corpus(tmp_path)
+        assert any(c.check == "stale" and c.verdict == FAIL for c in cells)
+
+    def test_missing_file_detected(self, tmp_path):
+        write_corpus(tmp_path)
+        (tmp_path / "rle.bin").unlink()
+        cells = verify_corpus(tmp_path)
+        assert any(c.subject == "golden:rle" and c.verdict == FAIL
+                   for c in cells)

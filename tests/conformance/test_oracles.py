@@ -1,0 +1,141 @@
+"""Unit tests for the error-bound oracles: each must accept conforming
+output and reject violating output, including the degenerate cases."""
+
+import numpy as np
+import pytest
+
+from repro.conformance.oracles import (
+    abs_bound,
+    lossless_bitexact,
+    pw_rel_bound,
+    rel_l2_bound,
+    special_values,
+    value_range_rel_bound,
+)
+
+
+@pytest.fixture()
+def field():
+    rng = np.random.default_rng(3)
+    return rng.standard_normal((8, 8)).cumsum(axis=0)
+
+
+class TestAbsBound:
+    def test_accepts_within_bound(self, field):
+        assert abs_bound(field, field + 9e-5, 1e-4).ok
+
+    def test_rejects_violation(self, field):
+        res = abs_bound(field, field + 3e-4, 1e-4)
+        assert not res.ok
+        assert res.measured == pytest.approx(3e-4)
+
+    def test_rejects_shape_change(self, field):
+        assert not abs_bound(field, field.reshape(-1), 1e-4).ok
+
+    def test_exact_is_fine(self, field):
+        assert abs_bound(field, field.copy(), 1e-12).ok
+
+    def test_one_ulp_slack(self):
+        # reconstruction within one roundoff of the peak must not fail
+        arr = np.array([1e8, -1e8])
+        eps = np.finfo(np.float64).eps * 1e8
+        assert abs_bound(arr, arr + 0.5 * eps, 1e-300).ok
+
+
+class TestValueRangeRel:
+    def test_scales_by_range(self, field):
+        value_range = field.max() - field.min()
+        assert value_range_rel_bound(field,
+                                     field + 0.9e-4 * value_range, 1e-4).ok
+        assert not value_range_rel_bound(field,
+                                         field + 3e-4 * value_range, 1e-4).ok
+
+    def test_constant_field_must_be_exact(self):
+        const = np.full((16,), 7.5)
+        assert value_range_rel_bound(const, const.copy(), 1e-4).ok
+        assert not value_range_rel_bound(const, const + 1e-6, 1e-4).ok
+
+
+class TestPwRel:
+    def test_per_point_scaling(self):
+        arr = np.array([1.0, 100.0])
+        ok = arr * (1 + 0.9e-3)
+        assert pw_rel_bound(arr, ok, 1e-3).ok
+        bad = arr + np.array([0.002, 0.0])  # 0.2% on the small value
+        assert not pw_rel_bound(arr, bad, 1e-3).ok
+
+    def test_exact_zero_must_stay_exact(self):
+        arr = np.array([0.0, 1.0])
+        assert pw_rel_bound(arr, np.array([0.0, 1.0]), 1e-3).ok
+        assert not pw_rel_bound(arr, np.array([1e-9, 1.0]), 1e-3).ok
+
+
+class TestRelL2:
+    def test_norm_ratio(self, field):
+        noise = np.full_like(field, 1e-4)
+        measured = (np.linalg.norm(noise.reshape(-1))
+                    / np.linalg.norm(field.reshape(-1)))
+        assert rel_l2_bound(field, field + noise, measured * 1.01).ok
+        assert not rel_l2_bound(field, field + noise, measured * 0.5).ok
+
+    def test_zero_field(self):
+        zero = np.zeros((4,))
+        assert rel_l2_bound(zero, zero.copy(), 1e-3).ok
+        assert not rel_l2_bound(zero, zero + 1e-9, 1e-3).ok
+
+
+class TestLossless:
+    def test_bit_exact(self, field):
+        assert lossless_bitexact(field, field.copy()).ok
+
+    def test_counts_differing_bytes(self, field):
+        other = field.copy()
+        other[0, 0] = np.nextafter(other[0, 0], np.inf)
+        res = lossless_bitexact(field, other)
+        assert not res.ok
+        assert res.measured >= 1
+
+    def test_nan_payload_safe(self):
+        # two NaNs with different payloads are == -unequal but the
+        # oracle compares raw bytes, so identical payloads pass
+        arr = np.array([np.nan, 1.0])
+        assert lossless_bitexact(arr, arr.copy()).ok
+
+    def test_dtype_change_rejected(self, field):
+        assert not lossless_bitexact(field,
+                                     field.astype(np.float32)).ok
+
+
+class TestSpecialValues:
+    def _laced(self):
+        arr = np.linspace(0.0, 1.0, 16)
+        arr[3] = np.nan
+        arr[7] = np.inf
+        arr[11] = -np.inf
+        return arr
+
+    def test_mask_preserved_passes(self):
+        arr = self._laced()
+        out = arr.copy()
+        finite = np.isfinite(arr)
+        out[finite] += 5e-5
+        assert special_values(arr, out, 1e-4).ok
+
+    def test_nan_replaced_by_number_fails(self):
+        arr = self._laced()
+        out = arr.copy()
+        out[3] = 0.0  # silent garbage where NaN used to be
+        assert not special_values(arr, out, 1e-4).ok
+
+    def test_inf_sign_flip_fails(self):
+        arr = self._laced()
+        out = arr.copy()
+        out[7] = -np.inf
+        assert not special_values(arr, out, 1e-4).ok
+
+    def test_finite_bound_still_enforced(self):
+        arr = self._laced()
+        out = arr.copy()
+        finite = np.isfinite(arr)
+        out[finite] += 5e-4
+        assert not special_values(arr, out, 1e-4).ok

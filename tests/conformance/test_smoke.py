@@ -1,0 +1,113 @@
+"""Per-PR conformance smoke: the fast subject/field subset must be
+entirely green, and the report plumbing must behave."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.conformance import run_matrix
+from repro.conformance.report import FAIL, PASS, SKIP, ConformanceReport
+from repro.conformance.subjects import SMOKE_SUBJECTS, build_subjects
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_matrix(smoke=True, with_golden=False)
+
+
+class TestSmokeMatrix:
+    def test_no_unexpected_failures(self, smoke_report):
+        assert smoke_report.ok, smoke_report.format_text()
+
+    def test_covers_smoke_subjects(self, smoke_report):
+        assert set(smoke_report.subjects()) == set(SMOKE_SUBJECTS)
+
+    def test_all_batteries_ran(self, smoke_report):
+        assert set(smoke_report.batteries()) == {
+            "bounds", "differential", "shapes", "sequence"}
+
+    def test_exclusions_are_reported(self, smoke_report):
+        excluded = dict(smoke_report.excluded)
+        assert "opt" in excluded
+        assert "reason" not in excluded["opt"]  # it's the reason text
+
+    def test_json_schema(self, smoke_report):
+        doc = json.loads(smoke_report.to_json())
+        assert doc["schema"] == "pressio-conformance-1"
+        assert doc["ok"] is True
+        assert doc["matrix"]["sz"]["bounds"] == PASS
+        assert all(c["verdict"] in (PASS, FAIL, SKIP, "ERROR")
+                   for c in doc["cells"])
+
+    def test_seed_is_recorded(self, smoke_report):
+        assert smoke_report.seed == 20210429
+
+
+class TestSubjectUniverse:
+    def test_every_registered_plugin_accounted_for(self):
+        from repro.core.registry import compressor_registry
+
+        subjects, excluded = build_subjects()
+        covered = {s.plugin_id for s in subjects} | {s for s, _ in excluded}
+        missing = set(compressor_registry.ids()) - covered
+        assert not missing, (
+            f"plugins neither verified nor visibly excluded: {missing}")
+
+    def test_include_filter(self):
+        report = run_matrix(include=["zfp"], with_golden=False)
+        assert report.subjects() == ["zfp"]
+
+    def test_unknown_include_raises(self):
+        with pytest.raises(KeyError):
+            build_subjects(include=["definitely_not_a_plugin"])
+
+
+class TestDeterminism:
+    def test_same_seed_same_cells(self):
+        a = run_matrix(include=["zlib"], with_golden=False, seed=5)
+        b = run_matrix(include=["zlib"], with_golden=False, seed=5)
+        assert [c.to_dict() for c in a.cells] \
+            == [c.to_dict() for c in b.cells]
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.tools.cli", "conformance", *args],
+            capture_output=True, text=True)
+
+    @pytest.mark.slow
+    def test_smoke_exit_zero(self, tmp_path):
+        out = tmp_path / "verdicts.json"
+        res = self._run("--smoke", "--no-golden", "--json", str(out))
+        assert res.returncode == 0, res.stdout + res.stderr
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+
+    @pytest.mark.slow
+    def test_list_subjects(self):
+        res = self._run("--list")
+        assert res.returncode == 0
+        assert "sz" in res.stdout
+        assert "excluded:" in res.stdout
+
+
+class TestReportAggregation:
+    def test_worst_verdict_wins(self):
+        from repro.conformance.report import CellResult
+
+        r = ConformanceReport(seed=1)
+        r.add(CellResult("s", "b", "c1", PASS))
+        r.add(CellResult("s", "b", "c2", FAIL))
+        r.add(CellResult("s", "b", "c3", SKIP))
+        assert r.verdict("s", "b") == FAIL
+        assert r.exit_code() == 1
+
+    def test_skip_only_is_ok(self):
+        from repro.conformance.report import CellResult
+
+        r = ConformanceReport(seed=1)
+        r.add(CellResult("s", "b", "c", SKIP, "not applicable"))
+        assert r.ok and r.exit_code() == 0

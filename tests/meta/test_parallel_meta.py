@@ -57,6 +57,90 @@ class TestChunking:
         assert c.set_options({"chunking:chunk_size": 0}) != 0
 
 
+class TestSerialDegradation:
+    """An inner plugin advertising single-thread safety must degrade the
+    parallel metas to serial execution — no pool, no clones — while
+    producing exactly the bytes the parallel path would."""
+
+    @pytest.fixture()
+    def no_pool(self, monkeypatch):
+        """Make any worker-pool spawn in repro.meta.parallel an error."""
+        from repro.meta import parallel as parallel_mod
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError(
+                "ThreadPoolExecutor spawned for a single-thread-safe inner")
+
+        monkeypatch.setattr(parallel_mod, "ThreadPoolExecutor", forbidden)
+
+    def _chunking(self, library, nthreads):
+        c = library.get_compressor("chunking")
+        c.set_options({"chunking:compressor": "sz",
+                       "chunking:chunk_size": 2048,
+                       "chunking:nthreads": nthreads,
+                       "pressio:abs": 1e-4})
+        return c
+
+    def test_unsafe_inner_spawns_no_pool(self, library, smooth3d, no_pool):
+        out = roundtrip(self._chunking(library, 8), smooth3d)
+        assert np.abs(out.reshape(-1)
+                      - smooth3d.reshape(-1)).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_unsafe_inner_never_cloned(self, library, smooth3d, monkeypatch):
+        from repro.compressors.sz import SZCompressor
+
+        def no_clone(self):
+            raise AssertionError("single-thread-safe inner was cloned")
+
+        monkeypatch.setattr(SZCompressor, "clone", no_clone)
+        roundtrip(self._chunking(library, 8), smooth3d)
+
+    def test_degraded_output_matches_parallel_path(self, library, smooth3d):
+        data = PressioData.from_numpy(smooth3d)
+        degraded = self._chunking(library, 8).compress(data).to_bytes()
+        serial = self._chunking(library, 1).compress(data).to_bytes()
+        assert degraded == serial
+
+    def test_many_independent_degrades_serially(self, library, no_pool):
+        m = library.get_compressor("many_independent")
+        m.set_options({"many_independent:compressor": "sz",
+                       "many_independent:nthreads": 8,
+                       "pressio:abs": 1e-4})
+        rng = np.random.default_rng(7)
+        bufs = [PressioData.from_numpy(rng.standard_normal(512).cumsum())
+                for _ in range(4)]
+        streams = m.compress_many(bufs)
+        outs = m.decompress_many(
+            streams, [PressioData.empty(b.dtype, b.dims) for b in bufs])
+        for buf, out in zip(bufs, outs):
+            assert np.abs(np.asarray(out.to_numpy())
+                          - np.asarray(buf.to_numpy())
+                          ).max() <= 1e-4 * (1 + 1e-9)
+
+    def test_reentrant_inner_still_parallelizes(self, library, smooth3d,
+                                                monkeypatch):
+        """Control: the degradation path must not swallow re-entrant
+        inners — zfp with several chunks must reach the pool."""
+        from repro.meta import parallel as parallel_mod
+
+        spawned = []
+        real = parallel_mod.ThreadPoolExecutor
+
+        def recording(*args, **kwargs):
+            spawned.append(kwargs.get("max_workers", args[0] if args
+                                      else None))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "ThreadPoolExecutor", recording)
+        c = library.get_compressor("chunking")
+        c.set_options({"chunking:compressor": "zfp",
+                       "chunking:chunk_size": 1024,
+                       "chunking:nthreads": 4,
+                       "zfp:accuracy": 1e-4})
+        roundtrip(c, smooth3d)
+        assert spawned, "re-entrant inner never reached the worker pool"
+
+
 class TestManyIndependent:
     def test_compress_many_roundtrip(self, library, smooth3d):
         m = library.get_compressor("many_independent")

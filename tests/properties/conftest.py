@@ -1,0 +1,63 @@
+"""Deterministic seed control for the property-based tests.
+
+All randomness in this directory flows from one knob::
+
+    PRESSIO_TEST_SEED=12345 python -m pytest tests/properties
+
+Every Hypothesis test is pinned to the seed at collection time (so runs
+are reproducible by default — CI flakes replay locally), numpy's global
+RNG is seeded per-test for any strategy or helper that reaches it, and
+the seed is printed alongside any failure so the exact run can be
+repeated.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import hypothesis
+
+#: the default matches the paper's SC acceptance date; any integer works
+DEFAULT_SEED = 20210429
+
+
+def _test_seed() -> int:
+    raw = os.environ.get("PRESSIO_TEST_SEED", "")
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_SEED
+
+
+SEED = _test_seed()
+
+
+def pytest_collection_modifyitems(items) -> None:
+    for item in items:
+        fn = getattr(item, "obj", None)
+        if fn is not None and hasattr(fn,
+                                      "_hypothesis_internal_use_settings"):
+            # post-apply @seed — the documented escape hatch for pinning
+            # an already-@given-decorated test
+            hypothesis.seed(SEED)(fn)
+
+
+@pytest.fixture(autouse=True)
+def _seed_numpy():
+    state = np.random.get_state()
+    np.random.seed(SEED % (2 ** 32))
+    yield
+    np.random.set_state(state)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(
+            ("pressio seed",
+             f"PRESSIO_TEST_SEED={SEED} reproduces this run"))

@@ -162,3 +162,90 @@ class TestStreaming:
     def test_bad_frame_elements(self, zfp):
         with pytest.raises(ValueError):
             StreamingCompressor(zfp, DType.DOUBLE, frame_elements=0)
+
+
+class TestStreamingEdgeCases:
+    """Adversarial stream shapes: the decoder must finish or raise, never
+    hang or silently truncate."""
+
+    def _signal(self, n: int) -> np.ndarray:
+        t = np.linspace(0.0, 6.0, n)
+        return np.sin(2.0 * np.pi * t) + 0.1 * np.cos(9.0 * np.pi * t)
+
+    def test_one_byte_splits(self, zfp):
+        signal = self._signal(700)
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=256)
+        stream = enc.write(signal) + enc.finish()
+        dec = StreamingDecompressor(zfp)
+        frames = []
+        for i in range(len(stream)):
+            frames.extend(dec.feed(stream[i:i + 1]))
+        dec.close()
+        out = np.concatenate(frames)
+        assert out.size == signal.size
+        assert np.abs(out - signal).max() <= 1.1e-4
+
+    def test_empty_final_frame(self, zfp):
+        # exactly frame-aligned input: finish() must emit only the
+        # terminator, and the decoder must not produce a phantom frame
+        signal = self._signal(512)
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=256)
+        stream = enc.write(signal) + enc.finish()
+        dec = StreamingDecompressor(zfp)
+        frames = dec.feed(stream)
+        dec.close()
+        assert enc.frames_emitted == 2
+        assert sum(f.size for f in frames) == signal.size
+
+    def test_empty_stream_no_writes(self, zfp):
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=256)
+        stream = enc.finish()
+        dec = StreamingDecompressor(zfp)
+        frames = dec.feed(stream)
+        dec.close()
+        assert frames == []
+        assert dec.finished
+
+    def test_truncated_terminator_close_raises(self, zfp):
+        signal = self._signal(700)
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=256)
+        stream = enc.write(signal) + enc.finish()
+        dec = StreamingDecompressor(zfp)
+        dec.feed(stream[:-3])  # terminator cut short
+        assert not dec.finished
+        with pytest.raises(CorruptStreamError):
+            dec.close()
+
+    def test_truncated_mid_frame_close_raises(self, zfp):
+        signal = self._signal(700)
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=256)
+        stream = enc.write(signal) + enc.finish()
+        dec = StreamingDecompressor(zfp)
+        dec.feed(stream[:len(stream) // 2])
+        with pytest.raises(CorruptStreamError):
+            dec.close()
+
+    def test_empty_close_raises(self, zfp):
+        dec = StreamingDecompressor(zfp)
+        with pytest.raises(CorruptStreamError):
+            dec.close()
+
+    def test_clean_close_is_silent(self, zfp):
+        signal = self._signal(300)
+        enc = StreamingCompressor(zfp, DType.DOUBLE, frame_elements=256)
+        stream = enc.write(signal) + enc.finish()
+        dec = StreamingDecompressor(zfp)
+        dec.feed(stream)
+        dec.close()  # no error
+
+    def test_wrong_magic_raises_not_hangs(self, zfp):
+        dec = StreamingDecompressor(zfp)
+        with pytest.raises(CorruptStreamError):
+            dec.feed(b"ZSTD" + b"\x00" * 64)
+
+    def test_wrong_magic_one_byte_at_a_time(self, zfp):
+        dec = StreamingDecompressor(zfp)
+        bad = b"XXXX" + b"\x01" * 32
+        with pytest.raises(CorruptStreamError):
+            for i in range(len(bad)):
+                dec.feed(bad[i:i + 1])
