@@ -63,6 +63,70 @@ class UnguardedObservabilityRule(Rule):
                     )
 
 
+_HOT_FN_NAMES = ("compress", "decompress")
+_HOT_FN_PREFIXES = ("_compress", "_decompress", "_encode", "_decode")
+
+
+def _is_hot_function(name: str) -> bool:
+    """Module-level names that sit on the per-operation hot path.
+
+    The native cores expose ``compress``/``decompress`` plus stage
+    helpers like ``_encode_codes``; the prefix match requires a word
+    boundary so ``_compressor_producer`` and friends stay out of scope.
+    """
+    if name in _HOT_FN_NAMES:
+        return True
+    return any(name == p or name.startswith(p + "_")
+               for p in _HOT_FN_PREFIXES)
+
+
+@register_rule
+class UnguardedHotFunctionRule(Rule):
+    """HP003: profiler hooks in native hot functions need sentinel guards."""
+
+    rule_id = "HP003"
+    name = "unguarded-hot-function-hook"
+    severity = Severity.ERROR
+    description = (
+        "Module-level hot functions (compress/decompress and "
+        "_compress*/_decompress*/_encode*/_decode* helpers) may only call "
+        "into the tracer, profiler, metrics registry, or loggers from "
+        "inside an if whose test reads a hot-path sentinel "
+        "(repro._hot.ANY or a runtime ACTIVE) or an except arm."
+    )
+    rationale = (
+        "Stage profiling hooks live inside the native cores, below the "
+        "plugin wrappers HP002 already pins; an unguarded hook there "
+        "runs on every operation — watched or not — and erodes the "
+        "<1% disabled-observability budget from the inside."
+    )
+
+    def check(self, module: SourceModule,
+              index: ProjectIndex) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        for node in module.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not _is_hot_function(node.name):
+                continue
+            visitor = GuardedCallVisitor().visit(node)
+            for call, guarded in visitor.calls:
+                if guarded:
+                    continue
+                label = classify_observability_call(call, module)
+                if label is None:
+                    continue
+                target = dotted_name(call.func) or "<call>"
+                yield self.finding(
+                    module, call,
+                    f"hot function {node.name} performs an unguarded "
+                    f"{label} call ({target}); guard it with "
+                    f"'if _trace.ACTIVE is not None:' (statement form) so "
+                    f"the disabled path stays call-free",
+                )
+
+
 def _is_hot_guard_stmt(stmt: ast.stmt, op_attr: str) -> bool:
     """Match ``if not <...>.ANY: return self._compress_op(...)``."""
     if not isinstance(stmt, ast.If) or stmt.orelse:

@@ -276,10 +276,11 @@ def classify_observability_call(call: ast.Call,
                                 module: SourceModule) -> str | None:
     """Name the observability subsystem a call enters, if any.
 
-    Returns "trace", "metrics", "logging", or "registry" — or None for
-    ordinary calls.  Receivers are resolved through the module's import
-    aliases, so both ``from ..trace import runtime as _trace`` and
-    direct ``from ..trace.runtime import annotate`` forms classify.
+    Returns "trace", "profile", "metrics", "logging", or "registry" —
+    or None for ordinary calls.  Receivers are resolved through the
+    module's import aliases, so both ``from ..trace import runtime as
+    _trace`` and direct ``from ..trace.runtime import annotate`` forms
+    classify.
     """
     name = dotted_name(call.func) or ""
     if not name:
@@ -287,6 +288,8 @@ def classify_observability_call(call: ast.Call,
     parts = name.split(".")
     root, last = parts[0], parts[-1]
     source = module.alias_source(root)
+    if "profile" in source or root == "_profile":
+        return "profile"
     if "trace" in source or root == "_trace":
         return "trace"
     if "obs" in source.split(".") or root == "_obs":

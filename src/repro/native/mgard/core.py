@@ -21,9 +21,12 @@ least 3 samples — the decomposition needs interior points — otherwise
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ...core.dtype import dtype_from_numpy, dtype_to_numpy
+from ...trace import runtime as _trace
 from ...core.status import CorruptStreamError, InvalidDimensionsError
 from ...encoders.headers import read_header, write_header
 from ...encoders.predictors import lorenzo_decode, lorenzo_encode
@@ -191,18 +194,34 @@ def compress(data: np.ndarray, tol: float, s: float = 0.0,
     dtype = dtype_from_numpy(arr.dtype)
     levels = max_levels(arr.shape)
     bounds = _level_bounds(float(tol), levels, float(s), arr.ndim)
-    coarse, details, _shapes = _decompose(arr.astype(np.float64, copy=False),
-                                          levels)
-    pieces: list[np.ndarray] = []
-    # finest level gets the first share, coarse grid the last
-    for lvl, level_details in enumerate(details):
-        eb = bounds[lvl]
-        for detail in level_details:
-            pieces.append(quantize_uniform(detail, eb).reshape(-1))
-    coarse_codes = lorenzo_encode(quantize_uniform(coarse, bounds[-1]))
-    pieces.append(coarse_codes.reshape(-1))
-    allcodes = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
-    payload = encode_residuals(allcodes, backend=backend, level=level)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("mgard:decompose", levels=levels)
+    else:
+        span = nullcontext()
+    with span:
+        coarse, details, _shapes = _decompose(
+            arr.astype(np.float64, copy=False), levels)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("mgard:quantize")
+    else:
+        span = nullcontext()
+    with span:
+        pieces: list[np.ndarray] = []
+        # finest level gets the first share, coarse grid the last
+        for lvl, level_details in enumerate(details):
+            eb = bounds[lvl]
+            for detail in level_details:
+                pieces.append(quantize_uniform(detail, eb).reshape(-1))
+        coarse_codes = lorenzo_encode(quantize_uniform(coarse, bounds[-1]))
+        pieces.append(coarse_codes.reshape(-1))
+        allcodes = (np.concatenate(pieces) if pieces
+                    else np.zeros(0, dtype=np.int64))
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("mgard:entropy", backend=backend)
+    else:
+        span = nullcontext()
+    with span:
+        payload = encode_residuals(allcodes, backend=backend, level=level)
     header = write_header(_MAGIC, dtype, arr.shape,
                           doubles=(float(tol), float(s)), ints=(levels,))
     return header + payload
@@ -225,7 +244,12 @@ def decompress(stream: bytes | memoryview,
     if not (tol > 0) or not np.isfinite(tol):
         raise CorruptStreamError(f"stream declares invalid tolerance {tol}")
     bounds = _level_bounds(tol, levels, s, len(dims))
-    allcodes = decode_residuals(bytes(memoryview(stream)[pos:]))
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("mgard:entropy")
+    else:
+        span = nullcontext()
+    with span:
+        allcodes = decode_residuals(bytes(memoryview(stream)[pos:]))
     # replay the decomposition shape computation to slice the code buffer
     details_shapes: list[list[tuple[int, ...]]] = []
     cur = list(dims)
@@ -246,17 +270,22 @@ def decompress(stream: bytes | memoryview,
     details: list[list[np.ndarray]] = []
     shapes: list[tuple[int, ...]] = []
     run = list(dims)
-    for lvl in range(levels):
-        shapes.append(tuple(run))
-        level_details: list[np.ndarray] = []
-        for axis in range(len(dims)):
-            dshape = details_shapes[lvl][axis]
-            n = int(np.prod(dshape, dtype=np.int64))
-            codes = allcodes[offset:offset + n].reshape(dshape)
-            offset += n
-            level_details.append(dequantize_uniform(codes, bounds[lvl]))
-        details.append(level_details)
-        run = [(x + 1) // 2 for x in run]
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("mgard:dequantize")
+    else:
+        span = nullcontext()
+    with span:
+        for lvl in range(levels):
+            shapes.append(tuple(run))
+            level_details: list[np.ndarray] = []
+            for axis in range(len(dims)):
+                dshape = details_shapes[lvl][axis]
+                n = int(np.prod(dshape, dtype=np.int64))
+                codes = allcodes[offset:offset + n].reshape(dshape)
+                offset += n
+                level_details.append(dequantize_uniform(codes, bounds[lvl]))
+            details.append(level_details)
+            run = [(x + 1) // 2 for x in run]
     n_coarse = int(np.prod(coarse_shape, dtype=np.int64))
     if offset + n_coarse != allcodes.size:
         raise CorruptStreamError(
@@ -266,7 +295,12 @@ def decompress(stream: bytes | memoryview,
         allcodes[offset:offset + n_coarse].reshape(coarse_shape)
     )
     coarse = dequantize_uniform(coarse_codes, bounds[-1])
-    out = _reconstruct(coarse, details, shapes)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("mgard:reconstruct")
+    else:
+        span = nullcontext()
+    with span:
+        out = _reconstruct(coarse, details, shapes)
     np_dtype = dtype_to_numpy(dtype)
     if np_dtype.kind in "iu":
         return np.rint(out).astype(np_dtype)

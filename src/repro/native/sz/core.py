@@ -19,9 +19,12 @@ packed side channel, the same mathematical reduction SZ uses.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ...core.dtype import DType, dtype_from_numpy, dtype_to_numpy
+from ...trace import runtime as _trace
 from ...core.status import CorruptStreamError
 from ...encoders.headers import read_header, write_header
 from ...encoders.huffman import huffman_decode, huffman_encode
@@ -82,30 +85,48 @@ def effective_abs_bound(data: np.ndarray, params: sz_params) -> float:
 
 
 def _encode_codes(codes: np.ndarray, params: sz_params) -> tuple[int, bytes]:
-    residuals = (
-        lorenzo_encode(codes) if params.predictionMode == "lorenzo" else codes
-    ).reshape(-1)
-    if params.entropyCoder == "huffman":
-        from ...encoders.zigzag import zigzag_encode
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("sz:predict")
+    else:
+        span = nullcontext()
+    with span:
+        residuals = (
+            lorenzo_encode(codes) if params.predictionMode == "lorenzo"
+            else codes
+        ).reshape(-1)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("sz:entropy", coder=params.entropyCoder)
+    else:
+        span = nullcontext()
+    with span:
+        if params.entropyCoder == "huffman":
+            from ...encoders.zigzag import zigzag_encode
 
-        zz = zigzag_encode(residuals)
-        if zz.size and int(zz.max()) < 2**20:
-            return _ENTROPY_HUFFMAN, huffman_encode(zz)
-    return _ENTROPY_FAST, encode_residuals(
-        residuals, backend=params.losslessCompressor, level=params.zlib_level()
-    )
+            zz = zigzag_encode(residuals)
+            if zz.size and int(zz.max()) < 2**20:
+                return _ENTROPY_HUFFMAN, huffman_encode(zz)
+        return _ENTROPY_FAST, encode_residuals(
+            residuals, backend=params.losslessCompressor,
+            level=params.zlib_level()
+        )
 
 
 def _decode_codes(entropy_kind: int, payload: bytes, dims: tuple[int, ...],
                   prediction: str) -> np.ndarray:
-    if entropy_kind == _ENTROPY_HUFFMAN:
-        from ...encoders.zigzag import zigzag_decode
-
-        residuals = zigzag_decode(huffman_decode(payload))
-    elif entropy_kind == _ENTROPY_FAST:
-        residuals = decode_residuals(payload)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("sz:entropy")
     else:
-        raise CorruptStreamError(f"unknown entropy coder id {entropy_kind}")
+        span = nullcontext()
+    with span:
+        if entropy_kind == _ENTROPY_HUFFMAN:
+            from ...encoders.zigzag import zigzag_decode
+
+            residuals = zigzag_decode(huffman_decode(payload))
+        elif entropy_kind == _ENTROPY_FAST:
+            residuals = decode_residuals(payload)
+        else:
+            raise CorruptStreamError(
+                f"unknown entropy coder id {entropy_kind}")
     expected = int(np.prod(dims, dtype=np.int64))
     if residuals.size != expected:
         raise CorruptStreamError(
@@ -113,7 +134,12 @@ def _decode_codes(entropy_kind: int, payload: bytes, dims: tuple[int, ...],
         )
     residuals = residuals.reshape(dims)
     if prediction == "lorenzo":
-        return lorenzo_decode(residuals)
+        if _trace.ACTIVE is not None:
+            span = _trace.stage("sz:predict")
+        else:
+            span = nullcontext()
+        with span:
+            return lorenzo_decode(residuals)
     return residuals
 
 
@@ -146,9 +172,14 @@ def compress(data: np.ndarray, params: sz_params) -> bytes:
     else:
         work = work - offset
     if params.predictionMode in ("regression", "adaptive"):
-        payload = compress_regression(
-            work, eb, params.predictionMode == "adaptive",
-            params.losslessCompressor, params.zlib_level())
+        if _trace.ACTIVE is not None:
+            span = _trace.stage("sz:regression")
+        else:
+            span = nullcontext()
+        with span:
+            payload = compress_regression(
+                work, eb, params.predictionMode == "adaptive",
+                params.losslessCompressor, params.zlib_level())
         header = write_header(
             _MAGIC, dtype, arr.shape,
             doubles=(eb, offset),
@@ -156,7 +187,12 @@ def compress(data: np.ndarray, params: sz_params) -> bytes:
                   _PRED_IDS[params.predictionMode]),
         )
         return header + payload
-    codes = quantize_uniform(work, eb)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("sz:quantize", bound=eb)
+    else:
+        span = nullcontext()
+    with span:
+        codes = quantize_uniform(work, eb)
     entropy_kind, payload = _encode_codes(codes, params)
     header = write_header(
         _MAGIC, dtype, arr.shape,
@@ -183,13 +219,24 @@ def decompress(stream: bytes | memoryview, expected_dims: tuple[int, ...] | None
     entropy_kind = ints[1]
     prediction = _PRED_NAMES.get(ints[2], "lorenzo")
     if prediction in ("regression", "adaptive"):
-        out = decompress_regression(payload, dims, eb) + offset
+        if _trace.ACTIVE is not None:
+            span = _trace.stage("sz:regression")
+        else:
+            span = nullcontext()
+        with span:
+            out = decompress_regression(payload, dims, eb) + offset
         np_dtype = dtype_to_numpy(dtype)
         if np_dtype.kind in "iu":
             return np.rint(out).astype(np_dtype)
         return out.astype(np_dtype)
     codes = _decode_codes(entropy_kind, payload, dims, prediction)
-    out = dequantize_uniform(codes, eb, dtype=np.dtype(np.float64)) + offset
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("sz:dequantize")
+    else:
+        span = nullcontext()
+    with span:
+        out = dequantize_uniform(
+            codes, eb, dtype=np.dtype(np.float64)) + offset
     np_dtype = dtype_to_numpy(dtype)
     if np_dtype.kind in "iu":
         return np.rint(out).astype(np_dtype)

@@ -20,9 +20,12 @@ All block math is vectorized across every block simultaneously
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ...core.dtype import dtype_from_numpy, dtype_to_numpy
+from ...trace import runtime as _trace
 from ...core.status import CorruptStreamError, InvalidDimensionsError
 from ...encoders.headers import read_header, write_header
 from ...encoders.predictors import lorenzo_decode, lorenzo_encode
@@ -197,45 +200,65 @@ def compress(data: np.ndarray, mode: int, parameter: float,
         return header + payload
 
     values = arr.astype(np.float64, copy=False)
-    if mode == MODE_ACCURACY:
-        if parameter <= 0:
-            raise ValueError("accuracy tolerance must be positive")
-        step = float(parameter)
-        codes = quantize_uniform(values, step)
-    elif mode in (MODE_PRECISION, MODE_RATE):
-        vmax = float(np.abs(values).max()) if values.size else 0.0
-        if vmax == 0.0:
-            step = 1.0
-            codes = np.zeros(values.shape, dtype=np.int64)
-        else:
-            # scale so |codes| <= 2**_Q; quantize_uniform uses bin 2*eb
-            step = vmax / float(2**_Q)
-            codes = quantize_uniform(values, step)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("zfp:quantize", mode=mode)
     else:
-        raise ValueError(f"unknown zfp mode {mode}")
+        span = nullcontext()
+    with span:
+        if mode == MODE_ACCURACY:
+            if parameter <= 0:
+                raise ValueError("accuracy tolerance must be positive")
+            step = float(parameter)
+            codes = quantize_uniform(values, step)
+        elif mode in (MODE_PRECISION, MODE_RATE):
+            vmax = float(np.abs(values).max()) if values.size else 0.0
+            if vmax == 0.0:
+                step = 1.0
+                codes = np.zeros(values.shape, dtype=np.int64)
+            else:
+                # scale so |codes| <= 2**_Q; quantize_uniform uses bin 2*eb
+                step = vmax / float(2**_Q)
+                codes = quantize_uniform(values, step)
+        else:
+            raise ValueError(f"unknown zfp mode {mode}")
 
-    blocks = _to_blocks(codes)
-    if transform:
-        _fwd_transform(blocks)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("zfp:transform")
+    else:
+        span = nullcontext()
+    with span:
+        blocks = _to_blocks(codes)
+        if transform:
+            _fwd_transform(blocks)
 
-    if mode == MODE_ACCURACY:
-        shifts = np.zeros(blocks.shape[0], dtype=np.int64)
-    elif mode == MODE_PRECISION:
-        planes = int(parameter)
-        if planes < 1:
-            raise ValueError("precision must be at least 1 bit plane")
-        shifts = np.maximum(_block_maxbits(blocks) - planes, 0)
-    else:  # MODE_RATE
-        width = int(round(parameter))
-        if width < 1:
-            raise ValueError("rate must be at least 1 bit per value")
-        shifts = np.maximum(_block_maxbits(blocks) - width, 0)
-
-    kept = _rounding_rshift(blocks, shifts)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("zfp:bitplane")
+    else:
+        span = nullcontext()
+    with span:
+        if mode == MODE_ACCURACY:
+            shifts = np.zeros(blocks.shape[0], dtype=np.int64)
+        elif mode == MODE_PRECISION:
+            planes = int(parameter)
+            if planes < 1:
+                raise ValueError("precision must be at least 1 bit plane")
+            shifts = np.maximum(_block_maxbits(blocks) - planes, 0)
+        else:  # MODE_RATE
+            width = int(round(parameter))
+            if width < 1:
+                raise ValueError("rate must be at least 1 bit per value")
+            shifts = np.maximum(_block_maxbits(blocks) - width, 0)
+        kept = _rounding_rshift(blocks, shifts)
     import zlib as _zlib
 
-    shift_blob = _zlib.compress(shifts.astype(np.uint8).tobytes(), 1)
-    payload = encode_residuals(kept.reshape(-1), backend=backend, level=level)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("zfp:entropy", backend=backend)
+    else:
+        span = nullcontext()
+    with span:
+        shift_blob = _zlib.compress(shifts.astype(np.uint8).tobytes(), 1)
+        payload = encode_residuals(kept.reshape(-1), backend=backend,
+                                   level=level)
     header = write_header(
         _MAGIC, dtype, arr.shape,
         doubles=(step, float(parameter)),
@@ -265,24 +288,39 @@ def decompress(stream: bytes | memoryview,
 
     nblocks = int(np.prod([(s + BLOCK_SIDE - 1) // BLOCK_SIDE for s in dims],
                           dtype=np.int64))
-    shifts = np.frombuffer(
-        _zlib.decompress(bytes(view[pos:pos + shift_len])), dtype=np.uint8
-    ).astype(np.int64)
-    if shifts.size != nblocks:
-        raise CorruptStreamError("shift table does not match block count")
-    d = len(dims)
-    kept = decode_residuals(bytes(view[pos + shift_len:]))
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("zfp:entropy")
+    else:
+        span = nullcontext()
+    with span:
+        shifts = np.frombuffer(
+            _zlib.decompress(bytes(view[pos:pos + shift_len])), dtype=np.uint8
+        ).astype(np.int64)
+        if shifts.size != nblocks:
+            raise CorruptStreamError("shift table does not match block count")
+        d = len(dims)
+        kept = decode_residuals(bytes(view[pos + shift_len:]))
     expected = nblocks * BLOCK_SIDE**d
     if kept.size != expected:
         raise CorruptStreamError(
             f"coefficient payload holds {kept.size}, expected {expected}"
         )
-    blocks = kept.reshape((nblocks,) + (BLOCK_SIDE,) * d)
-    blocks = _lshift(blocks, shifts)
-    if transform:
-        _inv_transform(blocks)
-    codes = _from_blocks(blocks, dims)
-    out = codes.astype(np.float64) * (2.0 * step)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("zfp:transform")
+    else:
+        span = nullcontext()
+    with span:
+        blocks = kept.reshape((nblocks,) + (BLOCK_SIDE,) * d)
+        blocks = _lshift(blocks, shifts)
+        if transform:
+            _inv_transform(blocks)
+        codes = _from_blocks(blocks, dims)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("zfp:dequantize")
+    else:
+        span = nullcontext()
+    with span:
+        out = codes.astype(np.float64) * (2.0 * step)
     if np_dtype.kind in "iu":
         return np.rint(out).astype(np_dtype)
     return out.astype(np_dtype)

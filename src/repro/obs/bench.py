@@ -16,6 +16,18 @@ artifact so performance has a trajectory, not a single data point:
   the previous artifact (or an explicit ``--baseline``), and prints a
   per-configuration verdict table.
 
+``--profile`` additionally captures one stage profile per configuration
+(:mod:`repro.profile`) into ``<output-dir>/profiles/`` — profile JSON
+plus collapsed-stack flamegraph — and records each profile's relative
+path on its result row.  When the regression gate fires, the verdict is
+followed by a stage-attribution table naming the stages that own the
+delta (a full profile diff when the baseline row carries a profile too,
+the current run's top stages otherwise).
+
+Every artifact header records the git SHA and the hot-path sentinel
+state at run time, so bench runs and profiles are joinable by commit
+and a run accidentally taken with an observer active is visibly tainted.
+
 CI runs ``pressio bench --quick`` nightly against the committed
 baseline and fails on >15 % median regression, so a hot-path PR that
 slows a codec shows up the next morning instead of at the next paper.
@@ -92,12 +104,19 @@ def run_grid(compressors: tuple[str, ...] = DEFAULT_COMPRESSORS,
              dims: tuple[int, ...] = DEFAULT_DIMS,
              reps: int = DEFAULT_REPS,
              progress: Callable[[str], None] | None = None,
+             profile_dir: str | None = None,
              ) -> list[dict[str, Any]]:
     """Round-trip the full grid; returns one result row per configuration.
 
     Bounds are value-range-relative (multiplied by each dataset's value
     range before being handed to the plugin), matching the paper's
     methodology, so one grid spec is meaningful across datasets.
+
+    With ``profile_dir`` set, each configuration additionally runs one
+    *profiled* round trip after its timed reps (so profiling overhead
+    never contaminates the timings), writing ``PROFILE_<config>.json``
+    plus a collapsed-stack ``.folded`` into that directory and recording
+    the JSON's basename on the row under ``"profile"``.
     """
     from ..core.data import PressioData
     from ..core.library import Pressio
@@ -146,6 +165,10 @@ def run_grid(compressors: tuple[str, ...] = DEFAULT_COMPRESSORS,
                     "compression_ratio": (
                         data.size_in_bytes / compressed.size_in_bytes),
                 }
+                if profile_dir is not None:
+                    row["profile"] = _profile_config(
+                        plugin, data, template, compressor, dataset,
+                        rel_bound, profile_dir)
                 rows.append(row)
                 if progress is not None:
                     progress(
@@ -156,6 +179,93 @@ def run_grid(compressors: tuple[str, ...] = DEFAULT_COMPRESSORS,
     return rows
 
 
+def _profile_config(plugin: Any, data: Any, template: Any,
+                    compressor: str, dataset: str, rel_bound: float,
+                    profile_dir: str) -> str:
+    """One profiled round trip for a bench configuration.
+
+    Writes ``PROFILE_<compressor>_<dataset>_<bound>.json`` and the
+    matching ``.folded`` flamegraph input into ``profile_dir``; returns
+    the JSON's basename (rows stay relocatable with the artifact).
+    """
+    from ..profile import StageProfiler, write_collapsed, write_profile
+
+    label = f"{compressor}_{dataset}_{rel_bound:g}"
+    with StageProfiler(label) as prof:
+        compressed = plugin.compress(data)
+        plugin.decompress(compressed, template)
+    profile = prof.result(meta={
+        "compressor": compressor, "dataset": dataset, "bound": rel_bound,
+    })
+    os.makedirs(profile_dir, exist_ok=True)
+    name = f"PROFILE_{label}.json"
+    write_profile(profile, os.path.join(profile_dir, name))
+    write_collapsed(profile, os.path.join(
+        profile_dir, f"PROFILE_{label}.folded"))
+    return name
+
+
+def _print_attribution(regressions: list[dict[str, Any]],
+                       output_dir: str, baseline_path: str | None,
+                       top: int = 3) -> None:
+    """Name the stages behind each regression, when profiles exist.
+
+    Uses a full profile diff when the baseline row recorded a profile
+    that is still on disk (next to the baseline artifact); otherwise
+    falls back to the current profile's top exclusive stages, which at
+    least localizes where the slow configuration spends its time.
+    """
+    from ..profile import attribute_regression, load_profile
+
+    profile_dir = os.path.join(output_dir, "profiles")
+    base_dir = (os.path.join(os.path.dirname(baseline_path), "profiles")
+                if baseline_path else None)
+    for entry in regressions:
+        cfg = entry["config"]
+        name = cfg.get("profile")
+        if not name:
+            continue
+        try:
+            current = load_profile(os.path.join(profile_dir, name))
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+        header = (f"{cfg['compressor']}/{cfg['dataset']}/"
+                  f"bound={cfg['bound']:g}")
+        base_name = entry.get("baseline_profile")
+        baseline = None
+        if base_dir and base_name:
+            base_path = os.path.join(base_dir, base_name)
+            # benching into the directory that holds the baseline
+            # artifact overwrites its PROFILE_* files before the
+            # comparison runs — the "baseline" profile on disk is then
+            # this run's own, and diffing it would vacuously attribute
+            # nothing.  Detect the collision and fall back.
+            if os.path.abspath(base_path) != os.path.abspath(
+                    os.path.join(profile_dir, name)):
+                try:
+                    baseline = load_profile(base_path)
+                except (OSError, ValueError, json.JSONDecodeError):
+                    baseline = None
+        if baseline is not None:
+            lines = attribute_regression(current, baseline, top=top)
+            print(f"  {header}:")
+            for line in lines:
+                print(f"    {line}")
+            if not lines:
+                print("    (no stage exceeds the reporting floor; "
+                      "the slowdown is outside the profiled stages)")
+        else:
+            stages = [r for r in current.get("stages", [])
+                      if r.get("calls", 0) > 0][:top]
+            wall = max(current.get("wall_ns", 0), 1)
+            print(f"  {header} (no baseline profile; top stages):")
+            for row in stages:
+                pct = 100.0 * row["exclusive_ns"] / wall
+                print(f"    {row['path']}: "
+                      f"{row['exclusive_ns'] / 1e6:.2f}ms "
+                      f"exclusive ({pct:.1f}% of wall)")
+
+
 # ---------------------------------------------------------------------------
 # artifacts
 # ---------------------------------------------------------------------------
@@ -164,6 +274,9 @@ def write_artifact(rows: list[dict[str, Any]], output_dir: str,
                    quick: bool = False,
                    timestamp: datetime | None = None) -> str:
     """Write ``BENCH_<UTC timestamp>.json``; returns the path."""
+    from ..profile.export import git_revision
+    from .. import _hot
+
     stamp = timestamp or datetime.now(timezone.utc)
     artifact = {
         "schema": SCHEMA,
@@ -171,6 +284,8 @@ def write_artifact(rows: list[dict[str, Any]], output_dir: str,
         "host": platform.node(),
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "git_sha": git_revision(),
+        "hot_sentinel": bool(_hot.ANY),
         "quick": quick,
         "configs": rows,
     }
@@ -232,6 +347,8 @@ def compare(current: dict[str, Any], baseline: dict[str, Any],
             continue
         entry: dict[str, Any] = {"config": row, "status": "ok",
                                  "deltas_pct": {}}
+        if base.get("profile"):
+            entry["baseline_profile"] = base["profile"]
         failed: list[str] = []
         for field in ("compress_ms", "decompress_ms"):
             old = base[field]["median"]
@@ -329,6 +446,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
                         help="exit 1 when any configuration regresses")
     parser.add_argument("--no-compare", action="store_true",
                         help="write the artifact only")
+    parser.add_argument("--profile", action="store_true",
+                        help="capture a stage profile per configuration "
+                             "(JSON + flamegraph in <output-dir>/profiles) "
+                             "so regressions can be attributed to a stage")
     return parser
 
 
@@ -350,10 +471,14 @@ def run_bench(argv: list[str]) -> int:
     print(f"benchmark grid: {len(compressors)} compressor(s) x "
           f"{len(datasets)} dataset(s) x {len(bounds)} bound(s), "
           f"{reps} reps, dims {'x'.join(str(d) for d in dims)}")
+    profile_dir = (os.path.join(args.output_dir, "profiles")
+                   if args.profile else None)
     rows = run_grid(compressors, datasets, bounds, dims, reps,
-                    progress=print)
+                    progress=print, profile_dir=profile_dir)
     path = write_artifact(rows, args.output_dir, quick=args.quick)
     print(f"wrote {path}")
+    if profile_dir is not None:
+        print(f"wrote {len(rows)} profile(s) to {profile_dir}")
 
     if args.no_compare:
         return 0
@@ -373,6 +498,10 @@ def run_bench(argv: list[str]) -> int:
                      threshold_pct=args.threshold)
     print(f"\ncomparing against {baseline_path}:")
     print(format_comparison(report))
+    if report["regressions"] and args.profile:
+        print("\nstage attribution for regressed configuration(s):")
+        _print_attribution(report["regressions"], args.output_dir,
+                           baseline_path)
     if report["regressions"] and args.fail_on_regress:
         return 1
     return 0

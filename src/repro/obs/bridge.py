@@ -11,7 +11,11 @@ it onto that namespace:
 * :func:`ingest_metrics_results` — the typed results of the ``time`` /
   ``size`` (or any other) metrics plugin become ``pressio_metric_*``
   gauges labelled by plugin, joining per-operation wall totals and
-  compression ratios into the same scrape.
+  compression ratios into the same scrape;
+* :func:`ingest_profile` — a stage-profile artifact
+  (:meth:`repro.profile.StageProfiler.result`) becomes
+  ``pressio_profile_*`` gauges labelled by stage path, so the last
+  profile's attribution table is scrapeable next to the trace gauges.
 
 Both are idempotent refreshes: gauges are *set*, not incremented, so
 re-ingesting after every operation (what the metrics server does for
@@ -29,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.options import PressioOptions
     from ..trace.context import TraceContext
 
-__all__ = ["ingest_trace", "ingest_metrics_results"]
+__all__ = ["ingest_trace", "ingest_metrics_results", "ingest_profile"]
 
 
 def _target(registry: MetricsRegistry | None) -> MetricsRegistry | None:
@@ -74,6 +78,44 @@ def ingest_trace(ctx: "TraceContext",
     for name, value in ctx.counters().items():
         counter_gauge.labels(name=name).set(value)
     return len(rows)
+
+
+def ingest_profile(profile: dict, registry: MetricsRegistry | None = None
+                   ) -> int:
+    """Refresh ``pressio_profile_*`` gauges from a stage-profile artifact.
+
+    ``profile`` is the dict :meth:`repro.profile.StageProfiler.result`
+    returns (schema ``pressio-profile/1``).  Gauges are labelled by the
+    canonical stage path, plus a per-run ``pressio_profile_wall_ms``
+    labelled by the profile's label.  Returns the number of stage rows
+    ingested (0 when no registry is active and none was passed).
+    """
+    reg = _target(registry)
+    if reg is None:
+        return 0
+    label = str(profile.get("label", "profile"))
+    wall = reg.gauge("pressio_profile_wall_ms",
+                     "wall time of the last stage profile (ms)", ("label",))
+    wall.labels(label=label).set(profile.get("wall_ns", 0) / 1e6)
+    excl = reg.gauge("pressio_profile_stage_exclusive_ms",
+                     "exclusive wall time per profiled stage (ms)",
+                     ("stage",))
+    calls = reg.gauge("pressio_profile_stage_calls",
+                      "span count per profiled stage", ("stage",))
+    rate = reg.gauge("pressio_profile_stage_bytes_per_second",
+                     "uncompressed-side throughput per profiled stage",
+                     ("stage",))
+    alloc = reg.gauge("pressio_profile_stage_alloc_net_bytes",
+                      "net allocation growth per profiled stage (bytes)",
+                      ("stage",))
+    stages = profile.get("stages", [])
+    for row in stages:
+        stage = row["path"]
+        excl.labels(stage=stage).set(row["exclusive_ns"] / 1e6)
+        calls.labels(stage=stage).set(row["calls"])
+        rate.labels(stage=stage).set(row.get("bytes_per_s", 0.0))
+        alloc.labels(stage=stage).set(row.get("alloc_net_bytes", 0))
+    return len(stages)
 
 
 #: metrics-plugin result keys worth exposing, mapped to (metric, labels).

@@ -1,0 +1,129 @@
+"""The profile-diff engine: which stage owns a performance delta?
+
+``pressio bench`` can say *that* a configuration regressed; this module
+says *where*.  Two profiles are aligned stage-path by stage-path and
+each stage's exclusive-time change is expressed as a **share of the
+total wall-time delta** — because every profile's exclusive column sums
+to its wall time (the ``(untracked)`` row guarantees it), the per-stage
+deltas sum to the wall delta exactly, so "stage X accounts for 87 % of
+the slowdown" is arithmetic, not estimation.
+
+:func:`attribute_regression` is the nightly gate's hook: given the
+current and baseline profiles for a regressed configuration it returns
+the ranked culprit list the CI log prints next to the red verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .stage import SCHEMA
+
+__all__ = ["diff_profiles", "format_diff", "attribute_regression"]
+
+
+def _stage_map(profile: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    if profile.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a profile artifact: schema {profile.get('schema')!r}")
+    return {row["path"]: row for row in profile.get("stages", ())}
+
+
+def diff_profiles(a: dict[str, Any], b: dict[str, Any],
+                  min_share: float = 0.05) -> dict[str, Any]:
+    """Align ``b`` (current) against ``a`` (baseline) by stage path.
+
+    Returns a report dict with one row per stage path present on either
+    side, sorted by absolute exclusive-time delta; ``culprits`` names
+    the stages whose share of the total delta is at least ``min_share``
+    (same sign as the total), and ``culprit`` is the single largest —
+    the stage a regression gate should print.
+    """
+    rows_a, rows_b = _stage_map(a), _stage_map(b)
+    wall_a = int(a.get("wall_ns") or 0)
+    wall_b = int(b.get("wall_ns") or 0)
+    wall_delta = wall_b - wall_a
+
+    out_rows: list[dict[str, Any]] = []
+    for path in sorted(set(rows_a) | set(rows_b)):
+        ra, rb = rows_a.get(path), rows_b.get(path)
+        a_ns = int(ra["exclusive_ns"]) if ra else 0
+        b_ns = int(rb["exclusive_ns"]) if rb else 0
+        delta = b_ns - a_ns
+        out_rows.append({
+            "path": path,
+            "status": ("common" if ra and rb
+                       else "added" if rb else "removed"),
+            "a_exclusive_ns": a_ns,
+            "b_exclusive_ns": b_ns,
+            "delta_ns": delta,
+            "delta_pct": (100.0 * delta / a_ns) if a_ns else None,
+            "share_of_wall_delta": (delta / wall_delta
+                                    if wall_delta else None),
+            "a_calls": int(ra["calls"]) if ra else 0,
+            "b_calls": int(rb["calls"]) if rb else 0,
+        })
+    out_rows.sort(key=lambda r: -abs(r["delta_ns"]))
+
+    culprits = [
+        r["path"] for r in out_rows
+        if wall_delta
+        and r["share_of_wall_delta"] is not None
+        and r["share_of_wall_delta"] >= min_share
+    ]
+    return {
+        "a_label": a.get("label"), "b_label": b.get("label"),
+        "a_git_sha": a.get("git_sha"), "b_git_sha": b.get("git_sha"),
+        "wall_a_ns": wall_a, "wall_b_ns": wall_b,
+        "wall_delta_ns": wall_delta,
+        "wall_delta_pct": (100.0 * wall_delta / wall_a) if wall_a else None,
+        "rows": out_rows,
+        "culprits": culprits,
+        "culprit": culprits[0] if culprits else None,
+    }
+
+
+def format_diff(report: dict[str, Any], top: int = 15) -> str:
+    """Human-readable attribution table for a :func:`diff_profiles` report."""
+    pct = report.get("wall_delta_pct")
+    lines = [
+        f"baseline: {report.get('a_label')} "
+        f"(git {str(report.get('a_git_sha'))[:12]}) "
+        f"wall {report['wall_a_ns'] / 1e6:.3f}ms",
+        f"current:  {report.get('b_label')} "
+        f"(git {str(report.get('b_git_sha'))[:12]}) "
+        f"wall {report['wall_b_ns'] / 1e6:.3f}ms",
+        f"delta:    {report['wall_delta_ns'] / 1e6:+.3f}ms"
+        + (f" ({pct:+.1f}%)" if pct is not None else ""),
+        "",
+    ]
+    header = (f"{'stage':<44} {'base ms':>9} {'cur ms':>9} "
+              f"{'delta ms':>9} {'share':>7}  status")
+    lines += [header, "-" * len(header)]
+    for row in report["rows"][:top]:
+        share = row["share_of_wall_delta"]
+        share_s = f"{100.0 * share:>6.1f}%" if share is not None else "      -"
+        lines.append(
+            f"{row['path']:<44} {row['a_exclusive_ns'] / 1e6:>9.3f} "
+            f"{row['b_exclusive_ns'] / 1e6:>9.3f} "
+            f"{row['delta_ns'] / 1e6:>+9.3f} {share_s}  {row['status']}")
+    if report.get("culprit"):
+        lines.append("")
+        lines.append(f"primary attribution: {report['culprit']} "
+                     f"accounts for the largest share of the wall delta")
+    return "\n".join(lines)
+
+
+def attribute_regression(current: dict[str, Any],
+                         baseline: dict[str, Any],
+                         top: int = 3) -> list[str]:
+    """One-line-per-culprit summary for the bench regression gate."""
+    report = diff_profiles(baseline, current)
+    out: list[str] = []
+    for path in report["culprits"][:top]:
+        row = next(r for r in report["rows"] if r["path"] == path)
+        share = row["share_of_wall_delta"] or 0.0
+        out.append(
+            f"{path}: {row['delta_ns'] / 1e6:+.3f}ms exclusive "
+            f"({100.0 * share:.0f}% of the wall delta)")
+    return out

@@ -1,0 +1,82 @@
+"""Allocation tracking: :mod:`tracemalloc` lifecycle + top-site capture.
+
+Per-*stage* allocation numbers live on the spans themselves
+(:class:`repro.profile.stage.ProfilingTraceContext` stamps
+current/peak traced bytes at every span boundary); this module owns the
+process-level pieces around them:
+
+* :func:`start_tracking` / :func:`stop_tracking` — idempotent
+  tracemalloc lifecycle that resets the peak counter at start so
+  per-span "high-water growth" deltas are meaningful for this run, not
+  contaminated by whatever allocated before profiling began;
+* :func:`summarize_tracking` — the ``allocation`` section of the
+  profile artifact: global peak, final net, and the top allocation
+  sites by file:line — the direct ammunition for the ROADMAP's planned
+  buffer pool (a site that churns gigabytes of temporaries per call is
+  the pool's first customer).
+
+Interpretation caveats (documented, deliberate): ``alloc_net_bytes``
+per stage is current-memory growth across the span (negative when a
+stage frees more than it allocates); ``alloc_peak_growth_bytes`` is how
+much the stage raised the process high-water mark — a stage that
+allocates large temporaries *below* an earlier peak reports 0 growth
+even though it churned.  The top-site table catches that case.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Any
+
+__all__ = ["start_tracking", "stop_tracking", "summarize_tracking"]
+
+#: allocation sites reported in the artifact
+TOP_SITES = 12
+
+
+def start_tracking(nframes: int = 1) -> bool:
+    """Begin tracemalloc tracking; returns True if *we* started it.
+
+    When tracking is already on (an outer profiler or the test suite),
+    the existing session is reused and the caller must not stop it.
+    The peak counter is reset either way so the run's high-water deltas
+    start from the present.
+    """
+    started = False
+    if not tracemalloc.is_tracing():
+        tracemalloc.start(nframes)
+        started = True
+    tracemalloc.reset_peak()
+    return started
+
+
+def summarize_tracking(top: int = TOP_SITES) -> dict[str, Any]:
+    """The ``allocation`` artifact section from the live tracking state."""
+    if not tracemalloc.is_tracing():
+        return {"tracked": False}
+    current, peak = tracemalloc.get_traced_memory()
+    snapshot = tracemalloc.take_snapshot()
+    sites = []
+    for stat in snapshot.statistics("lineno")[:top]:
+        frame = stat.traceback[0]
+        filename = frame.filename.replace("\\", "/")
+        short = "/".join(filename.split("/")[-3:])
+        sites.append({
+            "site": f"{short}:{frame.lineno}",
+            "size_bytes": int(stat.size),
+            "count": int(stat.count),
+        })
+    return {
+        "tracked": True,
+        "current_bytes": int(current),
+        "peak_bytes": int(peak),
+        "top_sites": sites,
+    }
+
+
+def stop_tracking(top: int = TOP_SITES) -> dict[str, Any]:
+    """Summarize and stop tracking (only call when you started it)."""
+    summary = summarize_tracking(top)
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+    return summary

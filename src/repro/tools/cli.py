@@ -31,10 +31,19 @@ The ``serve-metrics`` subcommand exposes the process on ``/metrics``
 (Prometheus text format) and ``/healthz``; ``bench`` runs the
 compressor x dataset x bound grid, writes a timestamped
 ``BENCH_<date>.json``, and prints a regression verdict against the
-previous artifact::
+previous artifact (``--profile`` captures a stage profile per
+configuration so a firing gate names the guilty stage)::
 
     pressio serve-metrics --port 9100 --demo
     pressio bench --quick --output-dir bench-results
+
+The ``profile`` subcommand attributes a round trip to pipeline stages
+(exclusive/inclusive time, bandwidth, allocations), writes flamegraph
+input, and diffs two profile artifacts by stage path::
+
+    pressio profile --compressor sz --synthetic nyx --dims 32,32,32 \
+            --option pressio:abs=1e-4 --flamegraph prof.folded
+    pressio profile --diff before.json after.json
 
 The ``conformance`` subcommand verifies every registered compressor
 (and representative meta-compressor stacks) against its advertised
@@ -311,6 +320,10 @@ def run(argv: list[str] | None = None) -> int:
         from ..obs.bench import run_bench
 
         return run_bench(argv[1:])
+    if argv and argv[0] == "profile":
+        from ..profile.cli import run_profile
+
+        return run_profile(argv[1:])
     if argv and argv[0] == "lint":
         from ..analysis.cli import run_lint
 

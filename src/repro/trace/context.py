@@ -248,6 +248,50 @@ class TraceContext:
         child_ns = sum(c.duration_ns for c in self.children(span))
         return max(0, span.duration_ns - child_ns)
 
+    def exclusive_invariant_violations(self,
+                                       tolerance_ns: int = 50_000,
+                                       ) -> list[str]:
+        """Spans whose direct children's inclusive time exceeds their own.
+
+        The aggregate report's ``self_ms`` column silently clamps
+        negative self time to zero, which *hides* a broken parenting
+        relationship (two spans claiming the same wall time — the
+        double-count a re-entrant or cross-thread misparented span
+        produces) instead of surfacing it.  This check makes the
+        invariant explicit: for every closed span, the sum of its
+        direct children's durations must not exceed the parent's
+        inclusive duration by more than ``tolerance_ns``.
+
+        Children recorded on a *different* thread than their parent are
+        excluded — a parallel meta-compressor legitimately runs several
+        child spans concurrently inside one parent, so their durations
+        may sum past the parent's wall time without any double count.
+
+        Returns human-readable violation descriptions (empty when the
+        tree is consistent).  The stage profiler asserts this before
+        trusting exclusive-time attribution.
+        """
+        spans = self.spans()
+        by_parent: dict[int | None, list[Span]] = {}
+        for sp in spans:
+            by_parent.setdefault(sp.parent_id, []).append(sp)
+        violations: list[str] = []
+        for sp in spans:
+            if sp.end_ns is None:
+                continue
+            same_thread = [c for c in by_parent.get(sp.span_id, [])
+                           if c.end_ns is not None
+                           and c.thread_id == sp.thread_id]
+            child_ns = sum(c.duration_ns for c in same_thread)
+            if child_ns > sp.duration_ns + tolerance_ns:
+                violations.append(
+                    f"span {sp.name!r} (id={sp.span_id}): children sum "
+                    f"{child_ns / 1e6:.3f}ms exceeds inclusive "
+                    f"{sp.duration_ns / 1e6:.3f}ms by "
+                    f"{(child_ns - sp.duration_ns) / 1e6:.3f}ms"
+                )
+        return violations
+
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()

@@ -1,0 +1,33 @@
+"""Seeded HP003 violations: unguarded observer hooks in hot functions.
+
+``compress`` calls the tracer and ``_encode_codes`` constructs a
+profiler without a sentinel guard — both run on every operation even
+with observability disabled.  ``decompress`` is the negative control:
+the same hook in the recognized statement-form guard stays clean.
+"""
+
+from contextlib import nullcontext
+
+from repro import profile as _profile
+from repro.trace import runtime as _trace
+
+
+def compress(data):
+    span = _trace.stage("fx:quantize")  # HP003: unguarded tracer hook
+    with span:
+        return bytes(data)
+
+
+def _encode_codes(codes):
+    prof = _profile.StageProfiler("fx")  # HP003: unguarded profiler hook
+    with prof:
+        return bytes(codes)
+
+
+def decompress(stream):
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("fx:decode")
+    else:
+        span = nullcontext()
+    with span:
+        return bytes(stream)

@@ -17,6 +17,7 @@ SEEDED = {
     "pc004_broad_except.py": ("PC004", 2),
     "hp001_unguarded_trace.py": ("HP001", 1),
     "hp002_missing_guard.py": ("HP002", 1),
+    "hp003_unguarded_profile.py": ("HP003", 2),
     "ts001_shared_write.py": ("TS001", 2),
     "ts002_missing_declaration.py": ("TS002", 2),
     "pe001_parse_error.py": (PARSE_RULE_ID, 1),

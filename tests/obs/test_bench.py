@@ -219,3 +219,139 @@ class TestCli:
                        "--datasets", "nyx", "--bounds", "1e-3",
                        "--baseline", str(tmp_path / "nope.json")])
         assert rc == 2
+
+
+class TestArtifactProvenance:
+    """Satellite of the profiling PR: artifacts carry git SHA and
+    hot-sentinel state so runs are joinable by commit and a run taken
+    with an observer active is visibly tainted."""
+
+    def test_header_records_git_sha(self, grid_rows, tmp_path):
+        path = bench.write_artifact(grid_rows, str(tmp_path))
+        artifact = bench.load_artifact(path)
+        assert "git_sha" in artifact
+        sha = artifact["git_sha"]
+        assert sha is None or (isinstance(sha, str) and len(sha) == 40)
+
+    def test_header_records_hot_sentinel_off(self, grid_rows, tmp_path):
+        artifact = bench.load_artifact(
+            bench.write_artifact(grid_rows, str(tmp_path)))
+        assert artifact["hot_sentinel"] is False
+
+    def test_header_flags_active_observer(self, grid_rows, tmp_path):
+        from repro.trace import disable_tracing, enable_tracing
+        from repro.trace.context import TraceContext
+
+        enable_tracing(TraceContext())
+        try:
+            artifact = bench.load_artifact(
+                bench.write_artifact(grid_rows, str(tmp_path)))
+        finally:
+            disable_tracing()
+        assert artifact["hot_sentinel"] is True
+
+
+class TestProfileMode:
+    def test_profile_dir_captures_one_profile_per_config(self, tmp_path):
+        from repro.profile import load_profile
+
+        profile_dir = str(tmp_path / "profiles")
+        rows = bench.run_grid(compressors=("sz",), datasets=("nyx",),
+                              bounds=(1e-3,), dims=(10, 10, 10), reps=1,
+                              profile_dir=profile_dir)
+        (row,) = rows
+        assert row["profile"] == "PROFILE_sz_nyx_0.001.json"
+        profile = load_profile(os.path.join(profile_dir, row["profile"]))
+        assert profile["meta"] == {"compressor": "sz", "dataset": "nyx",
+                                   "bound": 1e-3}
+        assert any("sz:" in r["path"] for r in profile["stages"])
+        folded = os.path.join(profile_dir, "PROFILE_sz_nyx_0.001.folded")
+        assert open(folded).read().strip()
+
+    def test_cli_profile_flag_writes_profiles(self, tmp_path, capsys):
+        rc = bench.run_bench(
+            ["--output-dir", str(tmp_path), "--reps", "1",
+             "--dims", "8,8,8", "--compressors", "sz",
+             "--datasets", "nyx", "--bounds", "1e-3", "--profile",
+             "--no-compare"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile(s)" in out
+        assert os.path.isdir(tmp_path / "profiles")
+
+    def test_regression_gate_prints_stage_attribution(
+            self, tmp_path, capsys):
+        # build a doctored baseline (1000x faster) carrying a baseline
+        # profile with one stage much cheaper: the gate must fire AND
+        # name a stage
+        from datetime import datetime, timezone
+
+        args = ["--output-dir", str(tmp_path), "--reps", "1",
+                "--dims", "8,8,8", "--compressors", "sz",
+                "--datasets", "nyx", "--bounds", "1e-3", "--profile",
+                "--no-compare"]
+        assert bench.run_bench(args) == 0
+        current = bench.load_artifact(
+            bench.find_previous_artifact(str(tmp_path)))
+        doctored = copy.deepcopy(current["configs"])
+        for row in doctored:
+            row["compress_ms"] = {k: v / 1000.0
+                                  for k, v in row["compress_ms"].items()}
+        baseline = bench.write_artifact(
+            doctored, str(tmp_path / "base"),
+            timestamp=datetime(2026, 1, 1, tzinfo=timezone.utc))
+        capsys.readouterr()
+        rc = bench.run_bench(
+            ["--output-dir", str(tmp_path), "--reps", "1",
+             "--dims", "8,8,8", "--compressors", "sz",
+             "--datasets", "nyx", "--bounds", "1e-3", "--profile",
+             "--baseline", baseline, "--fail-on-regress"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "verdict: REGRESSION" in out
+        assert "stage attribution" in out
+        assert "sz:" in out  # some stage is named
+
+    def test_attribution_uses_diff_when_baseline_profile_exists(
+            self, tmp_path, capsys):
+        import json as _json
+
+        from repro.profile import load_profile, write_profile
+
+        profile_dir = tmp_path / "profiles"
+        rows = bench.run_grid(compressors=("sz",), datasets=("nyx",),
+                              bounds=(1e-3,), dims=(8, 8, 8), reps=1,
+                              profile_dir=str(profile_dir))
+        path = bench.write_artifact(rows, str(tmp_path))
+        # baseline: same artifact, but with compress medians shrunk and
+        # a baseline profile whose entropy stage is 100x cheaper
+        base_dir = tmp_path / "base"
+        base_rows = copy.deepcopy(rows)
+        for row in base_rows:
+            row["compress_ms"] = {k: v / 1000.0
+                                  for k, v in row["compress_ms"].items()}
+        base_profile = load_profile(
+            os.path.join(profile_dir, rows[0]["profile"]))
+        for stage in base_profile["stages"]:
+            if "sz:entropy" in stage["path"]:
+                stage["exclusive_ns"] //= 100
+        base_profile["wall_ns"] = sum(
+            s["exclusive_ns"] for s in base_profile["stages"])
+        os.makedirs(base_dir / "profiles")
+        write_profile(base_profile,
+                      str(base_dir / "profiles" / rows[0]["profile"]))
+        from datetime import datetime, timezone
+
+        baseline = bench.write_artifact(
+            base_rows, str(base_dir),
+            timestamp=datetime(2026, 1, 1, tzinfo=timezone.utc))
+        report = bench.compare(bench.load_artifact(path),
+                               bench.load_artifact(baseline))
+        assert report["verdict"] == "REGRESSION"
+        assert report["regressions"][0]["baseline_profile"] == (
+            rows[0]["profile"])
+        bench._print_attribution(report["regressions"], str(tmp_path),
+                                 baseline)
+        out = capsys.readouterr().out
+        assert "sz:entropy" in out
+        assert "wall delta" in out

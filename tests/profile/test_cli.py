@@ -1,0 +1,98 @@
+"""The ``pressio profile`` CLI: capture mode, diff mode, error paths."""
+
+import json
+
+import pytest
+
+from repro.profile.cli import run_profile
+from repro.trace import disable_tracing
+
+from .test_diff import BASE, make_profile
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def capture_args(tmp_path, *extra):
+    return ["--compressor", "sz", "--synthetic", "nyx",
+            "--dims", "12,12,12", "--option", "pressio:abs=1e-3",
+            "--reps", "2", "--no-sample", *extra]
+
+
+class TestCaptureMode:
+    def test_prints_stage_table_and_memory_report(self, tmp_path, capsys):
+        assert run_profile(capture_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "sum(exclusive)" in out
+        assert "100.0%" in out
+        assert "sz:quantize" in out
+        assert "allocation: peak" in out
+
+    def test_writes_artifacts(self, tmp_path, capsys):
+        json_path = tmp_path / "p.json"
+        folded = tmp_path / "p.folded"
+        chrome = tmp_path / "p.chrome.json"
+        rc = run_profile(capture_args(
+            tmp_path, "--json", str(json_path),
+            "--flamegraph", str(folded), "--chrome-trace", str(chrome)))
+        assert rc == 0
+        profile = json.loads(json_path.read_text())
+        assert profile["schema"] == "pressio-profile/1"
+        assert profile["meta"]["compressor"] == "sz"
+        assert sum(r["exclusive_ns"] for r in profile["stages"]) == (
+            profile["wall_ns"])
+        assert folded.read_text().strip()
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_requires_compressor(self, capsys):
+        assert run_profile(["--synthetic", "nyx"]) == 2
+        assert "compressor is required" in capsys.readouterr().err
+
+    def test_unknown_compressor_errors(self, capsys):
+        assert run_profile(["--compressor", "nope",
+                            "--synthetic", "nyx"]) == 2
+
+    def test_bad_option_syntax_errors(self, capsys):
+        rc = run_profile(["--compressor", "sz", "--synthetic", "nyx",
+                          "--option", "no-equals-sign"])
+        assert rc == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+
+class TestDiffMode:
+    def test_diff_names_perturbed_stage(self, tmp_path, capsys):
+        slow = dict(BASE, **{"compress/sz:entropy": 15.0})
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(make_profile(BASE)))
+        b.write_text(json.dumps(make_profile(slow)))
+        assert run_profile(["--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "primary attribution: compress/sz:entropy" in out
+
+    def test_diff_needs_exactly_two_paths(self, tmp_path, capsys):
+        assert run_profile(["--diff", str(tmp_path / "only.json")]) == 2
+        assert "exactly two" in capsys.readouterr().err
+
+    def test_diff_rejects_missing_file(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(make_profile(BASE)))
+        rc = run_profile(["--diff", str(a), str(tmp_path / "missing.json")])
+        assert rc == 2
+
+
+class TestDispatch:
+    def test_top_level_cli_routes_profile(self, tmp_path, capsys):
+        from repro.tools.cli import run
+
+        slow = dict(BASE, **{"compress/sz:entropy": 15.0})
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(make_profile(BASE)))
+        b.write_text(json.dumps(make_profile(slow)))
+        assert run(["profile", "--diff", str(a), str(b)]) == 0
+        assert "primary attribution" in capsys.readouterr().out

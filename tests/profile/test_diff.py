@@ -1,0 +1,98 @@
+"""The profile-diff engine: naming the stage that owns a delta."""
+
+import pytest
+
+from repro.profile import attribute_regression, diff_profiles, format_diff
+from repro.profile.stage import SCHEMA, UNTRACKED
+
+
+def make_profile(stage_ms, label="p", wall_ms=None, git_sha="abc123"):
+    """A minimal artifact whose exclusive column sums to wall."""
+    total = sum(stage_ms.values())
+    wall = wall_ms if wall_ms is not None else total
+    stages = [
+        {"path": path, "calls": 1, "inclusive_ns": int(ms * 1e6),
+         "exclusive_ns": int(ms * 1e6), "bytes_in": 0, "bytes_out": 0,
+         "errors": 0, "alloc_net_bytes": 0, "alloc_peak_growth_bytes": 0,
+         "bytes_per_s": 0.0}
+        for path, ms in stage_ms.items()
+    ]
+    stages.append({
+        "path": UNTRACKED, "calls": 0,
+        "inclusive_ns": int((wall - total) * 1e6),
+        "exclusive_ns": int((wall - total) * 1e6),
+        "bytes_in": 0, "bytes_out": 0, "errors": 0,
+        "alloc_net_bytes": 0, "alloc_peak_growth_bytes": 0,
+        "bytes_per_s": 0.0,
+    })
+    return {"schema": SCHEMA, "label": label, "git_sha": git_sha,
+            "wall_ns": int(wall * 1e6), "stages": stages, "meta": {}}
+
+
+BASE = {"compress/sz:quantize": 2.0, "compress/sz:predict": 1.0,
+        "compress/sz:entropy": 5.0}
+
+
+class TestDiffProfiles:
+    def test_perturbed_stage_named_as_culprit(self):
+        # the ISSUE acceptance criterion: perturb one stage, diff must
+        # name it
+        slow = dict(BASE, **{"compress/sz:entropy": 15.0})
+        report = diff_profiles(make_profile(BASE), make_profile(slow))
+        assert report["culprit"] == "compress/sz:entropy"
+        assert report["wall_delta_ns"] == pytest.approx(10e6)
+
+    def test_shares_sum_to_one_over_common_rows(self):
+        slow = dict(BASE, **{"compress/sz:entropy": 9.0,
+                             "compress/sz:predict": 3.0})
+        report = diff_profiles(make_profile(BASE), make_profile(slow))
+        total_share = sum(r["share_of_wall_delta"] for r in report["rows"])
+        assert total_share == pytest.approx(1.0)
+
+    def test_added_and_removed_stages_tracked(self):
+        after = {"compress/sz:quantize": 2.0, "compress/zstd": 4.0}
+        before = {"compress/sz:quantize": 2.0, "compress/sz:entropy": 3.0}
+        report = diff_profiles(make_profile(before), make_profile(after))
+        status = {r["path"]: r["status"] for r in report["rows"]}
+        assert status["compress/zstd"] == "added"
+        assert status["compress/sz:entropy"] == "removed"
+        assert status["compress/sz:quantize"] == "common"
+
+    def test_zero_wall_delta_yields_no_culprits(self):
+        report = diff_profiles(make_profile(BASE), make_profile(BASE))
+        assert report["culprits"] == []
+        assert report["culprit"] is None
+
+    def test_min_share_filters_noise(self):
+        slow = dict(BASE, **{"compress/sz:entropy": 15.0,
+                             "compress/sz:predict": 1.05})
+        report = diff_profiles(make_profile(BASE), make_profile(slow),
+                               min_share=0.5)
+        assert report["culprits"] == ["compress/sz:entropy"]
+
+    def test_rejects_non_profile_input(self):
+        with pytest.raises(ValueError, match="not a profile artifact"):
+            diff_profiles({"schema": "other/1"}, make_profile(BASE))
+
+
+class TestFormatDiff:
+    def test_report_names_culprit_and_walls(self):
+        slow = dict(BASE, **{"compress/sz:entropy": 15.0})
+        text = format_diff(diff_profiles(make_profile(BASE, label="before"),
+                                         make_profile(slow, label="after")))
+        assert "primary attribution: compress/sz:entropy" in text
+        assert "before" in text and "after" in text
+        assert "+10.000ms" in text
+
+
+class TestAttributeRegression:
+    def test_one_line_per_culprit_with_share(self):
+        slow = dict(BASE, **{"compress/sz:entropy": 15.0})
+        lines = attribute_regression(make_profile(slow), make_profile(BASE))
+        assert lines
+        assert lines[0].startswith("compress/sz:entropy: +10.000ms")
+        assert "100% of the wall delta" in lines[0]
+
+    def test_empty_when_nothing_regressed(self):
+        assert attribute_regression(make_profile(BASE),
+                                    make_profile(BASE)) == []

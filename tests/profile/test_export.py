@@ -1,0 +1,134 @@
+"""Profile exporters: JSON artifacts, collapsed stacks, text reports."""
+
+import io
+import re
+
+import pytest
+
+from repro.profile import (
+    format_memory_report,
+    format_sample_report,
+    format_stage_table,
+    git_revision,
+    load_profile,
+    write_collapsed,
+    write_profile,
+)
+from .test_diff import BASE, make_profile
+
+#: a valid collapsed-stack line: semicolon-joined frames, space, weight
+COLLAPSED_LINE = re.compile(r"^[^ ]+( [0-9]+)$")
+
+
+class TestArtifactIO:
+    def test_round_trip(self, tmp_path):
+        profile = make_profile(BASE)
+        path = write_profile(profile, str(tmp_path / "p.json"))
+        assert load_profile(path) == profile
+
+    def test_write_rejects_foreign_dict(self, tmp_path):
+        with pytest.raises(ValueError, match="not a profile artifact"):
+            write_profile({"schema": "nope"}, str(tmp_path / "p.json"))
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/1"}')
+        with pytest.raises(ValueError, match="unsupported profile schema"):
+            load_profile(str(bad))
+
+
+class TestCollapsedStacks:
+    def test_every_line_is_valid_collapsed_format(self):
+        buf = io.StringIO()
+        n = write_collapsed(make_profile(BASE), buf)
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == n > 0
+        for line in lines:
+            assert COLLAPSED_LINE.match(line), line
+
+    def test_stage_paths_become_semicolon_frames(self):
+        buf = io.StringIO()
+        write_collapsed(make_profile(BASE), buf)
+        assert "compress;sz:entropy 5000" in buf.getvalue()
+
+    def test_sampled_stacks_subdivide_stage_weight(self):
+        profile = make_profile(BASE)
+        profile["samples"] = {
+            "interval_s": 0.001, "count": 2, "unattributed": 0,
+            "stacks": [{
+                "stage": "compress/sz:entropy",
+                "frames": ["inner (a.py:1)", "outer (b.py:2)"],
+                "count": 2,
+            }],
+        }
+        buf = io.StringIO()
+        write_collapsed(profile, buf)
+        text = buf.getvalue()
+        # 2 samples * 1ms = 2000us carved out of the 5000us stage line
+        assert "compress;sz:entropy 3000" in text
+        assert ("compress;sz:entropy;py:outer (b.py:2);"
+                "py:inner (a.py:1) 2000" in text)
+        # totals are conserved: carved weight equals the estimate
+        weights = [int(line.rsplit(" ", 1)[1])
+                   for line in text.strip().splitlines()
+                   if line.startswith("compress;sz:entropy")]
+        assert sum(weights) == 5000
+
+    def test_writes_to_path(self, tmp_path):
+        out = tmp_path / "prof.folded"
+        n = write_collapsed(make_profile(BASE), str(out))
+        assert len(out.read_text().strip().splitlines()) == n
+
+
+class TestTextReports:
+    def test_stage_table_shows_full_coverage(self):
+        text = format_stage_table(make_profile(BASE, wall_ms=10.0))
+        assert "sum(exclusive)" in text
+        assert "100.0%" in text
+        assert "compress/sz:entropy" in text
+
+    def test_stage_table_warns_on_invariant_violations(self):
+        profile = make_profile(BASE)
+        profile["invariant_violations"] = ["span 'x' double counts"]
+        text = format_stage_table(profile)
+        assert "WARNING" in text
+        assert "double counts" in text
+
+    def test_memory_report_untracked(self):
+        assert "not tracked" in format_memory_report(make_profile(BASE))
+
+    def test_memory_report_with_sites(self):
+        profile = make_profile(BASE)
+        profile["allocation"] = {
+            "tracked": True, "current_bytes": 100, "peak_bytes": 2048,
+            "top_sites": [{"site": "core.py:10", "size_bytes": 2048,
+                           "count": 3}],
+        }
+        profile["stages"][0]["alloc_peak_growth_bytes"] = 2048
+        text = format_memory_report(profile)
+        assert "peak 2.0KB" in text
+        assert "core.py:10" in text
+
+    def test_sample_report_empty_and_filled(self):
+        assert "none collected" in format_sample_report(make_profile(BASE))
+        profile = make_profile(BASE)
+        profile["samples"] = {
+            "interval_s": 0.002, "count": 5, "unattributed": 1,
+            "stacks": [{"stage": "compress/sz:entropy",
+                        "frames": ["f (a.py:1)"], "count": 4}],
+        }
+        text = format_sample_report(profile)
+        assert "5 at 2ms" in text
+        assert "4x" in text
+
+
+class TestGitRevision:
+    def test_inside_this_repo(self):
+        import os
+
+        sha = git_revision(os.path.dirname(os.path.abspath(__file__)))
+        assert sha is not None
+        assert re.fullmatch(r"[0-9a-f]{40}", sha)
+
+    def test_outside_any_repo(self, tmp_path):
+        assert git_revision(str(tmp_path)) is None

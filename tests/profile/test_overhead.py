@@ -1,0 +1,105 @@
+"""Micro-benchmark: profiling must be zero-cost when disabled.
+
+The stage profiler rides the span tracer, so "profiler off" must cost
+exactly what "tracer off" costs: one module-global ``repro._hot.ANY``
+read per operation.  This pins the ISSUE acceptance criterion — with
+profiling disabled, ``noop`` compress throughput is statistically
+indistinguishable from the unguarded baseline.
+
+Methodology: *paired* interleaved batches compared by the median of
+per-pair ratios.  Adjacent batches run in the same noise regime
+(frequency scaling, co-tenant load), so their ratio cancels drift that
+would swamp an absolute comparison; the median over many pairs then
+discards the outlier pairs a scheduler preemption produces.  The pair
+order alternates to cancel ordering bias.
+"""
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro import PressioData, _hot
+from repro.trace import active_tracer, disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _profiling_disabled():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def _time_batch(fn, reps: int) -> int:
+    t0 = time.perf_counter_ns()
+    for _ in range(reps):
+        fn()
+    return time.perf_counter_ns() - t0
+
+
+def test_importing_profile_package_keeps_sentinel_off():
+    import repro.profile  # noqa: F401  (the import is the test)
+
+    assert _hot.ANY is False
+    assert active_tracer() is None
+
+
+def test_profiler_exit_restores_disabled_state():
+    from repro.profile import StageProfiler
+
+    with StageProfiler("tmp", track_alloc=False, sample_interval=None):
+        assert _hot.ANY is True
+    assert _hot.ANY is False
+    assert active_tracer() is None
+
+
+def test_profiler_off_noop_overhead_within_noise(library):
+    # noop is the worst case: zero compression work, so any per-call
+    # bookkeeping is maximally visible in relative terms
+    import repro.profile  # noqa: F401  (hooks present but dormant)
+
+    assert active_tracer() is None
+    assert _hot.ANY is False
+    comp = library.get_compressor("noop")
+    data = PressioData.from_numpy(np.random.default_rng(13).random(4096))
+    template = PressioData.empty(data.dtype, data.dims)
+
+    def guarded():
+        compressed = comp.compress(data)
+        comp.decompress(compressed, template)
+
+    def unguarded():
+        compressed = comp._compress_op(data, None)
+        comp._decompress_op(compressed, template)
+
+    _time_batch(guarded, 10)
+    _time_batch(unguarded, 10)
+
+    def measure(reps: int = 40, pairs: int = 21) -> float:
+        ratios = []
+        for i in range(pairs):
+            if i % 2 == 0:
+                g = _time_batch(guarded, reps)
+                u = _time_batch(unguarded, reps)
+            else:
+                u = _time_batch(unguarded, reps)
+                g = _time_batch(guarded, reps)
+            ratios.append(g / u)
+        return statistics.median(ratios) - 1.0
+
+    # "within noise": the guard is one global read + comparison; 5% of
+    # a noop round trip is far above its true cost (<0.1%) but below
+    # what any real per-call profiling hook would show.  A preempted
+    # measurement can spuriously exceed that, so re-measure up to three
+    # times — a *real* per-call hook fails every attempt.
+    overheads = []
+    for _ in range(3):
+        overheads.append(measure())
+        if overheads[-1] < 0.05:
+            break
+    assert min(overheads) < 0.05, (
+        f"profiler-off overhead on noop exceeded 5% in all of "
+        f"{len(overheads)} attempts: "
+        + ", ".join(f"{o:.2%}" for o in overheads)
+    )

@@ -1,0 +1,90 @@
+"""The sampling profiler and the sample-to-span merge."""
+
+import time
+
+import pytest
+
+from repro.profile.sampler import (
+    SamplingProfiler,
+    _innermost_span_at,
+    merge_samples,
+)
+from repro.trace.context import TraceContext
+
+
+def busy(seconds: float) -> int:
+    deadline = time.perf_counter() + seconds
+    acc = 0
+    while time.perf_counter() < deadline:
+        acc += sum(range(200))
+    return acc
+
+
+class TestSamplingProfiler:
+    def test_collects_timestamped_stacks(self):
+        sampler = SamplingProfiler(interval=0.001).start()
+        busy(0.05)
+        sampler.stop()
+        assert sampler.samples
+        t_ns, tid, frames = sampler.samples[0]
+        assert isinstance(t_ns, int) and t_ns > 0
+        assert frames  # innermost-first "func (file.py:line)" strings
+        assert any("(" in f and ":" in f for f in frames)
+
+    def test_never_samples_itself(self):
+        sampler = SamplingProfiler(interval=0.001).start()
+        busy(0.03)
+        sampler.stop()
+        for _, _, frames in sampler.samples:
+            assert not any("profile/sampler.py" in f for f in frames)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            SamplingProfiler(interval=0)
+
+    def test_double_start_rejected(self):
+        sampler = SamplingProfiler(interval=0.01).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                sampler.start()
+        finally:
+            sampler.stop()
+
+
+class TestMerge:
+    def test_innermost_span_wins(self):
+        ctx = TraceContext()
+        with ctx.span("outer") as outer:
+            with ctx.span("inner") as inner:
+                busy(0.002)
+        spans = ctx.spans()
+        mid = (inner.start_ns + inner.end_ns) // 2
+        assert _innermost_span_at(mid, inner.thread_id, spans) is inner
+        before = (outer.start_ns + inner.start_ns) // 2
+        assert _innermost_span_at(before, outer.thread_id, spans) is outer
+        assert _innermost_span_at(outer.end_ns + 1_000_000,
+                                  outer.thread_id, spans) is None
+
+    def test_samples_land_under_their_stage(self):
+        ctx = TraceContext()
+        sampler = SamplingProfiler(interval=0.001).start()
+        with ctx.span("compress", plugin="sz"):
+            with ctx.span("sz:entropy"):
+                busy(0.05)
+        sampler.stop()
+        merged = merge_samples(sampler, ctx)
+        assert merged["count"] > 0
+        assert merged["interval_s"] == pytest.approx(0.001)
+        attributed = [s for s in merged["stacks"]
+                      if s["stage"] == "compress[sz]/sz:entropy"]
+        assert attributed
+        assert sum(s["count"] for s in attributed) > 0
+
+    def test_samples_outside_spans_counted_unattributed(self):
+        ctx = TraceContext()  # no spans at all
+        sampler = SamplingProfiler(interval=0.001).start()
+        busy(0.02)
+        sampler.stop()
+        merged = merge_samples(sampler, ctx)
+        assert merged["unattributed"] == merged["count"] > 0
+        assert all(s["stage"] == "" for s in merged["stacks"])

@@ -1,0 +1,191 @@
+"""The stage profiler: span trees -> attribution rows and artifacts."""
+
+import numpy as np
+import pytest
+
+from repro import PressioData
+from repro.profile import (
+    SCHEMA,
+    ProfilingTraceContext,
+    StageProfiler,
+    build_stage_rows,
+    span_path,
+)
+from repro.profile.stage import UNTRACKED
+from repro.trace import active_tracer, disable_tracing
+from repro.trace.context import TraceContext
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestSpanPath:
+    def test_root_to_leaf_chain(self):
+        ctx = TraceContext()
+        with ctx.span("compress") as outer:
+            with ctx.span("sz:quantize") as inner:
+                pass
+        by_id = {sp.span_id: sp for sp in ctx.spans()}
+        assert span_path(outer, by_id) == "compress"
+        assert span_path(inner, by_id) == "compress/sz:quantize"
+
+    def test_plugin_attr_disambiguates_generic_names(self):
+        ctx = TraceContext()
+        with ctx.span("compress", plugin="sz") as sp:
+            pass
+        by_id = {sp.span_id: sp for sp in ctx.spans()}
+        assert span_path(sp, by_id) == "compress[sz]"
+
+    def test_plugin_equal_to_name_not_duplicated(self):
+        ctx = TraceContext()
+        with ctx.span("sz", plugin="sz") as sp:
+            pass
+        assert span_path(sp, {sp.span_id: sp}) == "sz"
+
+
+class TestBuildStageRows:
+    def test_exclusive_is_inclusive_minus_children(self):
+        ctx = TraceContext()
+        with ctx.span("parent") as parent:
+            with ctx.span("child") as child:
+                pass
+        rows = {r["path"]: r for r in build_stage_rows(ctx)}
+        assert rows["parent"]["exclusive_ns"] == (
+            parent.duration_ns - child.duration_ns)
+        assert rows["parent/child"]["exclusive_ns"] == child.duration_ns
+
+    def test_untracked_row_makes_exclusive_sum_equal_wall(self):
+        ctx = TraceContext()
+        with ctx.span("work"):
+            pass
+        wall_ns = sum(sp.duration_ns for sp in ctx.spans()) * 3
+        rows = build_stage_rows(ctx, wall_ns)
+        assert rows[-1]["path"] == UNTRACKED
+        assert sum(r["exclusive_ns"] for r in rows) == wall_ns
+
+    def test_repeated_stage_aggregates_calls(self):
+        ctx = TraceContext()
+        for _ in range(4):
+            with ctx.span("encode"):
+                pass
+        (row,) = build_stage_rows(ctx)
+        assert row["calls"] == 4
+
+    def test_bytes_and_bandwidth(self):
+        ctx = TraceContext()
+        with ctx.span("compress", input_bytes=1000, output_bytes=100):
+            pass
+        (row,) = build_stage_rows(ctx)
+        assert row["bytes_in"] == 1000
+        assert row["bytes_out"] == 100
+        assert row["bytes_per_s"] > 0
+
+    def test_memory_stamps_become_alloc_columns(self):
+        ctx = ProfilingTraceContext()
+        sp = ctx.start_span("alloc-heavy")
+        sp.attrs["_mem0"] = (1000, 2000)
+        sp.attrs["_mem1"] = (1500, 2600)
+        ctx.finish_span(sp)
+        (row,) = build_stage_rows(ctx)
+        assert row["alloc_net_bytes"] == 500
+        assert row["alloc_peak_growth_bytes"] == 600
+
+
+class TestStageProfiler:
+    def test_round_trip_produces_valid_artifact(self, library):
+        comp = library.get_compressor("sz")
+        assert comp.set_options({"pressio:abs": 1e-3}) == 0
+        rng = np.random.default_rng(3)
+        data = PressioData.from_numpy(rng.random((16, 16, 16)))
+        template = PressioData.empty(data.dtype, data.dims)
+        with StageProfiler("test", sample_interval=None) as prof:
+            compressed = comp.compress(data)
+            comp.decompress(compressed, template)
+        profile = prof.result(meta={"compressor": "sz"}, strict=True)
+        assert profile["schema"] == SCHEMA
+        assert profile["meta"]["compressor"] == "sz"
+        assert profile["invariant_violations"] == []
+        paths = {r["path"] for r in profile["stages"]}
+        assert any("sz:quantize" in p for p in paths)
+        assert any("sz:entropy" in p for p in paths)
+
+    def test_exclusive_sums_to_wall_within_five_percent(self, library):
+        # the ISSUE acceptance criterion: exclusive times sum to within
+        # 5% of wall (the (untracked) row makes it exact by design)
+        comp = library.get_compressor("sz")
+        assert comp.set_options({"pressio:abs": 1e-3}) == 0
+        data = PressioData.from_numpy(
+            np.random.default_rng(5).random((16, 16, 16)))
+        template = PressioData.empty(data.dtype, data.dims)
+        with StageProfiler("cov", sample_interval=None) as prof:
+            for _ in range(3):
+                comp.decompress(comp.compress(data), template)
+        profile = prof.result(strict=True)
+        total = sum(r["exclusive_ns"] for r in profile["stages"])
+        assert total == pytest.approx(profile["wall_ns"], rel=0.05)
+
+    def test_restores_previous_tracer(self):
+        outer = TraceContext("outer")
+        from repro.trace import enable_tracing
+
+        enable_tracing(outer)
+        with StageProfiler("inner", track_alloc=False,
+                           sample_interval=None):
+            assert active_tracer() is not None
+            assert active_tracer() is not outer
+        assert active_tracer() is outer
+        disable_tracing()
+        assert active_tracer() is None
+
+    def test_tracer_cleared_when_none_active_before(self):
+        with StageProfiler("solo", track_alloc=False, sample_interval=None):
+            assert active_tracer() is not None
+        assert active_tracer() is None
+
+    def test_allocation_section_present_when_tracking(self, library):
+        comp = library.get_compressor("sz")
+        assert comp.set_options({"pressio:abs": 1e-3}) == 0
+        data = PressioData.from_numpy(
+            np.random.default_rng(9).random((12, 12, 12)))
+        template = PressioData.empty(data.dtype, data.dims)
+        with StageProfiler("alloc", sample_interval=None) as prof:
+            comp.decompress(comp.compress(data), template)
+        profile = prof.result()
+        assert profile["allocation"]["tracked"] is True
+        assert profile["allocation"]["peak_bytes"] > 0
+        assert any(r["alloc_peak_growth_bytes"] > 0
+                   for r in profile["stages"])
+
+    def test_strict_raises_on_fabricated_double_count(self):
+        prof = StageProfiler("bad", track_alloc=False, sample_interval=None)
+        with prof:
+            with prof.ctx.span("parent") as parent:
+                with prof.ctx.span("child") as child:
+                    pass
+            child.end_ns = parent.end_ns + 10_000_000
+        with pytest.raises(AssertionError, match="invariant"):
+            prof.result(strict=True)
+
+    def test_gauges_published_when_registry_active(self, library):
+        from repro import obs
+
+        comp = library.get_compressor("noop")
+        data = PressioData.from_numpy(np.arange(64.0))
+        template = PressioData.empty(data.dtype, data.dims)
+        registry = obs.enable_metrics()
+        try:
+            with StageProfiler("gauges", track_alloc=False,
+                               sample_interval=None) as prof:
+                comp.decompress(comp.compress(data), template)
+            prof.result()
+            from repro.obs.prometheus import render
+
+            text = render(registry)
+        finally:
+            obs.disable_metrics()
+        assert "pressio_profile_wall_ms" in text
+        assert "pressio_profile_stage_exclusive_ms" in text

@@ -202,3 +202,65 @@ class TestRuntime:
         assert worker_span.parent_id == root.span_id
         assert worker_span.thread_id == results["thread"]
         assert worker_span.thread_id != root.thread_id
+
+
+class TestExclusiveInvariant:
+    """The double-count audit behind exclusive-time attribution.
+
+    The aggregate report clamps negative self time to zero, which would
+    *hide* a span tree where children claim more wall time than their
+    parent (the signature of a re-entrant or misparented span).
+    ``exclusive_invariant_violations`` surfaces it instead.
+    """
+
+    def test_reentrant_nesting_on_one_thread_is_consistent(self):
+        # the regression shape: the same stage name re-entered on the
+        # same thread (recursive chunking does this) must NOT trip the
+        # invariant — nesting splits time, it never duplicates it
+        ctx = TraceContext()
+        with ctx.span("compress"):
+            with ctx.span("compress"):
+                with ctx.span("compress"):
+                    pass
+            with ctx.span("compress"):
+                pass
+        assert ctx.exclusive_invariant_violations() == []
+
+    def test_fabricated_double_count_is_reported(self):
+        ctx = TraceContext()
+        with ctx.span("parent") as parent:
+            with ctx.span("child") as child:
+                pass
+        # stretch the child past its parent: two spans now claim the
+        # same wall time, which exclusive attribution would double count
+        child.end_ns = parent.end_ns + 10_000_000
+        violations = ctx.exclusive_invariant_violations()
+        assert len(violations) == 1
+        assert "parent" in violations[0]
+
+    def test_cross_thread_children_may_exceed_parent(self):
+        # a parallel fan-out legitimately runs children concurrently:
+        # their summed durations exceed the parent's wall time without
+        # any double count, so other-thread children are excluded
+        ctx = TraceContext()
+        with ctx.span("fanout") as parent:
+            def worker():
+                with ctx.span("task"):
+                    pass
+
+            threads = [threading.Thread(target=worker) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for sp in ctx.spans():
+            if sp.name == "task":
+                sp.parent_id = parent.span_id  # ensure parented
+                sp.end_ns = parent.end_ns + 5_000_000
+        assert ctx.exclusive_invariant_violations() == []
+
+    def test_open_spans_are_skipped(self):
+        ctx = TraceContext()
+        sp = ctx.start_span("never-finished")
+        assert ctx.exclusive_invariant_violations() == []
+        ctx.finish_span(sp)

@@ -35,9 +35,11 @@ class TestLeafSpans:
         comp.set_options({"pressio:abs": 1e-4})
         with tracing() as trace:
             roundtrip(comp, smooth3d)
-        spans = trace.spans()
-        assert [s.name for s in spans] == ["compress", "decompress"]
-        for sp in spans:
+        # two operation roots; the sz native core adds per-stage child
+        # spans (sz:quantize, sz:entropy, ...) underneath each
+        roots = trace.roots()
+        assert [s.name for s in roots] == ["compress", "decompress"]
+        for sp in roots:
             assert sp.attrs["plugin"] == "sz"
             assert sp.attrs["input_bytes"] > 0
             assert sp.attrs["output_bytes"] > 0
