@@ -127,6 +127,84 @@ class UnguardedHotFunctionRule(Rule):
                 )
 
 
+def _range_iterates_elements(call: ast.Call) -> str | None:
+    """For a ``range(...)`` call, the data-sized argument it loops over.
+
+    Returns the source-ish spelling of the first argument that scales
+    with array contents — an ``<expr>.size`` / ``<expr>.shape[...]``
+    attribute or a ``len(<expr>)`` call — or None when the trip count is
+    structural (``range(ndim)``, ``range(8)``, ...).
+    """
+    for arg in call.args:
+        node = arg
+        # unwrap arithmetic like range(n.size - 1) or len(x) // 2
+        while isinstance(node, ast.BinOp):
+            node = node.left
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) and node.attr in ("size",
+                                                            "shape"):
+            base = dotted_name(node.value) or "<expr>"
+            return f"{base}.{node.attr}"
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "len" and node.args):
+            base = dotted_name(node.args[0]) or "<expr>"
+            return f"len({base})"
+    return None
+
+
+@register_rule
+class PerElementLoopRule(Rule):
+    """HP004: no per-element Python loops inside hot functions."""
+
+    rule_id = "HP004"
+    name = "per-element-python-loop"
+    severity = Severity.WARNING
+    description = (
+        "Module-level hot functions (compress/decompress and "
+        "_compress*/_decompress*/_encode*/_decode* helpers) must not "
+        "contain 'for ... in range(<data size>)' loops — range() over an "
+        "array's .size/.shape or len() of a buffer iterates Python "
+        "bytecode once per element; vectorize with numpy instead."
+    )
+    rationale = (
+        "The throughput work trades per-element interpretation for "
+        "whole-array numpy kernels; a scalar loop reintroduced into a "
+        "hot function undoes that silently — it is correct, just 100x "
+        "slower, so only a benchmark would notice.  Intentionally scalar "
+        "code (the encoders' audit references) is suppressed via the "
+        "lint baseline, never by renaming."
+    )
+
+    def check(self, module: SourceModule,
+              index: ProjectIndex) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        for node in module.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not _is_hot_function(node.name):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.For):
+                    continue
+                it = inner.iter
+                if not (isinstance(it, ast.Call)
+                        and isinstance(it.func, ast.Name)
+                        and it.func.id == "range"):
+                    continue
+                sized = _range_iterates_elements(it)
+                if sized is None:
+                    continue
+                yield self.finding(
+                    module, inner,
+                    f"hot function {node.name} loops element-by-element "
+                    f"(for ... in range({sized})); hoist this into a "
+                    f"vectorized numpy expression, or baseline it if the "
+                    f"scalar form is the point (reference/audit code)",
+                )
+
+
 def _is_hot_guard_stmt(stmt: ast.stmt, op_attr: str) -> bool:
     """Match ``if not <...>.ANY: return self._compress_op(...)``."""
     if not isinstance(stmt, ast.If) or stmt.orelse:

@@ -39,7 +39,11 @@ __all__ = ["GOLDEN_VERSION", "MANIFEST_NAME", "golden_field",
            "golden_specs", "write_corpus", "verify_corpus",
            "default_corpus_dir"]
 
-GOLDEN_VERSION = 1
+# version 2: RZC2 byteplane residual streams, HUF2 block-synced Huffman
+# framing, and SZ's lorenzo mode dropping the mean-offset pass (offset
+# recorded as 0.0) — all intentional format changes from the
+# vectorization pass; regenerated corpus committed alongside.
+GOLDEN_VERSION = 2
 MANIFEST_NAME = "MANIFEST.json"
 
 _REGEN_HINT = ("regenerate intentionally with "

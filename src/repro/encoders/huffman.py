@@ -3,11 +3,24 @@
 Code construction follows the canonical form (codes assigned in length
 order, then symbol order) so the table serializes as just the per-symbol
 code lengths.  Encoding is fully vectorized via
-:func:`~repro.encoders.bitstream.pack_varwidth`; decoding walks a flat
-two-array tree (left/right child indices) with a NumPy-backed inner loop
-— adequate for the moderate alphabet/stream sizes the tests and the
-``sz:entropy=huffman`` mode use, and documented as the slow path relative
-to the default two-stream residual codec.
+:func:`~repro.encoders.bitstream.pack_varwidth` against code/length
+tables precomputed once per codec.
+
+Two stream framings exist:
+
+* **HUF2** (current): the payload is preceded by per-block bit lengths
+  (one block = ``_BLOCK`` symbols), giving the decoder a sync point
+  every block.  Decoding then runs *wavefront-vectorized*: iteration
+  ``j`` decodes the j-th symbol of every block simultaneously by
+  gathering a 64-bit window at each block's bit cursor and binary
+  searching the left-justified canonical code table
+  (``np.searchsorted``) — ``_BLOCK`` vectorized iterations total
+  instead of one Python iteration per *bit*.  Streams whose longest
+  code exceeds 57 bits (no longer fits a shifted 64-bit window) and
+  tiny streams fall back to the scalar tree walk.
+* **HUF1** (legacy): no sync table; decoded by the retained scalar
+  tree walk (:meth:`HuffmanCodec.decode_scalar`), which also serves as
+  the reference implementation the property tests compare against.
 """
 
 from __future__ import annotations
@@ -17,11 +30,21 @@ import heapq
 import numpy as np
 
 from .bitstream import pack_varwidth
-from .varint import varint_decode, varint_encode
+from .varint import (
+    varint_decode,
+    varint_decode_array,
+    varint_encode,
+    varint_encode_array,
+)
 
 __all__ = ["HuffmanCodec", "huffman_encode", "huffman_decode"]
 
 _MAGIC = b"HUF1"
+_MAGIC2 = b"HUF2"
+
+_BLOCK = 64          # symbols per sync block in HUF2 streams
+_MAX_WINDOW = 57     # longest code a shifted 8-byte window can hold
+_SCALAR_CUTOFF = 512  # below this many symbols the wavefront isn't worth it
 
 
 def _code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
@@ -66,6 +89,24 @@ class HuffmanCodec:
             raise ValueError("code lengths must be in [1, 64]")
         self.lengths = dict(lengths)
         self.codes = _canonical_codes(lengths)
+        # encode tables: aligned to the sorted symbol array for
+        # searchsorted-based symbol -> (code, length) gather
+        self._syms_sorted = np.array(sorted(self.codes), dtype=np.uint64)
+        self._code_arr = np.array(
+            [self.codes[int(s)] for s in self._syms_sorted], dtype=np.uint64)
+        self._len_arr = np.array(
+            [self.lengths[int(s)] for s in self._syms_sorted], dtype=np.int64)
+        # decode tables: canonical (length, symbol) order; left-justified
+        # codes are strictly increasing, so a window binary-searches to
+        # its symbol in one searchsorted
+        self.max_length = max(lengths.values()) if lengths else 0
+        order = sorted(lengths, key=lambda s: (lengths[s], s))
+        self._dec_syms = np.array(order, dtype=np.uint64)
+        self._dec_lens = np.array([lengths[s] for s in order],
+                                  dtype=np.int64)
+        shift = np.uint64(self.max_length) - self._dec_lens.astype(np.uint64)
+        self._dec_lj = (np.array([self.codes[s] for s in order],
+                                 dtype=np.uint64) << shift)
 
     @classmethod
     def from_data(cls, symbols: np.ndarray) -> "HuffmanCodec":
@@ -98,23 +139,100 @@ class HuffmanCodec:
         return cls(lengths), pos
 
     # -- coding ----------------------------------------------------------
+    def _lookup(self, s: np.ndarray) -> np.ndarray:
+        """Indices into the sorted-symbol tables (validates membership)."""
+        idx = np.searchsorted(self._syms_sorted, s)
+        if (np.any(idx >= self._syms_sorted.size)
+                or np.any(self._syms_sorted[
+                    np.minimum(idx, self._syms_sorted.size - 1)] != s)):
+            raise ValueError("symbol outside codec alphabet")
+        return idx
+
+    def symbol_widths(self, symbols: np.ndarray) -> np.ndarray:
+        """Per-symbol code lengths (validates alphabet membership)."""
+        s = np.ascontiguousarray(symbols, dtype=np.uint64).reshape(-1)
+        return self._len_arr[self._lookup(s)]
+
     def encode(self, symbols: np.ndarray) -> tuple[bytes, int]:
         """Encode symbols; returns (payload bytes, exact bit length)."""
         s = np.ascontiguousarray(symbols, dtype=np.uint64).reshape(-1)
         if s.size == 0:
             return b"", 0
-        syms_sorted = np.array(sorted(self.codes), dtype=np.uint64)
-        idx = np.searchsorted(syms_sorted, s)
-        if np.any(idx >= syms_sorted.size) or np.any(syms_sorted[np.minimum(idx, syms_sorted.size - 1)] != s):
-            raise ValueError("symbol outside codec alphabet")
-        code_arr = np.array([self.codes[int(x)] for x in syms_sorted], dtype=np.uint64)
-        len_arr = np.array([self.lengths[int(x)] for x in syms_sorted], dtype=np.int64)
-        values = code_arr[idx]
-        widths = len_arr[idx]
+        idx = self._lookup(s)
+        values = self._code_arr[idx]
+        widths = self._len_arr[idx]
         return pack_varwidth(values, widths), int(widths.sum())
 
-    def decode(self, payload: bytes | memoryview, count: int) -> np.ndarray:
-        """Decode ``count`` symbols from ``payload``."""
+    def decode(self, payload: bytes | memoryview, count: int,
+               block_bits: np.ndarray | None = None) -> np.ndarray:
+        """Decode ``count`` symbols from ``payload``.
+
+        ``block_bits`` — per-block payload bit lengths from a HUF2
+        stream — enables the vectorized wavefront path; without it (or
+        for long codes / short streams) the scalar tree walk runs.
+        """
+        if count == 0:
+            return np.zeros(0, dtype=np.uint64)
+        if (block_bits is None or self.max_length > _MAX_WINDOW
+                or count < _SCALAR_CUTOFF):
+            return self.decode_scalar(payload, count)
+        return self._decode_wavefront(payload, count, block_bits)
+
+    def _decode_wavefront(self, payload: bytes | memoryview, count: int,
+                          block_bits: np.ndarray) -> np.ndarray:
+        nblocks = (count + _BLOCK - 1) // _BLOCK
+        if block_bits.size != nblocks:
+            raise ValueError("corrupt huffman stream: bad sync table")
+        raw = np.frombuffer(payload, dtype=np.uint8)
+        total_bits = raw.size * 8
+        # block start cursors from the sync table
+        cursors = np.zeros(nblocks, dtype=np.int64)
+        np.cumsum(block_bits[:-1], out=cursors[1:])
+        ends = cursors + block_bits
+        if int(ends[-1]) > total_bits:
+            raise ValueError("corrupt huffman stream: sync table overruns")
+        # pad so an 8-byte gather at the last bit stays in bounds
+        buf = np.zeros(raw.size + 8, dtype=np.uint8)
+        buf[:raw.size] = raw
+        byte_w = (np.uint64(1) << (np.uint64(8) * np.arange(7, -1, -1,
+                                                            dtype=np.uint64)))
+        maxL = np.uint64(self.max_length)
+        down = np.uint64(64) - maxL
+        out = np.empty((nblocks, _BLOCK), dtype=np.uint64)
+        limit = np.int64(total_bits)
+        for j in range(_BLOCK):
+            byteoff = cursors >> 3
+            shift = (cursors & 7).astype(np.uint64)
+            gathered = buf[byteoff[:, None] + np.arange(8)]
+            windows = gathered.astype(np.uint64) @ byte_w
+            keys = (windows << shift) >> down
+            idx = np.searchsorted(self._dec_lj, keys, side="right") - 1
+            out[:, j] = self._dec_syms[idx]
+            cursors = np.minimum(cursors + self._dec_lens[idx], limit)
+        # every full block must land exactly on its sync boundary
+        if not np.array_equal(cursors[:-1], ends[:-1]):
+            raise ValueError("corrupt huffman stream")
+        last_count = count - (nblocks - 1) * _BLOCK
+        if last_count < _BLOCK:
+            # the last block overshoots into clamped garbage; re-derive
+            # its end from the lengths of the symbols it actually holds
+            cur = int(ends[-1]) - int(block_bits[-1])
+            idx = np.searchsorted(self._syms_sorted, out[-1, :last_count])
+            cur += int(self._len_arr[idx].sum())
+            if cur != int(ends[-1]):
+                raise ValueError("corrupt huffman stream")
+        elif int(cursors[-1]) != int(ends[-1]):
+            raise ValueError("corrupt huffman stream")
+        return out.reshape(-1)[:count]
+
+    def decode_scalar(self, payload: bytes | memoryview,
+                      count: int) -> np.ndarray:
+        """Reference scalar decoder: walk a flat two-array tree bit by bit.
+
+        Retained as the HUF1 path and as the ground truth the property
+        tests compare the wavefront decoder against; intentionally a
+        per-bit Python loop.
+        """
         if count == 0:
             return np.zeros(0, dtype=np.uint64)
         # flat tree: nodes[i] = (left, right); negative entries are leaves
@@ -158,15 +276,32 @@ class HuffmanCodec:
 
 
 def huffman_encode(symbols: np.ndarray) -> bytes:
-    """One-shot: build a codec from data and emit a self-describing stream."""
+    """One-shot: build a codec from data and emit a self-describing stream.
+
+    Emits the HUF2 framing: a varint-coded table of per-block payload
+    bit lengths sits between the header and the code-length table, so
+    the decoder can fan out block-parallel.  The payload bits are
+    identical to what the HUF1 framing carried.
+    """
     s = np.ascontiguousarray(symbols, dtype=np.uint64).reshape(-1)
     codec = HuffmanCodec.from_data(s)
     payload, nbits = codec.encode(s)
+    if s.size:
+        widths = codec.symbol_widths(s)
+        edges = np.arange(_BLOCK, s.size, _BLOCK, dtype=np.int64)
+        csum = np.cumsum(widths, dtype=np.int64)
+        marks = np.concatenate((csum[edges - 1], csum[-1:]))
+        block_bits = np.diff(np.concatenate(([0], marks)))
+    else:
+        block_bits = np.zeros(0, dtype=np.int64)
+    sync = varint_encode_array(block_bits.astype(np.uint64))
     table = codec.serialize_table()
     return (
-        _MAGIC
+        _MAGIC2
         + varint_encode(s.size)
         + varint_encode(nbits)
+        + varint_encode(len(sync))
+        + sync
         + varint_encode(len(table))
         + table
         + payload
@@ -174,13 +309,29 @@ def huffman_encode(symbols: np.ndarray) -> bytes:
 
 
 def huffman_decode(stream: bytes | memoryview) -> np.ndarray:
-    """Inverse of :func:`huffman_encode`."""
+    """Inverse of :func:`huffman_encode`; also reads legacy HUF1 streams."""
     view = memoryview(stream)
-    if bytes(view[:4]) != _MAGIC:
-        raise ValueError("not a huffman stream (bad magic)")
-    count, pos = varint_decode(stream, 4)
-    _nbits, pos = varint_decode(stream, pos)
-    table_len, pos = varint_decode(stream, pos)
-    codec, _ = HuffmanCodec.deserialize_table(stream, pos)
-    payload = bytes(view[pos + table_len:])
-    return codec.decode(payload, count)
+    magic = bytes(view[:4])
+    if magic == _MAGIC2:
+        count, pos = varint_decode(stream, 4)
+        _nbits, pos = varint_decode(stream, pos)
+        sync_len, pos = varint_decode(stream, pos)
+        nblocks = (count + _BLOCK - 1) // _BLOCK
+        block_bits, used = varint_decode_array(view[pos:pos + sync_len],
+                                               nblocks)
+        if used != sync_len:
+            raise ValueError("corrupt huffman stream: bad sync table")
+        pos += sync_len
+        table_len, pos = varint_decode(stream, pos)
+        codec, _ = HuffmanCodec.deserialize_table(stream, pos)
+        payload = bytes(view[pos + table_len:])
+        return codec.decode(payload, count,
+                            block_bits=block_bits.astype(np.int64))
+    if magic == _MAGIC:
+        count, pos = varint_decode(stream, 4)
+        _nbits, pos = varint_decode(stream, pos)
+        table_len, pos = varint_decode(stream, pos)
+        codec, _ = HuffmanCodec.deserialize_table(stream, pos)
+        payload = bytes(view[pos + table_len:])
+        return codec.decode_scalar(payload, count)
+    raise ValueError("not a huffman stream (bad magic)")

@@ -13,6 +13,11 @@ This "quantize first, predict on integers" factorization is the
 dual-quantization scheme introduced by cuSZ (Tian et al., PACT 2020,
 cited by the paper) and keeps the hot loop at C speed rather than the
 value-by-value reconstruction loop classic SZ uses.
+
+Both directions ping-pong between at most one scratch buffer and the
+working array instead of allocating a fresh array per axis; the native
+cores pass pooled scratch (:mod:`repro.native.pool`) so the whole
+predict stage runs allocation-free.
 """
 
 from __future__ import annotations
@@ -22,34 +27,66 @@ import numpy as np
 __all__ = ["lorenzo_encode", "lorenzo_decode", "lorenzo_predict_floats"]
 
 
-def _diff_axis_int(arr: np.ndarray, axis: int) -> np.ndarray:
-    """First difference along ``axis`` keeping the leading element."""
-    out = arr.copy()
-    sl_hi = [slice(None)] * arr.ndim
-    sl_lo = [slice(None)] * arr.ndim
+def _diff_axis_into(src: np.ndarray, dst: np.ndarray, axis: int) -> None:
+    """``dst = first difference of src along axis`` (dst must not alias)."""
+    sl_hi = [slice(None)] * src.ndim
+    sl_lo = [slice(None)] * src.ndim
+    sl_first = [slice(None)] * src.ndim
     sl_hi[axis] = slice(1, None)
     sl_lo[axis] = slice(None, -1)
-    out[tuple(sl_hi)] = arr[tuple(sl_hi)] - arr[tuple(sl_lo)]
-    return out
+    sl_first[axis] = slice(0, 1)
+    np.subtract(src[tuple(sl_hi)], src[tuple(sl_lo)],
+                out=dst[tuple(sl_hi)])
+    dst[tuple(sl_first)] = src[tuple(sl_first)]
 
 
-def lorenzo_encode(quantized: np.ndarray) -> np.ndarray:
+def lorenzo_encode(quantized: np.ndarray,
+                   scratch: np.ndarray | None = None,
+                   clobber: bool = False) -> np.ndarray:
     """Residuals of the d-dimensional Lorenzo predictor on an int field.
 
     Works in wrap-around uint64 arithmetic internally so extreme inputs
     cannot trip int64 overflow warnings; the decode side wraps back.
+
+    ``scratch`` (int64/uint64, same shape) provides the second ping-pong
+    buffer; with ``clobber=True`` the input itself may serve as one, so
+    no allocation happens at all.  The returned array aliases whichever
+    buffer holds the final pass — either ``scratch`` or (with clobber)
+    the input.
     """
     arr = np.ascontiguousarray(quantized, dtype=np.int64).view(np.uint64)
+    if arr.ndim == 0:
+        return arr.reshape(()).copy().view(np.int64)
+    if scratch is None:
+        scratch = np.empty_like(arr)
+    else:
+        scratch = scratch.view(np.uint64).reshape(arr.shape)
+    cur, nxt = arr, scratch
+    first = True
     for axis in range(arr.ndim):
-        arr = _diff_axis_int(arr, axis)
-    return arr.view(np.int64)
+        _diff_axis_into(cur, nxt, axis)
+        if first and not clobber:
+            # the input must stay intact: bring the second buffer in
+            # only after the first pass has moved data off the input
+            cur, nxt = nxt, np.empty_like(arr) if arr.ndim > 1 else arr
+            first = False
+        else:
+            cur, nxt = nxt, cur
+    return cur.view(np.int64)
 
 
-def lorenzo_decode(residuals: np.ndarray) -> np.ndarray:
-    """Invert :func:`lorenzo_encode` with per-axis cumulative sums."""
+def lorenzo_decode(residuals: np.ndarray,
+                   clobber: bool = False) -> np.ndarray:
+    """Invert :func:`lorenzo_encode` with per-axis cumulative sums.
+
+    Cumulative sums run in place on one working copy (or directly on
+    the input with ``clobber=True``), so decode allocates at most once.
+    """
     arr = np.ascontiguousarray(residuals, dtype=np.int64).view(np.uint64)
+    if not clobber:
+        arr = arr.copy()
     for axis in range(arr.ndim - 1, -1, -1):
-        arr = np.cumsum(arr, axis=axis, dtype=np.uint64)
+        np.cumsum(arr, axis=axis, dtype=np.uint64, out=arr)
     return arr.view(np.int64)
 
 

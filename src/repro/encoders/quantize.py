@@ -3,6 +3,14 @@
 ``quantize_uniform`` maps reals onto integer bins of width ``2*eb`` so
 that dequantization reconstructs within ±eb — the textbook error-bounded
 quantizer every abs-bound lossy compressor in the paper builds on.
+
+The hot path is written as a fixed number of whole-array passes with no
+data-dependent branches: scale, one fused validation ``max`` (NaN
+propagates through ``max``, so non-finite input and overflow share a
+single reduction — the error kind is only disambiguated on the cold
+raise path), round in place, cast.  Callers on the native hot paths
+pass ``out=``/``scratch=`` buffers from :mod:`repro.native.pool` to
+keep the per-operation allocation count at zero.
 """
 
 from __future__ import annotations
@@ -16,38 +24,68 @@ __all__ = ["quantize_uniform", "dequantize_uniform", "safe_quantizer_step"]
 _MAX_CODE = 2**56
 
 
-def quantize_uniform(values: np.ndarray, error_bound: float) -> np.ndarray:
+def quantize_uniform(values: np.ndarray, error_bound: float,
+                     out: np.ndarray | None = None,
+                     scratch: np.ndarray | None = None) -> np.ndarray:
     """Quantize to int64 codes with bin width ``2*error_bound``.
 
     Guarantees ``|value - dequantize(code)| <= eb*(1+u) + u*|value|``
     elementwise for finite inputs, where ``u`` is the double-precision
     unit roundoff (2^-53) — i.e. the mathematical bound ``eb`` up to one
     rounding of the scaled value.  Raises when the bound is so tight
-    relative to the value magnitudes that codes would overflow.
+    relative to the value magnitudes that codes would overflow, or when
+    the input holds non-finite values.
+
+    ``out`` (int64, matching shape) receives the codes without a fresh
+    allocation; ``scratch`` (float64, matching shape) is used for the
+    scaled intermediate.  Both default to fresh arrays.
     """
     if error_bound <= 0:
         raise ValueError(f"error_bound must be positive, got {error_bound}")
-    arr = np.asarray(values, dtype=np.float64)
-    if arr.size and not np.all(np.isfinite(arr)):
-        raise ValueError("cannot quantize non-finite values")
-    scaled = arr / (2.0 * error_bound)
-    if arr.size and float(np.abs(scaled).max()) >= _MAX_CODE:
-        raise ValueError(
-            "error bound too small relative to data magnitude: "
-            f"max |value/2eb| = {float(np.abs(scaled).max()):.3g} >= {_MAX_CODE:g}"
-        )
-    return np.rint(scaled).astype(np.int64)
+    arr = np.asarray(values)
+    if scratch is not None and arr.size:
+        # dtype= pins the computation to float64 even for float32 input,
+        # matching the allocation path's astype-then-divide exactly
+        scaled = np.divide(arr, 2.0 * error_bound, out=scratch,
+                           dtype=np.float64)
+    else:
+        scaled = np.asarray(arr, dtype=np.float64) / (2.0 * error_bound)
+    if arr.size:
+        peak = float(np.max(np.abs(scaled)))
+        # NaN fails every comparison, so this single check catches both
+        # non-finite input (NaN peak, or inf >= bound) and overflow.
+        if not peak < _MAX_CODE:
+            if not np.all(np.isfinite(arr)):
+                raise ValueError("cannot quantize non-finite values")
+            raise ValueError(
+                "error bound too small relative to data magnitude: "
+                f"max |value/2eb| = {peak:.3g} >= {_MAX_CODE:g}"
+            )
+    np.rint(scaled, out=scaled)
+    if out is not None:
+        np.copyto(out, scaled, casting="unsafe")
+        return out
+    return scaled.astype(np.int64)
 
 
 def dequantize_uniform(codes: np.ndarray, error_bound: float,
-                       dtype: np.dtype = np.dtype(np.float64)) -> np.ndarray:
-    """Reconstruct bin centers from int64 codes."""
+                       dtype: np.dtype = np.dtype(np.float64),
+                       out: np.ndarray | None = None) -> np.ndarray:
+    """Reconstruct bin centers from int64 codes.
+
+    ``out`` (of ``dtype``, matching shape) receives the reconstruction
+    without allocating.
+    """
     if error_bound <= 0:
         raise ValueError(f"error_bound must be positive, got {error_bound}")
     with np.errstate(over="ignore", invalid="ignore"):
         # absurd step values only arise from corrupted streams; the
         # resulting inf/nan buffers fail later validation rather than
         # spraying warnings here
+        if out is not None:
+            np.multiply(np.asarray(codes), 2.0 * error_bound,
+                        out=out, casting="unsafe")
+            return out
         scaled = np.asarray(codes, dtype=np.float64) * (2.0 * error_bound)
         return scaled.astype(dtype)
 

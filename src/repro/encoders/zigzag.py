@@ -4,6 +4,10 @@ Maps 0, -1, 1, -2, 2, ... to 0, 1, 2, 3, 4, ... so that residuals centered
 on zero become small unsigned values, which downstream byte/entropy coders
 exploit.  All operations are vectorized and overflow-safe for the full
 int64 range (the arithmetic is done in uint64 two's complement).
+
+Both directions accept ``out``/``scratch`` buffers (uint64 or int64,
+matching shape) so the hot paths can run on pooled memory without
+allocating; with both provided, no arrays are created.
 """
 
 from __future__ import annotations
@@ -13,7 +17,9 @@ import numpy as np
 __all__ = ["zigzag_encode", "zigzag_decode"]
 
 
-def zigzag_encode(values: np.ndarray) -> np.ndarray:
+def zigzag_encode(values: np.ndarray,
+                  out: np.ndarray | None = None,
+                  scratch: np.ndarray | None = None) -> np.ndarray:
     """Map a signed integer array to unsigned zigzag codes.
 
     ``v >= 0 -> 2v`` and ``v < 0 -> -2v - 1``; computed branch-free as
@@ -21,13 +27,30 @@ def zigzag_encode(values: np.ndarray) -> np.ndarray:
     """
     v = np.ascontiguousarray(values, dtype=np.int64)
     u = v.view(np.uint64)
-    sign = np.ascontiguousarray(v >> np.int64(63)).view(np.uint64)
-    return (u << np.uint64(1)) ^ sign
+    if out is None or scratch is None:
+        sign = np.ascontiguousarray(v >> np.int64(63)).view(np.uint64)
+        return (u << np.uint64(1)) ^ sign
+    o = out.view(np.uint64).reshape(v.shape)
+    s = scratch.view(np.uint64).reshape(v.shape)
+    np.right_shift(v, np.int64(63), out=s.view(np.int64))
+    np.left_shift(u, np.uint64(1), out=o)
+    np.bitwise_xor(o, s, out=o)
+    return o
 
 
-def zigzag_decode(codes: np.ndarray) -> np.ndarray:
+def zigzag_decode(codes: np.ndarray,
+                  out: np.ndarray | None = None,
+                  scratch: np.ndarray | None = None) -> np.ndarray:
     """Inverse of :func:`zigzag_encode`."""
     u = np.asarray(codes, dtype=np.uint64)
-    half = (u >> np.uint64(1)).view(np.int64)
-    sign = -(u & np.uint64(1)).view(np.int64)
-    return half ^ sign
+    if out is None or scratch is None:
+        half = (u >> np.uint64(1)).view(np.int64)
+        sign = -(u & np.uint64(1)).view(np.int64)
+        return half ^ sign
+    o = out.view(np.int64).reshape(u.shape)
+    s = scratch.view(np.uint64).reshape(u.shape)
+    np.right_shift(u, np.uint64(1), out=s)
+    np.bitwise_and(u, np.uint64(1), out=o.view(np.uint64))
+    np.negative(o, out=o)
+    np.bitwise_xor(s.view(np.int64), o, out=o)
+    return o

@@ -2,8 +2,8 @@
 
 Importing this package registers: ``transpose``, ``resize``,
 ``delta_encoding``, ``linear_quantizer``, ``sample``, ``chunking``,
-``many_independent``, ``many_dependent``, ``fault_injector``,
-``error_injector``, ``switch``, ``opt``, ``sparse``.
+``pipelined``, ``many_independent``, ``many_dependent``,
+``fault_injector``, ``error_injector``, ``switch``, ``opt``, ``sparse``.
 """
 
 from .base import MetaCompressor
@@ -14,6 +14,7 @@ from .parallel import (
     ManyDependentCompressor,
     ManyIndependentCompressor,
 )
+from .pipeline import PipelinedCompressor
 from .sparse import SparseCompressor
 from .switch import SwitchCompressor
 from .transforms import (
@@ -32,6 +33,7 @@ __all__ = [
     "LinearQuantizerCompressor",
     "SampleCompressor",
     "ChunkingCompressor",
+    "PipelinedCompressor",
     "ManyIndependentCompressor",
     "ManyDependentCompressor",
     "FaultInjectorCompressor",

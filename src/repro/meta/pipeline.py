@@ -1,0 +1,181 @@
+"""``pipelined``: a chunk-pipelined compression executor.
+
+:class:`~repro.meta.parallel.ChunkingCompressor` gets its concurrency
+from running whole chunks on a thread pool, which only pays off when the
+inner plugin is fully re-entrant and the chunks are large.  This plugin
+exploits a different axis: every native core splits ``compress`` into
+
+* **stage 1** — quantize / predict / transform: numpy element work that
+  holds the GIL;
+* **stage 2** — entropy coding: zlib/bz2/lzma byte work that *releases*
+  the GIL.
+
+(:meth:`~repro.core.compressor.PressioCompressor.compress_stage1` /
+``compress_stage2``).  The executor runs stage 1 of chunk ``i+1`` on the
+calling thread while a single worker thread entropy-codes chunk ``i`` —
+software pipelining across the GIL boundary.  At most
+``pipelined:depth`` stage-2 tasks are in flight; the calling thread
+blocks on the oldest future before starting another stage 1, so memory
+stays bounded at ``depth`` chunk states.
+
+The output is **byte-identical** to the ``chunking`` plugin configured
+with the same chunk size and inner compressor: same ``CHK1`` container,
+same per-chunk streams (stage 2 after stage 1 *is* ``compress``), so
+:meth:`_decompress` is inherited unchanged and streams from either
+plugin decode through the other.  Per-chunk operation metrics differ —
+the staged path records one operation for the whole buffer rather than
+one per chunk — but bytes never do.
+
+When the inner plugin does not implement the stage split
+(:meth:`supports_stage_split` is false), compression falls back to the
+inherited chunking path, still byte-identical.
+
+The module-level :data:`inflight` / :data:`peak_inflight` counters back
+the ``pressio_pipeline_inflight`` gauge exported by
+:func:`repro.obs.bridge.ingest_runtime`.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..core.data import PressioData
+from ..core.options import OptionType, PressioOptions
+from ..obs import runtime as _obs
+from ..core.registry import compressor_plugin
+from ..core.status import InvalidOptionError
+from ..encoders.headers import write_header
+from ..trace import runtime as _trace
+from .parallel import _MAGIC, ChunkingCompressor, _ParallelBase
+
+__all__ = ["PipelinedCompressor"]
+
+#: stage-2 tasks currently queued or running on the worker thread.
+#: Updated under :data:`_stats_lock` (once per chunk, far off the
+#: per-element hot path) because the submitting thread and the worker
+#: mutate them concurrently.
+inflight = 0
+#: high-water mark of :data:`inflight` since import (or :func:`reset_stats`).
+peak_inflight = 0
+#: total stage-2 tasks ever completed (pipelined chunks processed).
+stage2_total = 0
+
+_stats_lock = threading.Lock()
+
+
+def reset_stats() -> None:
+    global inflight, peak_inflight, stage2_total
+    with _stats_lock:
+        inflight = 0
+        peak_inflight = 0
+        stage2_total = 0
+
+
+@compressor_plugin("pipelined")
+class PipelinedCompressor(ChunkingCompressor):
+    """Overlaps quantize/predict of chunk ``i+1`` with entropy-coding of
+    chunk ``i`` on a single worker thread; byte-identical to ``chunking``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._depth = 2
+
+    # -- options (``pipelined:`` namespace, not ``chunking:``) ----------
+    def _meta_options(self) -> PressioOptions:
+        opts = _ParallelBase._meta_options(self)
+        opts.set("pipelined:chunk_size", np.int64(self._chunk_size))
+        opts.set("pipelined:depth", np.int64(self._depth))
+        return opts
+
+    def _set_meta_options(self, options: PressioOptions) -> None:
+        _ParallelBase._set_meta_options(self, options)
+        size = int(self._take(options, "pipelined:chunk_size",
+                              OptionType.INT64, self._chunk_size))
+        if size < 1:
+            raise InvalidOptionError("pipelined:chunk_size must be >= 1")
+        self._chunk_size = size
+        depth = int(self._take(options, "pipelined:depth",
+                               OptionType.INT64, self._depth))
+        if depth < 1:
+            raise InvalidOptionError("pipelined:depth must be >= 1")
+        self._depth = depth
+
+    def _documentation(self) -> PressioOptions:
+        docs = PressioOptions()
+        docs.set("pressio:description",
+                 "chunk-pipelined executor overlapping the inner "
+                 "compressor's quantize/predict stage with its "
+                 "entropy-coding stage")
+        docs.set("pipelined:chunk_size", "elements per pipelined chunk")
+        docs.set("pipelined:depth",
+                 "max stage-2 tasks in flight before stage 1 blocks")
+        docs.set("pipelined:nthreads",
+                 "worker threads for the (inherited) decompress path")
+        return docs
+
+    # -- compression ----------------------------------------------------
+    def _compress(self, input: PressioData) -> PressioData:
+        inner = self._inner
+        if not inner.supports_stage_split():
+            # no stage split to overlap: inherit the chunking behaviour
+            # (same container, same bytes)
+            return super()._compress(input)
+        arr = np.ascontiguousarray(input.to_numpy()).reshape(-1)
+        chunks = [arr[i:i + self._chunk_size]
+                  for i in range(0, arr.size, self._chunk_size)] or [arr]
+
+        def stage2(state) -> bytes:
+            global inflight, stage2_total
+            try:
+                return inner.compress_stage2(state).to_bytes()
+            finally:
+                with _stats_lock:
+                    inflight -= 1
+                    stage2_total += 1
+
+        if _trace.ACTIVE is not None:
+            _trace.annotate(n_chunks=len(chunks), depth=self._depth,
+                            pipelined=True)
+            stage2 = _trace.wrap_task(stage2)
+        global inflight, peak_inflight
+        streams: list[bytes | None] = [None] * len(chunks)
+        pending: deque = deque()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            try:
+                for i, chunk in enumerate(chunks):
+                    while len(pending) >= self._depth:
+                        j, fut = pending.popleft()
+                        streams[j] = fut.result()
+                    state = inner.compress_stage1(
+                        PressioData.from_numpy(chunk, copy=False))
+                    with _stats_lock:
+                        inflight += 1
+                        peak_inflight = max(peak_inflight, inflight)
+                    pending.append((i, pool.submit(stage2, state)))
+                while pending:
+                    j, fut = pending.popleft()
+                    streams[j] = fut.result()
+            except BaseException:
+                # reap submitted stage 2s (and their inflight decrements)
+                # without letting their errors mask the primary one
+                while pending:
+                    _, fut = pending.popleft()
+                    try:
+                        fut.result()
+                    except Exception as reaped:  # noqa: BLE001
+                        _obs.record_error("compress", self.get_name(),
+                                          reaped, cause="pipeline-reap")
+                raise
+        if _trace.ACTIVE is not None:
+            for s in streams:
+                _trace.observe("pipelined:compressed_chunk_bytes", len(s))
+        table = struct.pack(f"<{len(streams)}Q", *(len(s) for s in streams))
+        header = write_header(_MAGIC, input.dtype, input.dims,
+                              ints=(len(streams), self._chunk_size))
+        return PressioData.from_bytes(header + table + b"".join(streams))

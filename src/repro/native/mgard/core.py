@@ -32,8 +32,10 @@ from ...encoders.headers import read_header, write_header
 from ...encoders.predictors import lorenzo_decode, lorenzo_encode
 from ...encoders.quantize import dequantize_uniform, quantize_uniform
 from ...encoders.residual import decode_residuals, encode_residuals
+from .. import pool as _pool
 
-__all__ = ["compress", "decompress", "MIN_DIM", "max_levels"]
+__all__ = ["compress", "compress_stage1", "compress_stage2", "decompress",
+           "MIN_DIM", "max_levels"]
 
 _MAGIC = b"MGD1"
 MIN_DIM = 3
@@ -82,7 +84,9 @@ def _interp_even(even: np.ndarray, axis: int, n_odd: int) -> np.ndarray:
         hi = take(even, 1, both + 1)
         interior = [slice(None)] * pred.ndim
         interior[axis] = slice(0, both)
-        pred[tuple(interior)] = 0.5 * (take(lo, 0, both) + hi)
+        iview = pred[tuple(interior)]
+        np.add(take(lo, 0, both), hi, out=iview)
+        iview *= 0.5
     return pred
 
 
@@ -94,14 +98,17 @@ def _split_axis(arr: np.ndarray, axis: int) -> tuple[np.ndarray, np.ndarray]:
     sl_odd[axis] = slice(1, None, 2)
     even = arr[tuple(sl_even)]
     odd = arr[tuple(sl_odd)]
-    detail = odd - _interp_even(even, axis, odd.shape[axis])
+    # the detail reuses the prediction buffer (fresh in _interp_even)
+    detail = _interp_even(even, axis, odd.shape[axis])
+    np.subtract(odd, detail, out=detail)
     return even, detail
 
 
 def _merge_axis(even: np.ndarray, detail: np.ndarray, axis: int,
                 full_len: int) -> np.ndarray:
     """Inverse of :func:`_split_axis`."""
-    odd = detail + _interp_even(even, axis, detail.shape[axis])
+    odd = _interp_even(even, axis, detail.shape[axis])
+    np.add(detail, odd, out=odd)
     shape = list(even.shape)
     shape[axis] = full_len
     out = np.empty(shape, dtype=np.float64)
@@ -169,13 +176,13 @@ def _level_bounds(tol: float, levels: int, s: float, ndim: int) -> list[float]:
     return [float(b) for b in bounds]
 
 
-def compress(data: np.ndarray, tol: float, s: float = 0.0,
-             backend: str = "zlib", level: int = 1) -> bytes:
-    """Compress with an absolute L-infinity tolerance ``tol``.
+def compress_stage1(data: np.ndarray, tol: float, s: float = 0.0,
+                    backend: str = "zlib", level: int = 1) -> dict:
+    """Numpy-heavy first half: decompose + quantize straight into one
+    preallocated (pooled) code buffer, no per-piece concatenation.
 
-    ``s`` is the smoothness-norm parameter: 0 targets the infinity norm
-    (the only mode with a hard guarantee here); nonzero values skew the
-    per-level budgets geometrically, as MGARD's s-norms do.
+    Returns an opaque state for :func:`compress_stage2`; the state may
+    alias pooled buffers, so it must be passed to stage 2 exactly once.
     """
     arr = np.asarray(data)
     if tol <= 0:
@@ -206,25 +213,58 @@ def compress(data: np.ndarray, tol: float, s: float = 0.0,
     else:
         span = nullcontext()
     with span:
-        pieces: list[np.ndarray] = []
+        # one flat code buffer sized for every piece, quantized into in
+        # place of the old build-pieces-then-concatenate sequence
+        total = int(sum(d.size for lvl in details for d in lvl)
+                    + coarse.size)
+        allcodes = _pool.acquire((total,), np.int64)
+        offset = 0
         # finest level gets the first share, coarse grid the last
         for lvl, level_details in enumerate(details):
             eb = bounds[lvl]
             for detail in level_details:
-                pieces.append(quantize_uniform(detail, eb).reshape(-1))
+                n = detail.size
+                scratch = _pool.acquire(detail.shape, np.float64)
+                quantize_uniform(
+                    detail, eb,
+                    out=allcodes[offset:offset + n].reshape(detail.shape),
+                    scratch=scratch)
+                _pool.release(scratch)
+                offset += n
         coarse_codes = lorenzo_encode(quantize_uniform(coarse, bounds[-1]))
-        pieces.append(coarse_codes.reshape(-1))
-        allcodes = (np.concatenate(pieces) if pieces
-                    else np.zeros(0, dtype=np.int64))
+        allcodes[offset:] = coarse_codes.reshape(-1)
+    return {"allcodes": allcodes, "tol": tol, "s": s, "levels": levels,
+            "dtype": dtype, "shape": arr.shape, "backend": backend,
+            "level": level}
+
+
+def compress_stage2(state: dict) -> bytes:
+    """Entropy-code and frame the output of :func:`compress_stage1`."""
+    allcodes = state["allcodes"]
     if _trace.ACTIVE is not None:
-        span = _trace.stage("mgard:entropy", backend=backend)
+        span = _trace.stage("mgard:entropy", backend=state["backend"])
     else:
         span = nullcontext()
     with span:
-        payload = encode_residuals(allcodes, backend=backend, level=level)
-    header = write_header(_MAGIC, dtype, arr.shape,
-                          doubles=(float(tol), float(s)), ints=(levels,))
+        payload = encode_residuals(allcodes, backend=state["backend"],
+                                   level=state["level"])
+        _pool.release(allcodes)
+    header = write_header(_MAGIC, state["dtype"], state["shape"],
+                          doubles=(float(state["tol"]), float(state["s"])),
+                          ints=(state["levels"],))
     return header + payload
+
+
+def compress(data: np.ndarray, tol: float, s: float = 0.0,
+             backend: str = "zlib", level: int = 1) -> bytes:
+    """Compress with an absolute L-infinity tolerance ``tol``.
+
+    ``s`` is the smoothness-norm parameter: 0 targets the infinity norm
+    (the only mode with a hard guarantee here); nonzero values skew the
+    per-level budgets geometrically, as MGARD's s-norms do.
+    """
+    return compress_stage2(compress_stage1(data, tol, s=s, backend=backend,
+                                           level=level))
 
 
 def decompress(stream: bytes | memoryview,
@@ -253,10 +293,11 @@ def decompress(stream: bytes | memoryview,
     # replay the decomposition shape computation to slice the code buffer
     details_shapes: list[list[tuple[int, ...]]] = []
     cur = list(dims)
+    ndim = len(dims)
     for _ in range(levels):
         level_shapes: list[tuple[int, ...]] = []
         shape = list(cur)
-        for axis in range(len(dims)):
+        for axis in range(ndim):
             n = shape[axis]
             odd_shape = list(shape)
             odd_shape[axis] = n // 2
@@ -278,7 +319,7 @@ def decompress(stream: bytes | memoryview,
         for lvl in range(levels):
             shapes.append(tuple(run))
             level_details: list[np.ndarray] = []
-            for axis in range(len(dims)):
+            for axis in range(ndim):
                 dshape = details_shapes[lvl][axis]
                 n = int(np.prod(dshape, dtype=np.int64))
                 codes = allcodes[offset:offset + n].reshape(dshape)

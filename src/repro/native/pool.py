@@ -1,0 +1,140 @@
+"""Size-class buffer pool for native-core scratch arrays.
+
+The native pipelines allocate a handful of short-lived ndarrays per
+operation (quantizer scratch, Lorenzo ping-pong buffers, byte-plane
+staging).  At the block sizes the benchmarks use (~100 KiB) allocator
+round trips and page faulting are a measurable slice of the per-call
+budget, so the cores recycle scratch through this pool instead.
+
+Design:
+
+* buffers are keyed by power-of-two *size class* of their byte length,
+  so any request within a class reuses the same backing allocation;
+* free lists are **thread-local** — acquire/release never take a lock,
+  and a buffer released on one thread is never handed to another, which
+  keeps the pool safe under the meta-layer thread pools without
+  synchronization on the hot path;
+* :func:`acquire` returns a view (``dtype``/``shape``) over a pooled
+  flat ``uint8`` allocation; :func:`release` walks ``.base`` back to
+  that allocation, so callers can release the shaped view they were
+  given;
+* hit/miss/return counters are exported to the metrics registry via
+  :func:`repro.obs.bridge.ingest_runtime` as ``pressio_pool_*`` gauges.
+
+The pool trades memory for speed deliberately: at most
+``_MAX_PER_CLASS`` buffers per class per thread are retained, and
+requests above ``2**_MAX_CLASS`` bytes bypass pooling entirely.
+
+Contents of an acquired buffer are **uninitialized** (like
+``np.empty``); callers must fully overwrite what they read back.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["acquire", "release", "stats", "clear", "reset_stats"]
+
+_MIN_CLASS = 6    # 64 B — below this, pooling costs more than malloc
+_MAX_CLASS = 26   # 64 MiB — above this, hand back to the allocator
+_MAX_PER_CLASS = 8
+
+
+class _ThreadState(threading.local):
+    def __init__(self) -> None:
+        self.free: list[list[np.ndarray]] = [
+            [] for _ in range(_MAX_CLASS + 1)
+        ]
+
+
+_state = _ThreadState()
+
+# Counters are plain module ints: incremented under the GIL from
+# whichever thread runs an operation.  A rare lost increment under
+# free-threading is acceptable for a monitoring gauge; the hot path
+# must not pay for a lock.
+hits = 0
+misses = 0
+returned = 0
+
+
+def _size_class(nbytes: int) -> int:
+    if nbytes <= (1 << _MIN_CLASS):
+        return _MIN_CLASS
+    return int(nbytes - 1).bit_length()
+
+
+def acquire(shape, dtype=np.float64) -> np.ndarray:
+    """A writable ndarray of ``shape``/``dtype`` with undefined contents."""
+    global hits, misses
+    dt = np.dtype(dtype)
+    if isinstance(shape, (int, np.integer)):
+        shape = (int(shape),)
+        nelems = shape[0]
+    else:
+        shape = tuple(int(s) for s in shape)
+        nelems = 1
+        for s in shape:
+            nelems *= s
+    nbytes = dt.itemsize * nelems
+    cls = _size_class(nbytes)
+    if cls > _MAX_CLASS:
+        misses += 1
+        return np.empty(shape, dt)
+    free = _state.free[cls]
+    if free:
+        hits += 1
+        raw = free.pop()
+    else:
+        misses += 1
+        raw = np.empty(1 << cls, np.uint8)
+    return raw[:nbytes].view(dt).reshape(shape)
+
+
+def release(*arrays: np.ndarray) -> None:
+    """Return arrays obtained from :func:`acquire` to this thread's pool.
+
+    Arrays the pool did not hand out (wrong backing shape, externally
+    allocated) are silently dropped, so callers may release buffers
+    unconditionally on paths where pooling was bypassed.
+    """
+    global returned
+    for arr in arrays:
+        root = arr
+        while root.base is not None:
+            root = root.base
+        if not isinstance(root, np.ndarray):
+            continue
+        if root.dtype != np.uint8 or root.ndim != 1:
+            continue
+        n = root.nbytes
+        if n == 0 or n & (n - 1):  # pooled roots are exact powers of two
+            continue
+        cls = n.bit_length() - 1
+        if cls < _MIN_CLASS or cls > _MAX_CLASS:
+            continue
+        free = _state.free[cls]
+        if len(free) < _MAX_PER_CLASS:
+            free.append(root)
+            returned += 1
+
+
+def stats() -> dict:
+    """Pool counters plus this thread's pooled byte total."""
+    pooled = sum(len(lst) << cls
+                 for cls, lst in enumerate(_state.free) if lst)
+    return {"hits": hits, "misses": misses, "returned": returned,
+            "pooled_bytes": pooled}
+
+
+def clear() -> None:
+    """Drop this thread's free lists (buffers go back to the allocator)."""
+    for lst in _state.free:
+        lst.clear()
+
+
+def reset_stats() -> None:
+    global hits, misses, returned
+    hits = misses = returned = 0

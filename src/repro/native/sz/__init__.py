@@ -15,7 +15,13 @@ from .api import (
     SZNotInitializedError,
     sz_datatype_to_numpy,
 )
-from .core import compress, decompress, effective_abs_bound
+from .core import (
+    compress,
+    compress_stage1,
+    compress_stage2,
+    decompress,
+    effective_abs_bound,
+)
 from .params import (
     ABS,
     ABS_AND_REL,
@@ -42,7 +48,8 @@ from .params import (
 )
 
 __all__ = [
-    "compress", "decompress", "effective_abs_bound",
+    "compress", "compress_stage1", "compress_stage2", "decompress",
+    "effective_abs_bound",
     "SZ_Init", "SZ_Init_Params", "SZ_Finalize", "SZ_compress",
     "SZ_compress_args", "SZ_decompress", "SZ_is_initialized",
     "SZNotInitializedError", "sz_datatype_to_numpy", "sz_params",

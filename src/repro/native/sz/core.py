@@ -31,6 +31,7 @@ from ...encoders.huffman import huffman_decode, huffman_encode
 from ...encoders.predictors import lorenzo_decode, lorenzo_encode
 from ...encoders.quantize import dequantize_uniform, quantize_uniform
 from ...encoders.residual import decode_residuals, encode_residuals
+from .. import pool as _pool
 from .regression import compress_regression, decompress_regression
 from .params import (
     ABS,
@@ -43,7 +44,8 @@ from .params import (
     sz_params,
 )
 
-__all__ = ["compress", "decompress", "effective_abs_bound"]
+__all__ = ["compress", "compress_stage1", "compress_stage2",
+           "decompress", "effective_abs_bound"]
 
 _MAGIC = b"SZ02"
 
@@ -84,16 +86,9 @@ def effective_abs_bound(data: np.ndarray, params: sz_params) -> float:
     raise ValueError(f"error bound mode {mode} is not an absolute-style mode")
 
 
-def _encode_codes(codes: np.ndarray, params: sz_params) -> tuple[int, bytes]:
-    if _trace.ACTIVE is not None:
-        span = _trace.stage("sz:predict")
-    else:
-        span = nullcontext()
-    with span:
-        residuals = (
-            lorenzo_encode(codes) if params.predictionMode == "lorenzo"
-            else codes
-        ).reshape(-1)
+def _entropy_encode(residuals: np.ndarray,
+                    params: sz_params) -> tuple[int, bytes]:
+    """Entropy-code flat residuals (the zlib-heavy stage-2 half)."""
     if _trace.ACTIVE is not None:
         span = _trace.stage("sz:entropy", coder=params.entropyCoder)
     else:
@@ -109,6 +104,19 @@ def _encode_codes(codes: np.ndarray, params: sz_params) -> tuple[int, bytes]:
             residuals, backend=params.losslessCompressor,
             level=params.zlib_level()
         )
+
+
+def _encode_codes(codes: np.ndarray, params: sz_params) -> tuple[int, bytes]:
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("sz:predict")
+    else:
+        span = nullcontext()
+    with span:
+        residuals = (
+            lorenzo_encode(codes) if params.predictionMode == "lorenzo"
+            else codes
+        ).reshape(-1)
+    return _entropy_encode(residuals, params)
 
 
 def _decode_codes(entropy_kind: int, payload: bytes, dims: tuple[int, ...],
@@ -139,8 +147,131 @@ def _decode_codes(entropy_kind: int, payload: bytes, dims: tuple[int, ...],
         else:
             span = nullcontext()
         with span:
-            return lorenzo_decode(residuals)
+            # the residual buffer came straight off the entropy decoder,
+            # so it is ours to overwrite
+            return lorenzo_decode(residuals, clobber=True)
     return residuals
+
+
+def compress_stage1(data: np.ndarray, params: sz_params) -> dict:
+    """Numpy-heavy first half of compression: bound, quantize, predict.
+
+    Returns an opaque state dict for :func:`compress_stage2`.  The split
+    exists for the pipelined executor (:mod:`repro.meta.pipeline`):
+    stage 1 is pure array math that must run under the GIL, stage 2 is
+    dominated by zlib/bz2/lzma which release it — so stage 2 of block
+    ``i`` can overlap stage 1 of block ``i+1`` on a worker thread.
+
+    Residuals may alias buffers from :mod:`repro.native.pool`; stage 2
+    releases them, so every stage-1 state must be passed to stage 2
+    exactly once.
+    """
+    params.validate()
+    arr = np.asarray(data)
+    if arr.dtype.kind not in "fiu":
+        raise TypeError(f"SZ cannot compress dtype {arr.dtype}")
+    dtype = dtype_from_numpy(arr.dtype)
+    if params.errorBoundMode == PW_REL:
+        return {"kind": "pw_rel", "arr": arr, "dtype": dtype,
+                "params": params}
+
+    eb = effective_abs_bound(arr, params)
+    work = arr.astype(np.float64, copy=False)
+    clobberable = (params.clobberInput and work is arr
+                   and arr.dtype == np.float64 and arr.flags.writeable)
+    skipped_centering = (params.predictionMode == "lorenzo"
+                         and not clobberable)
+    if skipped_centering:
+        # Lorenzo residuals are first differences, so a constant offset
+        # only ever survives in the very first residual: centering the
+        # data buys nothing downstream.  Skipping it drops two full
+        # passes (mean + subtract) from the hot path.  (With
+        # clobberInput set the in-place subtraction is observable API
+        # behaviour, so that path keeps centering; and if the
+        # uncentered magnitudes overflow the code range, the quantize
+        # step below falls back to centering.)
+        offset = 0.0
+    else:
+        offset = float(work.mean()) if work.size else 0.0
+        if clobberable:
+            # API fidelity: some versions of real SZ treat the input as
+            # scratch (paper Section IV-B).  Opt-in here; the LibPressio
+            # plugin always hands the native a read-only view, so user
+            # buffers are never clobbered through the uniform interface.
+            work -= offset
+        else:
+            work = work - offset
+    if params.predictionMode in ("regression", "adaptive"):
+        return {"kind": "regression", "work": work, "eb": eb,
+                "offset": offset, "dtype": dtype, "shape": arr.shape,
+                "params": params}
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("sz:quantize", bound=eb)
+    else:
+        span = nullcontext()
+    with span:
+        codes = _pool.acquire(work.shape, np.int64)
+        scratch = _pool.acquire(work.shape, np.float64)
+        try:
+            quantize_uniform(work, eb, out=codes, scratch=scratch)
+        except ValueError:
+            if not (skipped_centering and work.size
+                    and np.all(np.isfinite(work))):
+                _pool.release(codes, scratch)
+                raise
+            # overflow on the uncentered fast path: a large DC component
+            # can put |value/2eb| out of code range even though the
+            # centered data quantizes fine — re-center and retry
+            offset = float(work.mean())
+            work = work - offset
+            quantize_uniform(work, eb, out=codes, scratch=scratch)
+    if _trace.ACTIVE is not None:
+        span = _trace.stage("sz:predict")
+    else:
+        span = nullcontext()
+    with span:
+        if params.predictionMode == "lorenzo":
+            residuals = lorenzo_encode(
+                codes, scratch=scratch, clobber=True).reshape(-1)
+        else:
+            residuals = codes.reshape(-1)
+    return {"kind": "plain", "residuals": residuals,
+            "pooled": (codes, scratch), "eb": eb, "offset": offset,
+            "dtype": dtype, "shape": arr.shape, "params": params}
+
+
+def compress_stage2(state: dict) -> bytes:
+    """Entropy-code and frame the output of :func:`compress_stage1`."""
+    params = state["params"]
+    kind = state["kind"]
+    if kind == "pw_rel":
+        return _compress_pw_rel(state["arr"], state["dtype"], params)
+    if kind == "regression":
+        if _trace.ACTIVE is not None:
+            span = _trace.stage("sz:regression")
+        else:
+            span = nullcontext()
+        with span:
+            payload = compress_regression(
+                state["work"], state["eb"],
+                params.predictionMode == "adaptive",
+                params.losslessCompressor, params.zlib_level())
+        header = write_header(
+            _MAGIC, state["dtype"], state["shape"],
+            doubles=(state["eb"], state["offset"]),
+            ints=(_MODE_PLAIN, _ENTROPY_FAST,
+                  _PRED_IDS[params.predictionMode]),
+        )
+        return header + payload
+    entropy_kind, payload = _entropy_encode(state["residuals"], params)
+    _pool.release(*state["pooled"])
+    header = write_header(
+        _MAGIC, state["dtype"], state["shape"],
+        doubles=(state["eb"], state["offset"]),
+        ints=(_MODE_PLAIN, entropy_kind,
+              _PRED_IDS[params.predictionMode]),
+    )
+    return header + payload
 
 
 def compress(data: np.ndarray, params: sz_params) -> bytes:
@@ -151,56 +282,7 @@ def compress(data: np.ndarray, params: sz_params) -> bytes:
     calls out); the LibPressio plugin protects callers by passing a
     read-only view.
     """
-    params.validate()
-    arr = np.asarray(data)
-    if arr.dtype.kind not in "fiu":
-        raise TypeError(f"SZ cannot compress dtype {arr.dtype}")
-    dtype = dtype_from_numpy(arr.dtype)
-    if params.errorBoundMode == PW_REL:
-        return _compress_pw_rel(arr, dtype, params)
-
-    eb = effective_abs_bound(arr, params)
-    work = arr.astype(np.float64, copy=False)
-    offset = float(work.mean()) if work.size else 0.0
-    if (params.clobberInput and work is arr and arr.dtype == np.float64
-            and arr.flags.writeable):
-        # API fidelity: some versions of real SZ treat the input as
-        # scratch (paper Section IV-B).  Opt-in here; the LibPressio
-        # plugin always hands the native a read-only view, so user
-        # buffers are never clobbered through the uniform interface.
-        work -= offset
-    else:
-        work = work - offset
-    if params.predictionMode in ("regression", "adaptive"):
-        if _trace.ACTIVE is not None:
-            span = _trace.stage("sz:regression")
-        else:
-            span = nullcontext()
-        with span:
-            payload = compress_regression(
-                work, eb, params.predictionMode == "adaptive",
-                params.losslessCompressor, params.zlib_level())
-        header = write_header(
-            _MAGIC, dtype, arr.shape,
-            doubles=(eb, offset),
-            ints=(_MODE_PLAIN, _ENTROPY_FAST,
-                  _PRED_IDS[params.predictionMode]),
-        )
-        return header + payload
-    if _trace.ACTIVE is not None:
-        span = _trace.stage("sz:quantize", bound=eb)
-    else:
-        span = nullcontext()
-    with span:
-        codes = quantize_uniform(work, eb)
-    entropy_kind, payload = _encode_codes(codes, params)
-    header = write_header(
-        _MAGIC, dtype, arr.shape,
-        doubles=(eb, offset),
-        ints=(_MODE_PLAIN, entropy_kind,
-              _PRED_IDS[params.predictionMode]),
-    )
-    return header + payload
+    return compress_stage2(compress_stage1(data, params))
 
 
 def decompress(stream: bytes | memoryview, expected_dims: tuple[int, ...] | None = None

@@ -29,11 +29,13 @@ from .core import (
     MODE_RATE,
     MODE_REVERSIBLE,
     compress,
+    compress_stage1,
+    compress_stage2,
     decompress,
 )
 
 __all__ = [
-    "compress", "decompress",
+    "compress", "compress_stage1", "compress_stage2", "decompress",
     "BLOCK_SIDE", "MODE_ACCURACY", "MODE_PRECISION", "MODE_RATE",
     "MODE_REVERSIBLE",
     "zfp_stream", "zfp_field", "zfp_stream_open", "zfp_stream_close",

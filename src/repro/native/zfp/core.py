@@ -31,9 +31,11 @@ from ...encoders.headers import read_header, write_header
 from ...encoders.predictors import lorenzo_decode, lorenzo_encode
 from ...encoders.residual import decode_residuals, encode_residuals
 from ...encoders.quantize import quantize_uniform
+from .. import pool as _pool
 
-__all__ = ["compress", "decompress", "MODE_ACCURACY", "MODE_PRECISION",
-           "MODE_RATE", "MODE_REVERSIBLE", "BLOCK_SIDE"]
+__all__ = ["compress", "compress_stage1", "compress_stage2", "decompress",
+           "MODE_ACCURACY", "MODE_PRECISION", "MODE_RATE",
+           "MODE_REVERSIBLE", "BLOCK_SIDE"]
 
 _MAGIC = b"ZFP1"
 BLOCK_SIDE = 4
@@ -58,8 +60,12 @@ def _pad_to_blocks(arr: np.ndarray) -> np.ndarray:
     return arr
 
 
-def _to_blocks(arr: np.ndarray) -> np.ndarray:
-    """(d1..dk) array -> (nblocks, 4, ..., 4) block view (copy)."""
+def _to_blocks(arr: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """(d1..dk) array -> (nblocks, 4, ..., 4) block array (copy).
+
+    ``out`` (int64, ``(nblocks,) + (4,)*d``) receives the gathered blocks
+    without allocating; pass a pooled buffer on the hot path.
+    """
     d = arr.ndim
     padded = _pad_to_blocks(arr)
     inter = []
@@ -67,9 +73,13 @@ def _to_blocks(arr: np.ndarray) -> np.ndarray:
         inter += [s // BLOCK_SIDE, BLOCK_SIDE]
     view = padded.reshape(inter)
     order = list(range(0, 2 * d, 2)) + list(range(1, 2 * d, 2))
-    return np.ascontiguousarray(view.transpose(order)).reshape(
-        (-1,) + (BLOCK_SIDE,) * d
-    )
+    gathered = view.transpose(order)
+    if out is None:
+        return np.ascontiguousarray(gathered).reshape(
+            (-1,) + (BLOCK_SIDE,) * d
+        )
+    np.copyto(out.reshape(gathered.shape), gathered)
+    return out
 
 
 def _from_blocks(blocks: np.ndarray, dims: tuple[int, ...]) -> np.ndarray:
@@ -90,7 +100,21 @@ def _from_blocks(blocks: np.ndarray, dims: tuple[int, ...]) -> np.ndarray:
 # ----------------------------------------------------------------------
 # the lifting transform (exactly invertible on int64)
 # ----------------------------------------------------------------------
-def _fwd_lift_axis(blocks: np.ndarray, axis: int) -> None:
+# Every lifting intermediate is written into one of five reusable slice-
+# shaped temporaries via ufunc out=, so a whole transform allocates
+# nothing: the four coefficient slots are only assigned after all four
+# input slices have been consumed, which is what made the old per-slice
+# .copy() calls unnecessary in the first place.  (A pair-sliced variant
+# with fewer ufunc calls was measured ~2x slower: ufunc out= into
+# step-2 strided views costs more than the calls it saves.)
+
+def _lift_temps(blocks: np.ndarray) -> list[np.ndarray]:
+    shape = (blocks.shape[0],) + (BLOCK_SIDE,) * (blocks.ndim - 2)
+    return [_pool.acquire(shape, np.int64) for _ in range(5)]
+
+
+def _fwd_lift_axis(blocks: np.ndarray, axis: int,
+                   temps: list[np.ndarray]) -> None:
     """Two-level Haar lifting along a length-4 axis, in place."""
     ix = [slice(None)] * blocks.ndim
 
@@ -98,23 +122,28 @@ def _fwd_lift_axis(blocks: np.ndarray, axis: int) -> None:
         ix[axis] = i
         return tuple(ix)
 
-    a = blocks[pick(0)].copy()
-    b = blocks[pick(1)].copy()
-    c = blocks[pick(2)].copy()
-    d = blocks[pick(3)].copy()
-    d1 = b - a
-    s1 = a + (d1 >> 1)
-    d2 = d - c
-    s2 = c + (d2 >> 1)
-    dd = s2 - s1
-    ss = s1 + (dd >> 1)
-    blocks[pick(0)] = ss   # smooth
-    blocks[pick(1)] = dd   # level-2 detail
-    blocks[pick(2)] = d1   # level-1 details
-    blocks[pick(3)] = d2
+    t1, t2, t3, t4, t5 = temps
+    a = blocks[pick(0)]
+    b = blocks[pick(1)]
+    c = blocks[pick(2)]
+    d = blocks[pick(3)]
+    np.subtract(b, a, out=t1)          # d1
+    np.right_shift(t1, 1, out=t2)
+    np.add(a, t2, out=t2)              # s1
+    np.subtract(d, c, out=t3)          # d2
+    np.right_shift(t3, 1, out=t4)
+    np.add(c, t4, out=t4)              # s2
+    np.subtract(t4, t2, out=t4)        # dd
+    np.right_shift(t4, 1, out=t5)
+    np.add(t2, t5, out=t5)             # ss
+    blocks[pick(0)] = t5   # smooth
+    blocks[pick(1)] = t4   # level-2 detail
+    blocks[pick(2)] = t1   # level-1 details
+    blocks[pick(3)] = t3
 
 
-def _inv_lift_axis(blocks: np.ndarray, axis: int) -> None:
+def _inv_lift_axis(blocks: np.ndarray, axis: int,
+                   temps: list[np.ndarray]) -> None:
     """Exact inverse of :func:`_fwd_lift_axis`, in place."""
     ix = [slice(None)] * blocks.ndim
 
@@ -122,30 +151,38 @@ def _inv_lift_axis(blocks: np.ndarray, axis: int) -> None:
         ix[axis] = i
         return tuple(ix)
 
-    ss = blocks[pick(0)].copy()
-    dd = blocks[pick(1)].copy()
-    d1 = blocks[pick(2)].copy()
-    d2 = blocks[pick(3)].copy()
-    s1 = ss - (dd >> 1)
-    s2 = s1 + dd
-    a = s1 - (d1 >> 1)
-    b = a + d1
-    c = s2 - (d2 >> 1)
-    d = c + d2
-    blocks[pick(0)] = a
-    blocks[pick(1)] = b
-    blocks[pick(2)] = c
-    blocks[pick(3)] = d
+    t1, t2, t3, t4, t5 = temps
+    ss = blocks[pick(0)]
+    dd = blocks[pick(1)]
+    d1 = blocks[pick(2)]
+    d2 = blocks[pick(3)]
+    np.right_shift(dd, 1, out=t1)
+    np.subtract(ss, t1, out=t1)        # s1
+    np.add(t1, dd, out=t2)             # s2
+    np.right_shift(d1, 1, out=t3)
+    np.subtract(t1, t3, out=t3)        # a
+    np.add(t3, d1, out=t4)             # b
+    np.right_shift(d2, 1, out=t5)
+    np.subtract(t2, t5, out=t5)        # c
+    np.add(t5, d2, out=t2)             # d
+    blocks[pick(0)] = t3
+    blocks[pick(1)] = t4
+    blocks[pick(2)] = t5
+    blocks[pick(3)] = t2
 
 
 def _fwd_transform(blocks: np.ndarray) -> None:
+    temps = _lift_temps(blocks)
     for axis in range(1, blocks.ndim):
-        _fwd_lift_axis(blocks, axis)
+        _fwd_lift_axis(blocks, axis, temps)
+    _pool.release(*temps)
 
 
 def _inv_transform(blocks: np.ndarray) -> None:
+    temps = _lift_temps(blocks)
     for axis in range(blocks.ndim - 1, 0, -1):
-        _inv_lift_axis(blocks, axis)
+        _inv_lift_axis(blocks, axis, temps)
+    _pool.release(*temps)
 
 
 # ----------------------------------------------------------------------
@@ -162,28 +199,32 @@ def _block_maxbits(blocks: np.ndarray) -> np.ndarray:
 
 
 def _rounding_rshift(blocks: np.ndarray, shifts: np.ndarray) -> np.ndarray:
-    """Per-block arithmetic right shift with round-half-up."""
+    """Per-block arithmetic right shift with round-half-up, in place."""
     s = shifts.reshape((-1,) + (1,) * (blocks.ndim - 1)).astype(np.int64)
     half = np.where(s > 0, np.int64(1) << np.maximum(s - 1, 0), np.int64(0))
-    return (blocks + half) >> s
+    np.add(blocks, half, out=blocks)
+    np.right_shift(blocks, s, out=blocks)
+    return blocks
 
 
 def _lshift(blocks: np.ndarray, shifts: np.ndarray) -> np.ndarray:
+    """Per-block left shift, in place."""
     s = shifts.reshape((-1,) + (1,) * (blocks.ndim - 1)).astype(np.int64)
-    return blocks << s
+    np.left_shift(blocks, s, out=blocks)
+    return blocks
 
 
 # ----------------------------------------------------------------------
 # public pipeline
 # ----------------------------------------------------------------------
-def compress(data: np.ndarray, mode: int, parameter: float,
-             backend: str = "zlib", level: int = 1,
-             transform: bool = True) -> bytes:
-    """Compress ``data`` (C-order ndarray, 1-4 dims) under ``mode``.
+def compress_stage1(data: np.ndarray, mode: int, parameter: float,
+                    backend: str = "zlib", level: int = 1,
+                    transform: bool = True) -> dict:
+    """Numpy-heavy first half: quantize, block, transform, bitplane.
 
-    ``parameter`` is the tolerance (accuracy), bit planes (precision), or
-    bits per value (rate); ignored for reversible.  ``transform=False``
-    skips the decorrelating transform (quantize-only ablation).
+    Returns an opaque state for :func:`compress_stage2`; see the SZ core
+    for why the split exists.  The state may alias pooled buffers, so it
+    must be passed to stage 2 exactly once.
     """
     arr = np.asarray(data)
     if arr.ndim < 1 or arr.ndim > 4:
@@ -194,10 +235,14 @@ def compress(data: np.ndarray, mode: int, parameter: float,
         raise TypeError(f"zfp cannot compress dtype {arr.dtype}")
     dtype = dtype_from_numpy(arr.dtype)
     if mode == MODE_REVERSIBLE:
-        payload = _compress_reversible(arr, backend, level)
-        header = write_header(_MAGIC, dtype, arr.shape, doubles=(0.0, 0.0),
-                              ints=(MODE_REVERSIBLE,))
-        return header + payload
+        if arr.dtype.kind == "f":
+            codes = _float_to_ordered_int(arr).reshape(arr.shape)
+        else:
+            codes = arr.astype(np.int64)
+        residuals = lorenzo_encode(codes)
+        return {"kind": "reversible", "residuals": residuals,
+                "dtype": dtype, "shape": arr.shape,
+                "backend": backend, "level": level}
 
     values = arr.astype(np.float64, copy=False)
     if _trace.ACTIVE is not None:
@@ -205,29 +250,40 @@ def compress(data: np.ndarray, mode: int, parameter: float,
     else:
         span = nullcontext()
     with span:
+        codes = _pool.acquire(values.shape, np.int64)
+        scratch = _pool.acquire(values.shape, np.float64)
         if mode == MODE_ACCURACY:
             if parameter <= 0:
                 raise ValueError("accuracy tolerance must be positive")
             step = float(parameter)
-            codes = quantize_uniform(values, step)
+            quantize_uniform(values, step, out=codes, scratch=scratch)
         elif mode in (MODE_PRECISION, MODE_RATE):
             vmax = float(np.abs(values).max()) if values.size else 0.0
             if vmax == 0.0:
                 step = 1.0
-                codes = np.zeros(values.shape, dtype=np.int64)
+                codes[...] = 0
             else:
                 # scale so |codes| <= 2**_Q; quantize_uniform uses bin 2*eb
                 step = vmax / float(2**_Q)
-                codes = quantize_uniform(values, step)
+                quantize_uniform(values, step, out=codes, scratch=scratch)
         else:
+            _pool.release(codes, scratch)
             raise ValueError(f"unknown zfp mode {mode}")
+        _pool.release(scratch)
 
     if _trace.ACTIVE is not None:
         span = _trace.stage("zfp:transform")
     else:
         span = nullcontext()
     with span:
-        blocks = _to_blocks(codes)
+        d = arr.ndim
+        nblocks = int(np.prod(
+            [(s + BLOCK_SIDE - 1) // BLOCK_SIDE for s in arr.shape],
+            dtype=np.int64))
+        blocks = _to_blocks(
+            codes, out=_pool.acquire((nblocks,) + (BLOCK_SIDE,) * d,
+                                     np.int64))
+        _pool.release(codes)
         if transform:
             _fwd_transform(blocks)
 
@@ -237,18 +293,37 @@ def compress(data: np.ndarray, mode: int, parameter: float,
         span = nullcontext()
     with span:
         if mode == MODE_ACCURACY:
+            # nothing is discarded: skip the whole shift/round pass
             shifts = np.zeros(blocks.shape[0], dtype=np.int64)
-        elif mode == MODE_PRECISION:
-            planes = int(parameter)
-            if planes < 1:
-                raise ValueError("precision must be at least 1 bit plane")
-            shifts = np.maximum(_block_maxbits(blocks) - planes, 0)
-        else:  # MODE_RATE
-            width = int(round(parameter))
-            if width < 1:
-                raise ValueError("rate must be at least 1 bit per value")
-            shifts = np.maximum(_block_maxbits(blocks) - width, 0)
-        kept = _rounding_rshift(blocks, shifts)
+            kept = blocks
+        else:
+            if mode == MODE_PRECISION:
+                planes = int(parameter)
+                if planes < 1:
+                    raise ValueError("precision must be at least 1 bit plane")
+                shifts = np.maximum(_block_maxbits(blocks) - planes, 0)
+            else:  # MODE_RATE
+                width = int(round(parameter))
+                if width < 1:
+                    raise ValueError("rate must be at least 1 bit per value")
+                shifts = np.maximum(_block_maxbits(blocks) - width, 0)
+            kept = _rounding_rshift(blocks, shifts)
+    return {"kind": "lossy", "kept": kept, "shifts": shifts,
+            "step": step, "parameter": parameter, "mode": mode,
+            "transform": transform, "dtype": dtype, "shape": arr.shape,
+            "backend": backend, "level": level}
+
+
+def compress_stage2(state: dict) -> bytes:
+    """Entropy-code and frame the output of :func:`compress_stage1`."""
+    backend = state["backend"]
+    level = state["level"]
+    if state["kind"] == "reversible":
+        payload = encode_residuals(state["residuals"].reshape(-1),
+                                   backend=backend, level=level)
+        return write_header(_MAGIC, state["dtype"], state["shape"],
+                            doubles=(0.0, 0.0),
+                            ints=(MODE_REVERSIBLE,)) + payload
     import zlib as _zlib
 
     if _trace.ACTIVE is not None:
@@ -256,15 +331,33 @@ def compress(data: np.ndarray, mode: int, parameter: float,
     else:
         span = nullcontext()
     with span:
-        shift_blob = _zlib.compress(shifts.astype(np.uint8).tobytes(), 1)
+        shift_blob = _zlib.compress(
+            state["shifts"].astype(np.uint8).tobytes(), 1)
+        kept = state["kept"]
         payload = encode_residuals(kept.reshape(-1), backend=backend,
                                    level=level)
+        _pool.release(kept)
     header = write_header(
-        _MAGIC, dtype, arr.shape,
-        doubles=(step, float(parameter)),
-        ints=(mode, len(shift_blob), 1 if transform else 0),
+        _MAGIC, state["dtype"], state["shape"],
+        doubles=(state["step"], float(state["parameter"])),
+        ints=(state["mode"], len(shift_blob),
+              1 if state["transform"] else 0),
     )
     return header + shift_blob + payload
+
+
+def compress(data: np.ndarray, mode: int, parameter: float,
+             backend: str = "zlib", level: int = 1,
+             transform: bool = True) -> bytes:
+    """Compress ``data`` (C-order ndarray, 1-4 dims) under ``mode``.
+
+    ``parameter`` is the tolerance (accuracy), bit planes (precision), or
+    bits per value (rate); ignored for reversible.  ``transform=False``
+    skips the decorrelating transform (quantize-only ablation).
+    """
+    return compress_stage2(compress_stage1(
+        data, mode, parameter, backend=backend, level=level,
+        transform=transform))
 
 
 def decompress(stream: bytes | memoryview,
@@ -310,8 +403,11 @@ def decompress(stream: bytes | memoryview,
     else:
         span = nullcontext()
     with span:
+        # the coefficient buffer came off the entropy decoder, so the
+        # shift and inverse transform can run on it in place
         blocks = kept.reshape((nblocks,) + (BLOCK_SIDE,) * d)
-        blocks = _lshift(blocks, shifts)
+        if np.any(shifts):
+            blocks = _lshift(blocks, shifts)
         if transform:
             _inv_transform(blocks)
         codes = _from_blocks(blocks, dims)
@@ -354,19 +450,10 @@ def _ordered_int_to_float(codes: np.ndarray, np_dtype: np.dtype) -> np.ndarray:
     return back.view(np.float64).astype(np_dtype)
 
 
-def _compress_reversible(arr: np.ndarray, backend: str, level: int) -> bytes:
-    if arr.dtype.kind == "f":
-        codes = _float_to_ordered_int(arr).reshape(arr.shape)
-    else:
-        codes = arr.astype(np.int64)
-    residuals = lorenzo_encode(codes)
-    return encode_residuals(residuals.reshape(-1), backend=backend, level=level)
-
-
 def _decompress_reversible(payload: bytes, dims: tuple[int, ...],
                            np_dtype: np.dtype) -> np.ndarray:
     residuals = decode_residuals(payload).reshape(dims)
-    codes = lorenzo_decode(residuals)
+    codes = lorenzo_decode(residuals, clobber=True)
     if np_dtype.kind == "f":
         return _ordered_int_to_float(codes.reshape(-1), np_dtype).reshape(dims)
     return codes.astype(np_dtype)

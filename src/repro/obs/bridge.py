@@ -33,7 +33,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.options import PressioOptions
     from ..trace.context import TraceContext
 
-__all__ = ["ingest_trace", "ingest_metrics_results", "ingest_profile"]
+__all__ = ["ingest_trace", "ingest_metrics_results", "ingest_profile",
+           "ingest_runtime"]
 
 
 def _target(registry: MetricsRegistry | None) -> MetricsRegistry | None:
@@ -116,6 +117,51 @@ def ingest_profile(profile: dict, registry: MetricsRegistry | None = None
         rate.labels(stage=stage).set(row.get("bytes_per_s", 0.0))
         alloc.labels(stage=stage).set(row.get("alloc_net_bytes", 0))
     return len(stages)
+
+
+def ingest_runtime(registry: MetricsRegistry | None = None) -> int:
+    """Refresh runtime gauges from the buffer pool and pipelined executor.
+
+    Exposes the :mod:`repro.native.pool` hit/miss/return counters (see
+    its module docstring) and the :mod:`repro.meta.pipeline` in-flight
+    depth, so a scrape shows whether the native cores are recycling
+    scratch and whether a pipelined compress is currently overlapped.
+    Returns the number of gauges refreshed (0 when no registry is active
+    and none was passed).
+    """
+    reg = _target(registry)
+    if reg is None:
+        return 0
+    from ..meta import pipeline as _pipeline
+    from ..native import pool as _pool
+
+    pool_stats = _pool.stats()
+    values = (
+        ("pressio_pool_hits_total",
+         "buffer-pool acquires served from a free list",
+         pool_stats["hits"]),
+        ("pressio_pool_misses_total",
+         "buffer-pool acquires that fell through to the allocator",
+         pool_stats["misses"]),
+        ("pressio_pool_returns_total",
+         "buffers returned to the pool's free lists",
+         pool_stats["returned"]),
+        ("pressio_pool_bytes",
+         "bytes parked on this thread's pool free lists",
+         pool_stats["pooled_bytes"]),
+        ("pressio_pipeline_inflight",
+         "stage-2 tasks queued or running in pipelined compressors",
+         _pipeline.inflight),
+        ("pressio_pipeline_inflight_peak",
+         "high-water mark of in-flight pipelined stage-2 tasks",
+         _pipeline.peak_inflight),
+        ("pressio_pipeline_chunks_total",
+         "chunks entropy-coded by pipelined stage-2 workers",
+         _pipeline.stage2_total),
+    )
+    for name, help_text, value in values:
+        reg.gauge(name, help_text).set(float(value))
+    return len(values)
 
 
 #: metrics-plugin result keys worth exposing, mapped to (metric, labels).

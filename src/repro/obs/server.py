@@ -131,6 +131,7 @@ class MetricsServer:
         ctx = trace_runtime.active_tracer()
         if ctx is not None:
             bridge.ingest_trace(ctx, registry)
+        bridge.ingest_runtime(registry)
         return (prometheus.render(registry).encode("utf-8"),
                 prometheus.CONTENT_TYPE, 200)
 

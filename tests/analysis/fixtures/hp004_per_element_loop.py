@@ -1,0 +1,41 @@
+"""Seeded HP004 violations: per-element Python loops in hot functions.
+
+Three findings expected; the structural loops and the cold-path helper
+are negative controls.
+"""
+
+import numpy as np
+
+
+def _encode_codes(values):
+    out = np.empty(values.size, dtype=np.int64)
+    for i in range(values.size):  # HP004: per-element loop
+        out[i] = int(values[i]) * 2
+    return out
+
+
+def decompress(stream, payload):
+    total = 0
+    for i in range(len(payload)):  # HP004: len() of the data buffer
+        total += payload[i]
+    for i in range(stream.shape[0] - 1):  # HP004: .shape-sized trip count
+        total -= stream[i]
+    return total
+
+
+def _decode_structural_ok(arr):
+    # negative control: trip counts independent of the element count
+    acc = 0
+    for axis in range(arr.ndim):
+        acc += axis
+    for _ in range(8):
+        acc += 1
+    return acc
+
+
+def build_table(values):
+    # negative control: not a hot-named function
+    table = {}
+    for i in range(values.size):
+        table[i] = values[i]
+    return table

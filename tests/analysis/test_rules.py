@@ -18,6 +18,7 @@ SEEDED = {
     "hp001_unguarded_trace.py": ("HP001", 1),
     "hp002_missing_guard.py": ("HP002", 1),
     "hp003_unguarded_profile.py": ("HP003", 2),
+    "hp004_per_element_loop.py": ("HP004", 3),
     "ts001_shared_write.py": ("TS001", 2),
     "ts002_missing_declaration.py": ("TS002", 2),
     "pe001_parse_error.py": (PARSE_RULE_ID, 1),
@@ -41,10 +42,19 @@ def test_all_fixtures_are_covered():
 
 
 def test_no_false_positives_on_repaired_tree():
-    """The shipped src/repro tree is lint-clean with an empty baseline."""
-    src = Path(__file__).resolve().parents[2] / "src" / "repro"
-    findings = analyze_paths([str(src)])
-    assert findings == [], [f"{f.location()}: {f.rule_id}" for f in findings]
+    """The shipped src/repro tree is lint-clean modulo the committed
+    baseline — which suppresses exactly the intentionally-scalar encoder
+    reference implementations (HP004's canonical suppression example)."""
+    from repro.analysis.baseline import apply_baseline, load_baseline
+
+    repo = Path(__file__).resolve().parents[2]
+    findings = analyze_paths([str(repo / "src" / "repro")], root=str(repo))
+    fingerprints = load_baseline(str(repo / "lint-baseline.json"))
+    kept, suppressed = apply_baseline(findings, fingerprints)
+    assert kept == [], [f"{f.location()}: {f.rule_id}" for f in kept]
+    assert all(f.rule_id == "HP004"
+               and f.path.endswith("_reference.py") for f in findings)
+    assert suppressed == len(findings) == 5
 
 
 def test_guarded_sites_in_fixture_stay_clean():

@@ -1,0 +1,91 @@
+"""The size-class buffer pool behind the native cores' scratch arrays."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.native import pool
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    pool.clear()
+    pool.reset_stats()
+    yield
+    pool.clear()
+    pool.reset_stats()
+
+
+def test_acquire_release_recycles_same_allocation():
+    a = pool.acquire((100,), np.int64)
+    root = a
+    while root.base is not None:
+        root = root.base
+    pool.release(a)
+    b = pool.acquire((80, 1), np.float64)  # 640 B: same 2^10 size class
+    root_b = b
+    while root_b.base is not None:
+        root_b = root_b.base
+    assert root_b is root
+    stats = pool.stats()
+    assert stats == {"hits": 1, "misses": 1, "returned": 1,
+                     "pooled_bytes": 0}
+
+
+def test_shape_and_dtype_views():
+    arr = pool.acquire((3, 4, 5), np.float32)
+    assert arr.shape == (3, 4, 5)
+    assert arr.dtype == np.float32
+    assert arr.flags.writeable
+    arr[:] = 1.5  # fully writable without faulting
+    pool.release(arr)
+
+
+def test_oversized_requests_bypass_pool():
+    huge = pool.acquire(((1 << 26) // 8 + 1,), np.float64)  # > 64 MiB
+    pool.release(huge)
+    assert pool.stats()["returned"] == 0
+    assert pool.stats()["misses"] == 1
+
+
+def test_foreign_arrays_silently_dropped():
+    pool.release(np.zeros(17), np.arange(5)[::2], np.empty(0, np.uint8))
+    assert pool.stats()["returned"] == 0
+
+
+def test_per_class_retention_cap():
+    arrs = [pool.acquire((128,), np.uint8) for _ in range(12)]
+    pool.release(*arrs)
+    assert pool.stats()["returned"] == 8  # _MAX_PER_CLASS
+
+
+def test_thread_local_free_lists():
+    a = pool.acquire((1000,), np.int64)
+    pool.release(a)
+
+    results = {}
+
+    def other():
+        # this thread's free list is empty: must miss, never steal
+        b = pool.acquire((1000,), np.int64)
+        results["hit_before"] = pool.stats()["hits"]
+        pool.release(b)
+
+    t = threading.Thread(target=other)
+    t.start()
+    t.join()
+    assert results["hit_before"] == 0
+    # main thread still hits its own cached buffer
+    c = pool.acquire((1000,), np.int64)
+    assert pool.stats()["hits"] == 1
+    pool.release(c)
+
+
+def test_contents_are_uninitialized_but_sized_exactly():
+    arr = pool.acquire(0, np.float64)
+    assert arr.shape == (0,)
+    pool.release(arr)
+    arr = pool.acquire(7, np.float64)
+    assert arr.nbytes == 56
+    pool.release(arr)

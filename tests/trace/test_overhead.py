@@ -8,9 +8,14 @@ over native APIs) cannot silently regress: a small-buffer round trip
 through the public (guarded) API must stay within 1 % of driving the
 operation bodies directly.
 
-Methodology: interleaved batches, comparing minima — the minimum over
-many batches estimates the noise-free cost of each path far more stably
-than means under CI scheduling jitter.
+Methodology: the guard cost is measured in isolation by stubbing the
+operation bodies out with no-ops, so the guarded-vs-direct difference
+is a few hundred nanoseconds against a microsecond-scale baseline —
+then compared against the real round trip's cost.  (Timing the full
+guarded and unguarded round trips separately and differencing them is
+hopeless on shared CI machines: the ~0.1 % signal drowns in multi-
+percent scheduler jitter.)  Minima over many batches estimate each
+noise-free cost.
 """
 
 import time
@@ -44,31 +49,42 @@ def test_disabled_tracing_overhead_below_one_percent(library):
     data = PressioData.from_numpy(rng.random(4096))
     template = PressioData.empty(data.dtype, data.dims)
 
-    def guarded():
+    # cost of one real round trip through the guarded public API
+    def real():
         compressed = comp.compress(data)
         comp.decompress(compressed, template)
 
-    def unguarded():
-        compressed = comp._compress_op(data, None)
-        comp._decompress_op(compressed, template)
+    _time_batch(real, 10)  # warm caches, allocators, lazy plugin state
+    real_ns = min(_time_batch(real, 30) for _ in range(15)) / 30
 
-    # warm up caches, allocators, and any lazy plugin state
-    _time_batch(guarded, 10)
-    _time_batch(unguarded, 10)
+    # isolate the guard itself: stub the operation bodies to no-ops so
+    # guarded-vs-direct differs only by the compress()/decompress()
+    # wrapper logic being pinned here
+    canned = comp._compress_op(data, None)
+    orig_c, orig_d = comp._compress_op, comp._decompress_op
+    try:
+        comp._compress_op = lambda inp, out: canned
+        comp._decompress_op = lambda inp, out: template
+        reps, batches = 2000, 15
 
-    reps, batches = 30, 15
-    guarded_times, unguarded_times = [], []
-    for _ in range(batches):
-        guarded_times.append(_time_batch(guarded, reps))
-        unguarded_times.append(_time_batch(unguarded, reps))
+        def stub_guarded():
+            comp.decompress(comp.compress(data), template)
 
-    best_guarded = min(guarded_times) / reps
-    best_unguarded = min(unguarded_times) / reps
-    overhead = (best_guarded - best_unguarded) / best_unguarded
+        def stub_direct():
+            comp._decompress_op(comp._compress_op(data, None), template)
+
+        _time_batch(stub_guarded, 200)
+        _time_batch(stub_direct, 200)
+        g = min(_time_batch(stub_guarded, reps) for _ in range(batches))
+        d = min(_time_batch(stub_direct, reps) for _ in range(batches))
+    finally:
+        comp._compress_op, comp._decompress_op = orig_c, orig_d
+
+    guard_ns = max(g - d, 0) / reps
+    overhead = guard_ns / real_ns
     assert overhead < 0.01, (
-        f"disabled-tracing overhead {overhead:.2%} exceeds 1% "
-        f"(guarded {best_guarded / 1e3:.1f}us, "
-        f"unguarded {best_unguarded / 1e3:.1f}us)"
+        f"disabled-tracing guard cost {guard_ns:.0f}ns is {overhead:.2%} "
+        f"of a {real_ns / 1e3:.1f}us round trip (limit 1%)"
     )
 
 
