@@ -16,25 +16,34 @@ without cycles.
 
 from __future__ import annotations
 
-__all__ = ["ANY", "set_tracer_active", "set_registry_active"]
+__all__ = ["ANY", "set_tracer_active", "set_registry_active",
+           "set_flight_active"]
 
-#: True when a tracer or a metrics registry is active.  Read-only for
-#: everyone except the two setters below.
+#: True when a tracer, a metrics registry, or a flight recorder is
+#: active.  Read-only for everyone except the three setters below.
 ANY: bool = False
 
 _TRACER_ON = False
 _REGISTRY_ON = False
+_FLIGHT_ON = False
 
 
 def set_tracer_active(on: bool) -> None:
     """Called by :mod:`repro.trace.runtime` on every ACTIVE change."""
     global _TRACER_ON, ANY
     _TRACER_ON = on
-    ANY = on or _REGISTRY_ON
+    ANY = on or _REGISTRY_ON or _FLIGHT_ON
 
 
 def set_registry_active(on: bool) -> None:
     """Called by :mod:`repro.obs.runtime` on every ACTIVE change."""
     global _REGISTRY_ON, ANY
     _REGISTRY_ON = on
-    ANY = on or _TRACER_ON
+    ANY = on or _TRACER_ON or _FLIGHT_ON
+
+
+def set_flight_active(on: bool) -> None:
+    """Called by :mod:`repro.obs.flight` on every ACTIVE change."""
+    global _FLIGHT_ON, ANY
+    _FLIGHT_ON = on
+    ANY = on or _TRACER_ON or _REGISTRY_ON

@@ -61,7 +61,7 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 
 
 def _load_packs() -> None:
-    from . import concurrency, contract, hotpath  # noqa: F401
+    from . import concurrency, contract, hotpath, observability  # noqa: F401
 
 
 def all_rules() -> list[Rule]:

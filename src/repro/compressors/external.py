@@ -34,12 +34,19 @@ from ..core.data import PressioData
 from ..core.options import OptionType, PressioOptions
 from ..core.registry import compressor_plugin
 from ..core.status import PressioError
+from ..obs import flight as _flight
 from ..obs import runtime as _obs
 from ..obs.logging import get_logger
+from ..trace import propagate as _propagate
+from ..trace import runtime as _trace
 
 __all__ = ["ExternalCompressor"]
 
 _log = get_logger("compressors.external")
+
+#: Bound on captured worker stderr: the *last* 64 KiB survive (the end
+#: of a traceback is the useful end), the rest is dropped and counted.
+_STDERR_CAP = 64 * 1024
 
 
 @compressor_plugin("external")
@@ -95,6 +102,15 @@ class ExternalCompressor(PressioCompressor):
     # -- plumbing -----------------------------------------------------------
     def _run_worker(self, action: str, in_path: str, out_path: str,
                     dtype: str, dims: tuple[int, ...]) -> None:
+        """Spawn the worker; when tracing, hand down the trace context.
+
+        The child receives the ``pressio-spanwire/1`` wire via
+        ``PRESSIO_TRACE_CONTEXT`` plus a fragment-sink path in the same
+        temporary directory as the data files; after the process exits
+        its span fragments are stitched under this call's
+        ``external:invoke`` span so ``pressio trace`` / ``pressio
+        profile`` see one tree spanning both processes.
+        """
         cmd = [
             sys.executable, "-m", "repro.tools.external_worker",
             "--action", action,
@@ -106,8 +122,35 @@ class ExternalCompressor(PressioCompressor):
             "--dims", ",".join(str(d) for d in dims),
             "--init-cost-ms", str(self._init_cost_ms),
         ]
-        proc = subprocess.run(cmd, capture_output=True, text=True)
-        stderr_tail = proc.stderr.strip()[-500:]
+        ctx = _trace.ACTIVE
+        if ctx is not None:
+            sink = os.path.join(os.path.dirname(in_path), "trace.jsonl")
+            env = _propagate.child_env(sink)
+            with ctx.span("external:invoke", plugin="external",
+                          inner=self._inner, action=action) as invoke:
+                proc = subprocess.run(cmd, capture_output=True,
+                                      text=True, env=env)
+            if os.path.exists(sink):
+                # stitched as same-thread children: the worker ran
+                # synchronously inside the invoke span, so the profiler
+                # must subtract its stages from invoke's exclusive time
+                _propagate.stitch(ctx, sink, invoke, same_thread=True)
+        else:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  env=_propagate.child_env())
+        stderr_tail, truncated_by = self._bound_stderr(proc.stderr)
+        if truncated_by:
+            _obs.count(
+                "pressio_external_stderr_truncated_total",
+                "worker stderr captures cut to the last 64 KiB",
+                action=action, inner=self._inner)
+        rec = _flight.ACTIVE
+        if rec is not None and (stderr_tail or proc.returncode != 0):
+            rec.record("child_stderr", plugin="external",
+                       action=action, inner=self._inner,
+                       exit_status=proc.returncode,
+                       stderr=stderr_tail,
+                       truncated_bytes=truncated_by)
         if proc.returncode != 0:
             # the worker's stderr and exit status are the only evidence
             # of what went wrong out-of-process — record both in the
@@ -122,10 +165,10 @@ class ExternalCompressor(PressioCompressor):
                 "external worker failed",
                 extra={"action": action, "inner": self._inner,
                        "exit_status": proc.returncode,
-                       "stderr": stderr_tail, "argv": cmd[1:]})
+                       "stderr": stderr_tail[-500:], "argv": cmd[1:]})
             raise PressioError(
                 f"external worker failed (rc={proc.returncode}): "
-                f"{stderr_tail}"
+                f"{stderr_tail[-500:]}"
             )
         if stderr_tail:
             # a zero exit with stderr output is usually a warning from
@@ -133,7 +176,22 @@ class ExternalCompressor(PressioCompressor):
             _log.warning(
                 "external worker wrote to stderr",
                 extra={"action": action, "inner": self._inner,
-                       "exit_status": 0, "stderr": stderr_tail})
+                       "exit_status": 0, "stderr": stderr_tail[-500:]})
+
+    @staticmethod
+    def _bound_stderr(stderr: str) -> tuple[str, int]:
+        """Last 64 KiB of worker stderr plus how many bytes were cut.
+
+        A chatty worker (progress bars, per-element debug prints) must
+        not balloon the parent's memory or the flight-recorder bundle;
+        the tail keeps the part of a traceback that matters.
+        """
+        text = stderr.strip()
+        raw = text.encode("utf-8", errors="replace")
+        if len(raw) <= _STDERR_CAP:
+            return text, 0
+        kept = raw[-_STDERR_CAP:].decode("utf-8", errors="replace")
+        return kept, len(raw) - _STDERR_CAP
 
     def _compress(self, input: PressioData) -> PressioData:
         arr = input.to_numpy()

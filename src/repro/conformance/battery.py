@@ -28,6 +28,7 @@ import numpy as np
 from ..core.data import PressioData
 from ..core.registry import compressor_registry
 from ..core.status import PressioError
+from ..obs import quality as _quality
 from . import oracles
 from .fields import ConformanceField, conformance_fields, get_field
 from .report import ERROR, FAIL, PASS, SKIP, CellResult
@@ -47,12 +48,17 @@ class RunContext:
     smoke: bool = False
 
 
-def _roundtrip(comp, arr: np.ndarray) -> np.ndarray:
+def _roundtrip_ratio(comp, arr: np.ndarray) -> tuple[np.ndarray, float]:
     data = PressioData.from_numpy(np.asarray(arr))
     stream = comp.compress(data)
     template = PressioData.empty(data.dtype, data.dims)
     out = comp.decompress(stream, template)
-    return np.asarray(out.to_numpy())
+    return (np.asarray(out.to_numpy()),
+            data.size_in_bytes / max(stream.size_in_bytes, 1))
+
+
+def _roundtrip(comp, arr: np.ndarray) -> np.ndarray:
+    return _roundtrip_ratio(comp, arr)[0]
 
 
 def _fresh(subject: Subject, spec: BoundSpec | None):
@@ -121,7 +127,7 @@ class BoundOracleBattery(Battery):
         arr = get_field(field.name)
         try:
             comp = _fresh(subject, spec)
-            out = _roundtrip(comp, arr)
+            out, ratio = _roundtrip_ratio(comp, arr)
         except PressioError as e:
             if special or "tiny" in field.tags:
                 # failing loudly on degenerate input is conformant —
@@ -150,6 +156,21 @@ class BoundOracleBattery(Battery):
             res = oracles.lossless_bitexact(arr, out)
         else:
             res = self._ORACLES[mode](arr, out, spec.bound)
+        # quality telemetry: the oracle already computed the measured
+        # error, so feeding the drift histograms is free here (no-op
+        # unless a metrics registry is active)
+        abs_eb = None
+        if spec is not None and not special and arr.size:
+            if mode == "abs":
+                abs_eb = spec.bound
+            elif mode == "rel":
+                a = np.asarray(arr, dtype=np.float64)
+                abs_eb = spec.bound * float(a.max() - a.min())
+        _quality.record_quality(
+            subject.id, ratio, bound=abs_eb,
+            max_abs_error=res.measured if abs_eb is not None else None,
+            fingerprint=_quality.dataset_fingerprint(np.asarray(arr)),
+            config=check + (f"={spec.bound:g}" if spec is not None else ""))
         return _cell_from_oracle(subject, self.id, check, res)
 
 

@@ -22,6 +22,7 @@ import time
 from typing import TYPE_CHECKING
 
 from .. import _hot
+from ..obs import flight as _flight
 from ..obs import runtime as _obs
 from ..trace import runtime as _trace
 from .configurable import Configurable, ThreadSafety
@@ -80,15 +81,28 @@ class PressioCompressor(Configurable):
             return self._compress_op(input, output)
         ctx = _trace.ACTIVE
         reg = _obs.ACTIVE
-        if ctx is None and reg is None:
+        rec = _flight.ACTIVE
+        if ctx is None and reg is None and rec is None:
             return self._compress_op(input, output)
         if ctx is None:
             start_ns = time.perf_counter_ns()
             result = self._compress_op(input, output)
-            _obs.record_operation(
-                "compress", self.get_name(), input.dtype.name,
-                (time.perf_counter_ns() - start_ns) / 1e9,
-                input.size_in_bytes, result.size_in_bytes)
+            duration_ns = time.perf_counter_ns() - start_ns
+            if reg is not None:
+                _obs.record_operation(
+                    "compress", self.get_name(), input.dtype.name,
+                    duration_ns / 1e9,
+                    input.size_in_bytes, result.size_in_bytes)
+            if rec is not None:
+                # with tracing off, the flight ring gets no span events;
+                # record the operation directly so the last-N window
+                # still shows what ran before a failure
+                rec.record("operation", operation="compress",
+                           plugin=self.get_name(),
+                           dtype=input.dtype.name,
+                           duration_ns=duration_ns,
+                           input_bytes=input.size_in_bytes,
+                           output_bytes=result.size_in_bytes)
             return result
         with ctx.span("compress", plugin=self.get_name(),
                       dtype=input.dtype.name, dims=list(input.dims),
@@ -146,15 +160,25 @@ class PressioCompressor(Configurable):
             return self._decompress_op(input, output)
         ctx = _trace.ACTIVE
         reg = _obs.ACTIVE
-        if ctx is None and reg is None:
+        rec = _flight.ACTIVE
+        if ctx is None and reg is None and rec is None:
             return self._decompress_op(input, output)
         if ctx is None:
             start_ns = time.perf_counter_ns()
             result = self._decompress_op(input, output)
-            _obs.record_operation(
-                "decompress", self.get_name(), output.dtype.name,
-                (time.perf_counter_ns() - start_ns) / 1e9,
-                input.size_in_bytes, result.size_in_bytes)
+            duration_ns = time.perf_counter_ns() - start_ns
+            if reg is not None:
+                _obs.record_operation(
+                    "decompress", self.get_name(), output.dtype.name,
+                    duration_ns / 1e9,
+                    input.size_in_bytes, result.size_in_bytes)
+            if rec is not None:
+                rec.record("operation", operation="decompress",
+                           plugin=self.get_name(),
+                           dtype=output.dtype.name,
+                           duration_ns=duration_ns,
+                           input_bytes=input.size_in_bytes,
+                           output_bytes=result.size_in_bytes)
             return result
         with ctx.span("decompress", plugin=self.get_name(),
                       dtype=output.dtype.name, dims=list(output.dims),

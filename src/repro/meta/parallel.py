@@ -21,6 +21,7 @@ execution rather than corrupting shared state.
 
 from __future__ import annotations
 
+import os as _os
 import struct
 from concurrent.futures import ThreadPoolExecutor
 
@@ -33,6 +34,7 @@ from ..core.options import OptionType, PressioOptions
 from ..core.registry import compressor_plugin, metrics_registry
 from ..core.status import CorruptStreamError, InvalidOptionError
 from ..encoders.headers import read_header, write_header
+from ..trace import propagate as _propagate
 from ..trace import runtime as _trace
 from .base import MetaCompressor
 
@@ -171,41 +173,79 @@ class ChunkingCompressor(_ParallelBase):
         return PressioData.from_numpy(full.reshape(dims), copy=False)
 
 
-def _process_compress(task: tuple) -> bytes:
+def _process_compress(task: tuple) -> tuple:
     """Process-pool worker: rebuild the compressor and compress.
 
     Runs in a separate interpreter (the MPI-rank analog), so only
-    picklable state crosses: the plugin id, a plain options dict, and
-    the raw buffer.  USERPTR options cannot cross a process boundary —
-    the same restriction the paper notes for serialized configuration.
+    picklable state crosses: the plugin id, a plain options dict, the
+    raw buffer, and — when the parent was tracing — the
+    ``pressio-spanwire/1`` wire string.  USERPTR options cannot cross a
+    process boundary — the same restriction the paper notes for
+    serialized configuration.  Returns ``(stream_bytes, fragments)``
+    where fragments is the child's span dump (None when untraced); the
+    pool's return channel carries them back in-band, no sink file
+    needed.
     """
     import numpy as _np
 
     from ..core.data import PressioData as _PD
     from ..core.registry import compressor_registry as _reg
+    from ..trace import propagate as _prop
 
-    compressor_id, options, payload, dtype_str, dims = task
-    compressor = _reg.create(compressor_id)
-    if options and compressor.set_options(options) != 0:
-        raise RuntimeError(compressor.error_msg())
-    arr = _np.frombuffer(payload, dtype=_np.dtype(dtype_str)).reshape(dims)
-    return compressor.compress(_PD.from_numpy(arr, copy=False)).to_bytes()
+    compressor_id, options, payload, dtype_str, dims, wire = task
+    ctx = _prop.begin_child(_prop.extract(wire) if wire else None,
+                            name="process-worker")
+    try:
+        compressor = _reg.create(compressor_id)
+        if options and compressor.set_options(options) != 0:
+            raise RuntimeError(compressor.error_msg())
+        arr = _np.frombuffer(payload,
+                             dtype=_np.dtype(dtype_str)).reshape(dims)
+        if ctx is not None:
+            with ctx.span("worker", pid=_os.getpid(),
+                          action="compress", compressor=compressor_id):
+                blob = compressor.compress(
+                    _PD.from_numpy(arr, copy=False)).to_bytes()
+            return blob, _prop.collect_fragments(ctx)
+        return compressor.compress(
+            _PD.from_numpy(arr, copy=False)).to_bytes(), None
+    finally:
+        if ctx is not None:
+            from ..trace import runtime as _rt
+
+            _rt.disable_tracing()
 
 
-def _process_decompress(task: tuple) -> bytes:
+def _process_decompress(task: tuple) -> tuple:
     import numpy as _np
 
     from ..core.data import PressioData as _PD
     from ..core.dtype import dtype_from_numpy as _dfn
     from ..core.registry import compressor_registry as _reg
+    from ..trace import propagate as _prop
 
-    compressor_id, options, stream, dtype_str, dims = task
-    compressor = _reg.create(compressor_id)
-    if options and compressor.set_options(options) != 0:
-        raise RuntimeError(compressor.error_msg())
-    template = _PD.empty(_dfn(_np.dtype(dtype_str)), dims)
-    out = compressor.decompress(_PD.from_bytes(stream), template)
-    return np.ascontiguousarray(out.to_numpy()).tobytes()
+    compressor_id, options, stream, dtype_str, dims, wire = task
+    ctx = _prop.begin_child(_prop.extract(wire) if wire else None,
+                            name="process-worker")
+    try:
+        compressor = _reg.create(compressor_id)
+        if options and compressor.set_options(options) != 0:
+            raise RuntimeError(compressor.error_msg())
+        template = _PD.empty(_dfn(_np.dtype(dtype_str)), dims)
+        if ctx is not None:
+            with ctx.span("worker", pid=_os.getpid(),
+                          action="decompress", compressor=compressor_id):
+                out = compressor.decompress(_PD.from_bytes(stream),
+                                            template)
+            blob = np.ascontiguousarray(out.to_numpy()).tobytes()
+            return blob, _prop.collect_fragments(ctx)
+        out = compressor.decompress(_PD.from_bytes(stream), template)
+        return np.ascontiguousarray(out.to_numpy()).tobytes(), None
+    finally:
+        if ctx is not None:
+            from ..trace import runtime as _rt
+
+            _rt.disable_tracing()
 
 
 @compressor_plugin("many_independent")
@@ -284,13 +324,41 @@ class ManyIndependentCompressor(_ParallelBase):
 
     # -- process-pool plumbing -------------------------------------------
     def _process_tasks(self, payloads: list[tuple]) -> list:
+        """Fan tasks out to a process pool, carrying the trace context.
+
+        When tracing is active each task tuple gains the serialized
+        ``pressio-spanwire/1`` wire; workers trace themselves and return
+        their span fragments in-band alongside the result, which are
+        stitched under this call's ``process_pool:invoke`` span with
+        per-pid synthetic thread ids (the children ran *concurrently*,
+        so their durations may legitimately sum past the invoke span).
+        """
         from concurrent.futures import ProcessPoolExecutor
 
         workers = min(self._nthreads, len(payloads))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            kind = payloads[0][0]
-            fn = _process_compress if kind == "c" else _process_decompress
-            return list(pool.map(fn, [p[1] for p in payloads]))
+        wire = _propagate.serialize_context()
+        tasks = [p[1] + (wire,) for p in payloads]
+        kind = payloads[0][0]
+        fn = _process_compress if kind == "c" else _process_decompress
+        ctx = _trace.ACTIVE
+        invoke = None
+        if ctx is not None:
+            invoke = ctx.start_span("process_pool:invoke",
+                                    plugin=self.get_name(),
+                                    n_tasks=len(tasks),
+                                    n_workers=workers)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(fn, tasks))
+        finally:
+            if invoke is not None:
+                ctx.finish_span(invoke)
+        if invoke is not None:
+            for _, fragments in results:
+                if fragments:
+                    _propagate.stitch(ctx, fragments, invoke,
+                                      same_thread=False)
+        return [blob for blob, _ in results]
 
     def _process_map_compress(self, inputs: list[PressioData]
                               ) -> list[PressioData]:

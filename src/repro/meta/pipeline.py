@@ -46,6 +46,7 @@ import numpy as np
 
 from ..core.data import PressioData
 from ..core.options import OptionType, PressioOptions
+from ..obs import flight as _flight
 from ..obs import runtime as _obs
 from ..core.registry import compressor_plugin
 from ..core.status import InvalidOptionError
@@ -142,6 +143,12 @@ class PipelinedCompressor(ChunkingCompressor):
         if _trace.ACTIVE is not None:
             _trace.annotate(n_chunks=len(chunks), depth=self._depth,
                             pipelined=True)
+            # surface the request baggage (tenant / error-bound config)
+            # the tracer carried into this dispatch, so per-tenant
+            # attribution survives into the span tree
+            for key, value in _trace.ACTIVE.baggage.items():
+                if isinstance(value, (str, int, float, bool)):
+                    _trace.annotate(**{f"baggage.{key}": value})
             stage2 = _trace.wrap_task(stage2)
         global inflight, peak_inflight
         streams: list[bytes | None] = [None] * len(chunks)
@@ -175,6 +182,10 @@ class PipelinedCompressor(ChunkingCompressor):
         if _trace.ACTIVE is not None:
             for s in streams:
                 _trace.observe("pipelined:compressed_chunk_bytes", len(s))
+        if _flight.ACTIVE is not None:
+            _flight.ACTIVE.record("pipeline", plugin=self.get_name(),
+                                  n_chunks=len(streams),
+                                  depth=self._depth)
         table = struct.pack(f"<{len(streams)}Q", *(len(s) for s in streams))
         header = write_header(_MAGIC, input.dtype, input.dims,
                               ints=(len(streams), self._chunk_size))

@@ -31,10 +31,18 @@ hot path reads one module global per subsystem and compares it to
 """
 
 from .bridge import ingest_metrics_results, ingest_trace
+from .flight import (
+    FlightRecorder,
+    disable_flight,
+    enable_flight,
+    flight_recording,
+)
+from .history import append_history, detect_drift, load_history
 from .logging import JsonLogFormatter, capture_logs
 from .logging import configure as configure_logging
 from .logging import get_logger
 from .prometheus import render as render_prometheus
+from .quality import config_label, dataset_fingerprint, record_quality
 from .registry import (
     Counter,
     Gauge,
@@ -53,7 +61,7 @@ from .runtime import (
     record_operation,
     set_gauge,
 )
-from .server import MetricsServer, start_server
+from .server import MetricsServer, PortInUseError, start_server
 
 __all__ = [
     "MetricsRegistry",
@@ -72,6 +80,7 @@ __all__ = [
     "set_gauge",
     "render_prometheus",
     "MetricsServer",
+    "PortInUseError",
     "start_server",
     "ingest_trace",
     "ingest_metrics_results",
@@ -79,4 +88,14 @@ __all__ = [
     "configure_logging",
     "capture_logs",
     "get_logger",
+    "FlightRecorder",
+    "enable_flight",
+    "disable_flight",
+    "flight_recording",
+    "record_quality",
+    "dataset_fingerprint",
+    "config_label",
+    "append_history",
+    "load_history",
+    "detect_drift",
 ]

@@ -47,6 +47,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from . import quality as _quality
+
 __all__ = ["run_grid", "write_artifact", "load_artifact",
            "find_previous_artifact", "compare", "format_comparison",
            "build_bench_parser", "run_bench"]
@@ -143,15 +145,23 @@ def run_grid(compressors: tuple[str, ...] = DEFAULT_COMPRESSORS,
                 compress_s: list[float] = []
                 decompress_s: list[float] = []
                 compressed = plugin.compress(data)  # untimed warm-up
-                plugin.decompress(compressed, template)
+                decompressed = plugin.decompress(compressed, template)
                 for _ in range(reps):
                     t0 = time.perf_counter()
                     compressed = plugin.compress(data)
                     t1 = time.perf_counter()
-                    plugin.decompress(compressed, template)
+                    decompressed = plugin.decompress(compressed, template)
                     t2 = time.perf_counter()
                     compress_s.append(t1 - t0)
                     decompress_s.append(t2 - t1)
+                ratio = data.size_in_bytes / compressed.size_in_bytes
+                max_abs_error = float(np.max(np.abs(
+                    arr.astype(np.float64)
+                    - decompressed.to_numpy().astype(np.float64))))
+                abs_bound = (rel_bound * value_range
+                             if bound_key is not None else None)
+                margin = (max_abs_error / abs_bound
+                          if abs_bound else None)
                 row = {
                     "compressor": compressor,
                     "dataset": dataset,
@@ -162,9 +172,16 @@ def run_grid(compressors: tuple[str, ...] = DEFAULT_COMPRESSORS,
                         [s * 1e3 for s in compress_s]),
                     "decompress_ms": _percentiles(
                         [s * 1e3 for s in decompress_s]),
-                    "compression_ratio": (
-                        data.size_in_bytes / compressed.size_in_bytes),
+                    "compression_ratio": ratio,
+                    "max_abs_error": max_abs_error,
+                    "bound_margin": margin,
                 }
+                _quality.record_quality(
+                    compressor, ratio, bound=abs_bound,
+                    max_abs_error=max_abs_error,
+                    fingerprint=_quality.dataset_fingerprint(arr),
+                    config=_quality.config_label(
+                        compressor, dataset, rel_bound, arr.shape))
                 if profile_dir is not None:
                     row["profile"] = _profile_config(
                         plugin, data, template, compressor, dataset,
@@ -450,6 +467,22 @@ def build_bench_parser() -> argparse.ArgumentParser:
                         help="capture a stage profile per configuration "
                              "(JSON + flamegraph in <output-dir>/profiles) "
                              "so regressions can be attributed to a stage")
+    parser.add_argument("--history", action="store_true",
+                        help="append this run to the quality-drift "
+                             "history and report drift against it")
+    parser.add_argument("--history-file", default=None,
+                        help="history JSONL path (default: "
+                             "benchmarks/BENCH_history.jsonl)")
+    parser.add_argument("--drift-window", type=int, default=5,
+                        help="prior history entries to compare against")
+    parser.add_argument("--drift-ratio-pct", type=float, default=10.0,
+                        help="flag a ratio this far below the window "
+                             "median (percent)")
+    parser.add_argument("--drift-margin-pct", type=float, default=25.0,
+                        help="flag a bound margin this far above the "
+                             "window median (percent)")
+    parser.add_argument("--fail-on-drift", action="store_true",
+                        help="exit 1 when quality drift is flagged")
     return parser
 
 
@@ -480,8 +513,28 @@ def run_bench(argv: list[str]) -> int:
     if profile_dir is not None:
         print(f"wrote {len(rows)} profile(s) to {profile_dir}")
 
+    drifted = False
+    if args.history:
+        from . import history as _history
+        from ..profile.export import git_revision
+
+        history_path = args.history_file or _history.DEFAULT_HISTORY_PATH
+        entry = _history.history_entry(
+            rows, created_at=load_artifact(path)["created_at"],
+            git_sha=git_revision(), quick=args.quick)
+        _history.append_history(entry, history_path)
+        entries = _history.load_history(history_path)
+        print(f"appended run to {history_path} "
+              f"({len(entries)} entr{'y' if len(entries) == 1 else 'ies'})")
+        flags = _history.detect_drift(
+            entries, window=args.drift_window,
+            ratio_slo_pct=args.drift_ratio_pct,
+            margin_slo_pct=args.drift_margin_pct)
+        print(_history.format_drift(flags))
+        drifted = bool(flags)
+
     if args.no_compare:
-        return 0
+        return 1 if drifted and args.fail_on_drift else 0
     baseline_path = args.baseline or find_previous_artifact(
         args.output_dir, exclude=path)
     if baseline_path is None:
@@ -503,5 +556,7 @@ def run_bench(argv: list[str]) -> int:
         _print_attribution(report["regressions"], args.output_dir,
                            baseline_path)
     if report["regressions"] and args.fail_on_regress:
+        return 1
+    if drifted and args.fail_on_drift:
         return 1
     return 0

@@ -1,0 +1,190 @@
+"""Bench-history persistence and quality-drift detection.
+
+``pressio bench`` measures a grid once; this module gives those
+measurements a memory.  ``pressio bench --history`` appends one compact
+JSONL entry per run to ``benchmarks/BENCH_history.jsonl`` — timestamp,
+git SHA, and per-configuration ratio / bound-margin / median times —
+and :func:`detect_drift` compares the newest entry against a sliding
+window of its predecessors:
+
+* a configuration whose **compression ratio** fell more than
+  ``ratio_slo_pct`` percent below the window median has drifted;
+* a configuration whose **bound margin** (``max_abs_error/bound``)
+  grew more than ``margin_slo_pct`` percent above the window median —
+  or crossed 1.0 when the window honoured the bound — has drifted.
+
+Each flag names the responsible configuration (the
+:func:`repro.obs.quality.config_label` string), the metric, and both
+values, so the CI annotation reads like a diagnosis instead of a
+boolean.  Entries are self-describing (``schema`` field) and the
+reader skips torn or foreign lines, so a truncated append never
+poisons the whole history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from .quality import config_label
+
+__all__ = ["HISTORY_SCHEMA", "DEFAULT_HISTORY_PATH", "history_entry",
+           "append_history", "load_history", "detect_drift",
+           "format_drift"]
+
+HISTORY_SCHEMA = "pressio-bench-history/1"
+
+#: Repo-relative default; CI and the CLI agree on this path.
+DEFAULT_HISTORY_PATH = os.path.join("benchmarks", "BENCH_history.jsonl")
+
+
+def history_entry(rows: list[dict[str, Any]], created_at: str,
+                  git_sha: str | None = None,
+                  quick: bool = False) -> dict[str, Any]:
+    """Distill bench result rows into one appendable history record."""
+    configs = []
+    for row in rows:
+        configs.append({
+            "compressor": row["compressor"],
+            "dataset": row["dataset"],
+            "bound": row["bound"],
+            "dims": list(row.get("dims", [])),
+            "compression_ratio": row.get("compression_ratio"),
+            "max_abs_error": row.get("max_abs_error"),
+            "bound_margin": row.get("bound_margin"),
+            "compress_ms_median": row.get("compress_ms", {}).get("median"),
+            "decompress_ms_median": row.get(
+                "decompress_ms", {}).get("median"),
+        })
+    return {
+        "schema": HISTORY_SCHEMA,
+        "created_at": created_at,
+        "git_sha": git_sha,
+        "quick": quick,
+        "configs": configs,
+    }
+
+
+def append_history(entry: dict[str, Any],
+                   path: str = DEFAULT_HISTORY_PATH) -> str:
+    """Append one entry as a single JSONL line; returns the path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: str = DEFAULT_HISTORY_PATH) -> list[dict[str, Any]]:
+    """All readable entries, oldest first; missing file is empty history."""
+    if not os.path.exists(path):
+        return []
+    entries: list[dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn append; skip, don't poison the history
+            if entry.get("schema") == HISTORY_SCHEMA:
+                entries.append(entry)
+    return entries
+
+
+def _config_key(cfg: dict[str, Any]) -> tuple:
+    return (cfg["compressor"], cfg["dataset"], cfg["bound"],
+            tuple(cfg.get("dims", ())))
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def detect_drift(entries: list[dict[str, Any]], window: int = 5,
+                 ratio_slo_pct: float = 10.0,
+                 margin_slo_pct: float = 25.0) -> list[dict[str, Any]]:
+    """Compare the newest entry against the window of its predecessors.
+
+    Returns one flag dict per drifted (configuration, metric) pair:
+    ``{"config", "metric", "value", "reference", "delta_pct",
+    "message"}``.  Fewer than two entries (or a configuration with no
+    prior observations) can't drift — there is nothing to drift *from*.
+    """
+    if len(entries) < 2:
+        return []
+    current = entries[-1]
+    reference_window = entries[-1 - window:-1]
+
+    history: dict[tuple, dict[str, list[float]]] = {}
+    for entry in reference_window:
+        for cfg in entry.get("configs", []):
+            slot = history.setdefault(_config_key(cfg),
+                                      {"ratio": [], "margin": []})
+            if cfg.get("compression_ratio") is not None:
+                slot["ratio"].append(float(cfg["compression_ratio"]))
+            if cfg.get("bound_margin") is not None:
+                slot["margin"].append(float(cfg["bound_margin"]))
+
+    flags: list[dict[str, Any]] = []
+    for cfg in current.get("configs", []):
+        key = _config_key(cfg)
+        label = config_label(cfg["compressor"], cfg["dataset"],
+                             cfg["bound"], cfg.get("dims"))
+        past = history.get(key)
+        if past is None:
+            continue
+        ratio = cfg.get("compression_ratio")
+        if ratio is not None and past["ratio"]:
+            ref = _median(past["ratio"])
+            if ref > 0:
+                delta_pct = 100.0 * (ratio - ref) / ref
+                if delta_pct < -ratio_slo_pct:
+                    flags.append({
+                        "config": label,
+                        "metric": "compression_ratio",
+                        "value": ratio,
+                        "reference": ref,
+                        "delta_pct": delta_pct,
+                        "message": (
+                            f"{label}: compression_ratio {ratio:.2f} is "
+                            f"{-delta_pct:.1f}% below the window median "
+                            f"{ref:.2f} (SLO {ratio_slo_pct:g}%)"),
+                    })
+        margin = cfg.get("bound_margin")
+        if margin is not None and past["margin"]:
+            ref = _median(past["margin"])
+            delta_pct = (100.0 * (margin - ref) / ref if ref > 0
+                         else float("inf") if margin > 0 else 0.0)
+            crossed = margin > 1.0 >= ref
+            if delta_pct > margin_slo_pct or crossed:
+                detail = ("bound newly violated"
+                          if crossed else f"SLO {margin_slo_pct:g}%")
+                flags.append({
+                    "config": label,
+                    "metric": "bound_margin",
+                    "value": margin,
+                    "reference": ref,
+                    "delta_pct": delta_pct,
+                    "message": (
+                        f"{label}: bound_margin {margin:.3f} vs window "
+                        f"median {ref:.3f} (+{delta_pct:.1f}%; {detail})"),
+                })
+    return flags
+
+
+def format_drift(flags: list[dict[str, Any]]) -> str:
+    """Human-readable drift verdict for CLI / CI output."""
+    if not flags:
+        return "quality drift: none detected"
+    lines = [f"quality drift: {len(flags)} flag(s)"]
+    lines += [f"  DRIFT {flag['message']}" for flag in flags]
+    return "\n".join(lines)

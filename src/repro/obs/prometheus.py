@@ -18,17 +18,28 @@ tests pin):
   **last** label, a ``le="+Inf"`` bucket equal to ``_count``, plus
   ``_sum`` and ``_count`` series;
 * numbers render in Go-compatible form (``+Inf``/``-Inf``/``NaN``;
-  integral floats without an exponent).
+  integral floats without an exponent);
+* histogram exemplars render as ``# EXEMPLAR`` comment lines (a strict
+  0.0.4 scraper sees an ordinary comment; :func:`parse` reads them
+  back), since 0.0.4 has no native exemplar syntax.
+
+:func:`parse` is the exact inverse for everything this module emits —
+the scrape side of ``pressio top --url`` and the round-trip property
+the exposition tests assert (escape then parse is the identity).
 """
 
 from __future__ import annotations
 
 import math
+import re
+from dataclasses import dataclass, field
+from typing import Any
 
 from .registry import Histogram, MetricFamily, MetricsRegistry
 
 __all__ = ["render", "render_family", "escape_help", "escape_label_value",
-           "format_value", "CONTENT_TYPE"]
+           "unescape_label_value", "format_value", "parse", "fetch",
+           "ParsedExposition", "ParsedSample", "CONTENT_TYPE"]
 
 #: The Content-Type header for exposition-format responses.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -82,6 +93,19 @@ def render_family(family: MetricFamily) -> str:
             lines.append(f"{family.name}_sum{base} "
                          f"{format_value(child.total)}")
             lines.append(f"{family.name}_count{base} {child.count}")
+            for bucket, (value, exemplar) in sorted(
+                    child.exemplars.items()):
+                bound = (child.bounds[bucket]
+                         if bucket < len(child.bounds) else float("inf"))
+                labels = _labels_text(
+                    family.labelnames, labelvalues,
+                    extra=(("le", _bucket_bound_text(bound)),))
+                pairs = ",".join(
+                    f'{k}="{escape_label_value(v)}"'
+                    for k, v in sorted(exemplar.items()))
+                lines.append(
+                    f"# EXEMPLAR {family.name}_bucket{labels} "
+                    f"{format_value(value)} {{{pairs}}}")
         else:
             labels = _labels_text(family.labelnames, labelvalues)
             lines.append(
@@ -93,3 +117,162 @@ def render(registry: MetricsRegistry) -> str:
     """The full exposition document, newline-terminated."""
     blocks = [render_family(family) for family in registry.collect()]
     return "\n".join(blocks) + ("\n" if blocks else "")
+
+
+# ---------------------------------------------------------------------------
+# scrape parsing (the inverse direction)
+# ---------------------------------------------------------------------------
+
+def unescape_label_value(value: str) -> str:
+    """Exact inverse of :func:`escape_label_value`."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ("\\", '"'):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+@dataclass
+class ParsedSample:
+    """One series line: full sample name (incl. ``_bucket``), labels, value."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass
+class ParsedExposition:
+    """A scraped exposition document, queryable by series name."""
+
+    samples: list[ParsedSample] = field(default_factory=list)
+    #: family name -> HELP text (unescaped)
+    help: dict[str, str] = field(default_factory=dict)
+    #: family name -> TYPE (counter/gauge/histogram/untyped)
+    types: dict[str, str] = field(default_factory=dict)
+    #: (bucket sample name, frozen label items) -> (value, exemplar labels)
+    exemplars: dict[tuple[str, tuple[tuple[str, str], ...]],
+                    tuple[float, dict[str, str]]] = field(
+                        default_factory=dict)
+
+    def series(self, name: str) -> list[ParsedSample]:
+        return [s for s in self.samples if s.name == name]
+
+    def value(self, name: str, **labels: str) -> float:
+        wanted = {k: str(v) for k, v in labels.items()}
+        for sample in self.samples:
+            if sample.name == name and sample.labels == wanted:
+                return sample.value
+        raise KeyError(f"{name}{wanted!r} not in scrape")
+
+    def names(self) -> set[str]:
+        return {s.name for s in self.samples}
+
+
+_LABELS_BODY_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"\s*,?\s*')
+
+
+def _parse_labels(body: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        m = _LABELS_BODY_RE.match(body, pos)
+        if m is None:
+            raise ValueError(f"malformed label body {body!r}")
+        labels[m.group(1)] = unescape_label_value(m.group(2))
+        pos = m.end()
+    return labels
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"        # sample name
+    r"(?:\{(.*)\})?"                       # optional label body
+    r"\s+(\S+)"                            # value
+    r"(?:\s+(-?\d+))?"                     # optional timestamp
+    r"\s*$")
+
+
+def parse(text: str) -> ParsedExposition:
+    """Parse a 0.0.4 exposition document (as produced by :func:`render`).
+
+    Tolerates what a scraper must: blank lines, unknown comments,
+    optional timestamps, and an OpenMetrics-style trailing exemplar
+    (``... # {labels} value``) on sample lines.  Raises ``ValueError``
+    on a malformed sample line — a *silent* skip would make the
+    round-trip tests vacuous.
+    """
+    doc = ParsedExposition()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "HELP":
+                # escape_help emits a subset of the label-value escapes,
+                # so the label unescaper is its exact inverse too
+                doc.help[parts[2]] = unescape_label_value(
+                    parts[3] if len(parts) > 3 else "")
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                doc.types[parts[2]] = parts[3]
+            elif len(parts) >= 3 and parts[1] == "EXEMPLAR":
+                _parse_exemplar_comment(doc, line)
+            continue
+        # OpenMetrics-style trailing exemplar on the sample line itself
+        if " # " in line:
+            line = line.split(" # ", 1)[0].rstrip()
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"malformed sample line {raw!r}")
+        name, label_body, value_text = m.group(1), m.group(2), m.group(3)
+        labels = _parse_labels(label_body) if label_body else {}
+        doc.samples.append(
+            ParsedSample(name, labels, _parse_number(value_text)))
+    return doc
+
+
+_EXEMPLAR_RE = re.compile(
+    r"^#\s+EXEMPLAR\s+([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*?)\})?\s+(\S+)\s+\{(.*)\}\s*$")
+
+
+def _parse_exemplar_comment(doc: ParsedExposition, line: str) -> None:
+    m = _EXEMPLAR_RE.match(line)
+    if m is None:
+        return  # an unknown comment is never an error
+    name, label_body, value_text, exemplar_body = m.groups()
+    labels = _parse_labels(label_body) if label_body else {}
+    key = (name, tuple(sorted(labels.items())))
+    doc.exemplars[key] = (_parse_number(value_text),
+                          _parse_labels(exemplar_body))
+
+
+def fetch(url: str, timeout: float = 5.0) -> ParsedExposition:
+    """Scrape ``url`` (a ``/metrics`` endpoint) and parse the body."""
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout) as resp:
+        return parse(resp.read().decode("utf-8"))

@@ -1,0 +1,109 @@
+"""Quality-drift telemetry: compression-ratio and bound-margin series.
+
+Performance telemetry answers "is it still fast"; this module answers
+"is it still *good*".  Two histogram families on the active registry:
+
+* ``pressio_quality_ratio{compressor}`` — achieved compression ratio
+  (uncompressed/compressed bytes), log-ish buckets from 1x to 1000x;
+* ``pressio_quality_bound_margin{compressor}`` — how much of the error
+  budget a round trip consumed: ``max_abs_error / abs_bound``.  Values
+  at or below 1.0 honour the bound; above 1.0 is a violation (the same
+  quantity the conformance oracles assert on, now on a dashboard).
+
+Every observation carries an **exemplar** — the dataset fingerprint and
+the config string — so when a bucket drifts the scrape names the exact
+configuration that landed there rather than an anonymous count
+(rendered as ``# EXEMPLAR`` comment lines; see
+:mod:`repro.obs.prometheus`).
+
+:func:`dataset_fingerprint` gives a short stable content hash for
+labelling: dtype + shape + a strided sample of the raw bytes, cheap
+enough to run per bench configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from . import runtime as _runtime
+
+__all__ = ["RATIO_BUCKETS", "MARGIN_BUCKETS", "record_quality",
+           "dataset_fingerprint", "config_label"]
+
+#: Ratio buckets: 1x (incompressible) through three decades, roughly
+#: geometric so both lossless-ish (2-4x) and aggressive (100x+) regimes
+#: resolve.
+RATIO_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                 256.0, 512.0, 1000.0)
+
+#: Bound-margin buckets: dense below 1.0 (how much budget was used),
+#: plus >1.0 buckets so violations land somewhere visible instead of
+#: only in +Inf.
+MARGIN_BUCKETS = (0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 2.0, 10.0)
+
+
+def dataset_fingerprint(array: np.ndarray, sample: int = 4096) -> str:
+    """A short stable content hash for exemplar labels.
+
+    Hashes dtype, shape, and an evenly strided byte sample (the whole
+    buffer when small), so the fingerprint identifies the dataset
+    without re-reading gigabytes on every bench row.
+    """
+    arr = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    raw = arr.view(np.uint8).reshape(-1)
+    if raw.size <= sample:
+        digest.update(raw.tobytes())
+    else:
+        step = raw.size // sample
+        digest.update(raw[::step][:sample].tobytes())
+    return digest.hexdigest()[:12]
+
+
+def config_label(compressor: str, dataset: str, bound: float,
+                 dims: Any = None) -> str:
+    """The canonical config string used in exemplars and drift reports."""
+    label = f"{compressor}/{dataset}/bound={bound:g}"
+    if dims:
+        label += "/" + "x".join(str(d) for d in dims)
+    return label
+
+
+def record_quality(compressor: str, ratio: float,
+                   bound: float | None = None,
+                   max_abs_error: float | None = None,
+                   fingerprint: str | None = None,
+                   config: str | None = None) -> None:
+    """Record one round trip's quality on the active registry.
+
+    No-op when metrics collection is disabled.  The bound margin is
+    only recorded when both ``bound`` and ``max_abs_error`` are known
+    (lossless or unbounded configs have no budget to measure against).
+    """
+    reg = _runtime.ACTIVE
+    if reg is None:
+        return
+    exemplar: dict[str, str] = {}
+    if fingerprint:
+        exemplar["fingerprint"] = fingerprint
+    if config:
+        exemplar["config"] = config
+    reg.histogram(
+        "pressio_quality_ratio",
+        "achieved compression ratio (uncompressed/compressed bytes)",
+        ("compressor",), buckets=RATIO_BUCKETS,
+    ).labels(compressor=compressor).observe(
+        ratio, exemplar=exemplar or None)
+    if bound is not None and bound > 0 and max_abs_error is not None:
+        reg.histogram(
+            "pressio_quality_bound_margin",
+            "max_abs_error / abs_bound per round trip "
+            "(<=1 honours the bound)",
+            ("compressor",), buckets=MARGIN_BUCKETS,
+        ).labels(compressor=compressor).observe(
+            max_abs_error / bound, exemplar=exemplar or None)

@@ -144,25 +144,36 @@ class _GaugeValue:
 class _HistogramValue:
     """Cumulative-bucket histogram state (le-style, like Prometheus)."""
 
-    __slots__ = ("bounds", "bucket_counts", "total", "count", "_lock")
+    __slots__ = ("bounds", "bucket_counts", "total", "count", "exemplars",
+                 "_lock")
 
     def __init__(self, bounds: tuple[float, ...]) -> None:
         self.bounds = bounds
         self.bucket_counts = [0] * (len(bounds) + 1)  # last is +Inf
         self.total = 0.0
         self.count = 0
+        #: bucket index -> (observed value, exemplar labels); keeps the
+        #: most recent exemplar per bucket, OpenMetrics-style, so a
+        #: drifted quality bucket names the config that landed in it
+        self.exemplars: dict[int, tuple[float, dict[str, str]]] = {}
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: dict[str, str] | None = None) -> None:
         with self._lock:
             self.total += value
             self.count += 1
             for i, bound in enumerate(self.bounds):
                 if value <= bound:
                     self.bucket_counts[i] += 1
+                    bucket = i
                     break
             else:
                 self.bucket_counts[-1] += 1
+                bucket = len(self.bounds)
+            if exemplar:
+                self.exemplars[bucket] = (
+                    value, {str(k): str(v) for k, v in exemplar.items()})
 
     def cumulative(self) -> list[tuple[float, int]]:
         """(upper_bound, cumulative_count) pairs ending at +Inf."""
@@ -235,8 +246,9 @@ class Histogram(MetricFamily):
     def _new_child(self) -> _HistogramValue:
         return _HistogramValue(self.buckets)
 
-    def observe(self, value: float) -> None:
-        self._sole().observe(value)
+    def observe(self, value: float,
+                exemplar: dict[str, str] | None = None) -> None:
+        self._sole().observe(value, exemplar=exemplar)
 
 
 class MetricsRegistry:

@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from .. import _hot
+from . import flight as _flight
 from .registry import MetricsRegistry
 
 __all__ = [
@@ -137,8 +138,20 @@ def record_error(operation: str, plugin: str, exc: BaseException,
     out-of-process path; always emits the log record (the logger is a
     no-op until :func:`repro.obs.logging.configure` installs a handler)
     and bumps ``pressio_errors_total`` when a registry is active.
+
+    When a flight recorder is active the error also lands in its ring,
+    and a :class:`~repro.core.status.CorruptStreamError` — wrong bytes
+    came back — triggers an immediate bundle dump (matched by class
+    name through the MRO so this module never imports
+    :mod:`repro.core.status` and cycles).
     """
     etype = type(exc).__name__
+    rec = _flight.ACTIVE
+    if rec is not None:
+        rec.record_error(operation, plugin, exc, extra)
+        if any(c.__name__ == "CorruptStreamError"
+               for c in type(exc).__mro__):
+            rec.dump("corrupt-stream", exc=exc)
     reg = ACTIVE
     if reg is not None:
         reg.counter(

@@ -20,6 +20,7 @@ free.
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 import time
@@ -28,7 +29,22 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from . import bridge, prometheus, runtime
 from .registry import MetricsRegistry
 
-__all__ = ["MetricsServer", "start_server"]
+__all__ = ["MetricsServer", "PortInUseError", "start_server"]
+
+
+class PortInUseError(OSError):
+    """The requested metrics port is already bound by another process.
+
+    Raised instead of the raw ``OSError`` so callers (the
+    ``serve-metrics`` CLI) can offer the port-0 fallback with a clear
+    message rather than a traceback.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        super().__init__(errno.EADDRINUSE,
+                         f"metrics port {host}:{port} is already in use")
+        self.host = host
+        self.port = port
 
 
 class MetricsServer:
@@ -58,8 +74,21 @@ class MetricsServer:
 
                 get_logger("obs.http").debug(format % args)
 
-        self._httpd = ThreadingHTTPServer(
-            (self._host, self._requested_port), Handler)
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (self._host, self._requested_port), Handler)
+        except OSError as e:
+            if e.errno == errno.EADDRINUSE:
+                # taxonomy-counted so fleet dashboards see how often
+                # operators collide on a port, then a *typed* error the
+                # CLI can catch to offer the port-0 fallback
+                runtime.count(
+                    "pressio_metrics_port_in_use_total",
+                    "serve-metrics startups that hit EADDRINUSE",
+                    host=self._host, port=str(self._requested_port))
+                raise PortInUseError(self._host,
+                                     self._requested_port) from e
+            raise
         self._httpd.daemon_threads = True
         self._started_at = time.monotonic()
         self._thread = threading.Thread(

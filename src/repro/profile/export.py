@@ -45,7 +45,9 @@ def git_revision(cwd: str | None = None) -> str | None:
     if cwd is None:
         cwd = os.path.dirname(os.path.abspath(__file__))
     try:
-        out = subprocess.run(
+        # metadata lookup, not pipeline work: git emits no spans, so
+        # forwarding trace context would only leak env into a tool call
+        out = subprocess.run(  # pressio-lint: disable=OB001
             ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
             text=True, timeout=5)
     except (OSError, subprocess.SubprocessError):

@@ -267,6 +267,9 @@ def build_serve_metrics_parser() -> argparse.ArgumentParser:
                         help="seconds between demo round trips")
     parser.add_argument("--json-logs", action="store_true",
                         help="emit structured JSON logs on stderr")
+    parser.add_argument("--auto-port", action="store_true",
+                        help="if the requested port is taken, fall back "
+                             "to an OS-assigned one and print it")
     return parser
 
 
@@ -279,7 +282,15 @@ def run_serve_metrics(argv: list[str]) -> int:
     args = build_serve_metrics_parser().parse_args(argv)
     if args.json_logs:
         obs.configure_logging()
-    server = obs.start_server(port=args.port, host=args.host)
+    try:
+        server = obs.start_server(port=args.port, host=args.host)
+    except obs.PortInUseError as e:
+        if not args.auto_port:
+            print(f"error: {e} (retry with --auto-port to pick a "
+                  f"free one)", file=sys.stderr)
+            return 1
+        server = obs.start_server(port=0, host=args.host)
+        print(f"port {args.port} in use; bound port {server.port} instead")
     print(f"serving metrics on {server.url}/metrics "
           f"(health: {server.url}/healthz)")
     deadline = (_time.monotonic() + args.duration
@@ -316,6 +327,10 @@ def run(argv: list[str] | None = None) -> int:
         return run_trace(argv[1:])
     if argv and argv[0] == "serve-metrics":
         return run_serve_metrics(argv[1:])
+    if argv and argv[0] == "top":
+        from .top import run_top
+
+        return run_top(argv[1:])
     if argv and argv[0] == "bench":
         from ..obs.bench import run_bench
 

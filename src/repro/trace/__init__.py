@@ -18,6 +18,15 @@ from the command line.
 """
 
 from .context import Histogram, Span, TraceContext
+from .propagate import (
+    begin_child,
+    child_env,
+    collect_fragments,
+    dump_fragments,
+    extract,
+    serialize_context,
+    stitch,
+)
 from .export import (
     aggregate,
     format_report,
@@ -57,4 +66,11 @@ __all__ = [
     "render_tree",
     "write_jsonl",
     "write_chrome_trace",
+    "serialize_context",
+    "child_env",
+    "extract",
+    "begin_child",
+    "collect_fragments",
+    "dump_fragments",
+    "stitch",
 ]

@@ -25,7 +25,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Iterator
 
-__all__ = ["Span", "Histogram", "TraceContext"]
+__all__ = ["Span", "Histogram", "TraceContext", "SPAN_SINK"]
 
 #: The innermost open span of the current logical context.  Module-level
 #: (not per-TraceContext) because at most one context is active at a time
@@ -33,6 +33,13 @@ __all__ = ["Span", "Histogram", "TraceContext"]
 _CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
     "repro_trace_current_span", default=None
 )
+
+#: Optional tap invoked with every span as it closes (after its end
+#: timestamp and status are final).  Installed by the flight recorder
+#: (:mod:`repro.obs.flight`) — the dependency is inverted through this
+#: hook because :mod:`repro.obs` imports :mod:`repro.trace` and a
+#: forward import here would cycle.  Must never raise.
+SPAN_SINK: "Any | None" = None
 
 
 class Span:
@@ -163,6 +170,10 @@ class TraceContext:
         self._counters: dict[str, float] = {}
         self._histograms: dict[str, Histogram] = {}
         self._next_span_id = 1
+        #: Request-scoped key/value pairs carried across process
+        #: boundaries (tenant label, error-bound config, sampling
+        #: decision).  Serialized by :mod:`repro.trace.propagate`.
+        self.baggage: dict[str, Any] = {}
 
     # -- span lifecycle ---------------------------------------------------
     def start_span(self, name: str, **attrs: Any) -> Span:
@@ -195,6 +206,28 @@ class TraceContext:
             except ValueError:  # closed from a different context; best effort
                 _CURRENT_SPAN.set(None)
             sp._token = None
+        sink = SPAN_SINK
+        if sink is not None:
+            sink(sp)
+
+    # -- stitching support ------------------------------------------------
+    def allocate_span_id(self) -> int:
+        """Reserve a fresh span id (used when adopting remote spans)."""
+        with self._lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+        return span_id
+
+    def adopt_span(self, sp: Span) -> None:
+        """Append an externally constructed, already-closed span.
+
+        The caller is responsible for having remapped ``span_id`` /
+        ``parent_id`` via :meth:`allocate_span_id` so ids stay unique
+        within this context (:mod:`repro.trace.propagate` does this when
+        stitching child-process fragments).
+        """
+        with self._lock:
+            self._spans.append(sp)
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:

@@ -1,0 +1,24 @@
+"""Seeded OB001 violation: process spawn without trace propagation.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import subprocess
+
+from repro.trace import propagate as _propagate
+
+
+def run_worker_untraced(cmd):
+    # spawns a child with no propagation marker in scope -> OB001
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def run_worker_propagating(cmd):
+    # parent side of pressio-spanwire: env carries the context -> clean
+    env = _propagate.child_env()
+    return subprocess.run(cmd, capture_output=True, text=True, env=env)
+
+
+def run_worker_suppressed(cmd):
+    # fire-and-forget tool call; child emits no spans
+    return subprocess.run(cmd)  # pressio-lint: disable=OB001

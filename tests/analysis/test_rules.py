@@ -19,6 +19,7 @@ SEEDED = {
     "hp002_missing_guard.py": ("HP002", 1),
     "hp003_unguarded_profile.py": ("HP003", 2),
     "hp004_per_element_loop.py": ("HP004", 3),
+    "ob001_missing_propagation.py": ("OB001", 1),
     "ts001_shared_write.py": ("TS001", 2),
     "ts002_missing_declaration.py": ("TS002", 2),
     "pe001_parse_error.py": (PARSE_RULE_ID, 1),

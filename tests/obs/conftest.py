@@ -2,15 +2,18 @@
 
 import pytest
 
+from repro.obs import flight as obs_flight
 from repro.obs import runtime as obs_runtime
 from repro.trace import disable_tracing
 
 
 @pytest.fixture(autouse=True)
 def _clean_observability_state():
-    """Never leak an active registry or tracer into other tests."""
+    """Never leak an active registry, tracer, or recorder into other tests."""
     obs_runtime.disable_metrics()
     disable_tracing()
+    obs_flight.disable_flight()
     yield
     obs_runtime.disable_metrics()
     disable_tracing()
+    obs_flight.disable_flight()

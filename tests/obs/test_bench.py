@@ -355,3 +355,57 @@ class TestProfileMode:
         out = capsys.readouterr().out
         assert "sz:entropy" in out
         assert "wall delta" in out
+
+
+class TestHistoryMode:
+    def run_history(self, tmp_path, hist, extra=()):
+        return bench.run_bench([
+            "--output-dir", str(tmp_path), "--reps", "1",
+            "--dims", "8,8,8", "--compressors", "sz",
+            "--datasets", "nyx", "--bounds", "1e-3", "--no-compare",
+            "--history", "--history-file", str(hist), *extra])
+
+    def test_each_run_appends_one_entry(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        assert self.run_history(tmp_path, hist) == 0
+        assert self.run_history(tmp_path, hist) == 0
+        from repro.obs import history
+
+        entries = history.load_history(str(hist))
+        assert len(entries) == 2
+        (cfg,) = entries[-1]["configs"]
+        assert cfg["compressor"] == "sz" and cfg["dataset"] == "nyx"
+        assert cfg["compression_ratio"] > 1
+        assert 0 < cfg["bound_margin"] <= 1 + 1e-9
+        out = capsys.readouterr().out
+        assert "quality drift: none detected" in out
+
+    def test_planted_regression_flagged_naming_config(self, tmp_path,
+                                                      capsys):
+        """ISSUE acceptance: a deliberate regression in the newest entry
+        is flagged with the configuration named."""
+        from repro.obs import history
+
+        hist = tmp_path / "hist.jsonl"
+        # seed a history claiming impossible ratios, so the real run
+        # reads as a deliberate quality regression against it
+        for _ in range(4):
+            history.append_history({
+                "schema": history.HISTORY_SCHEMA, "created_at": "t",
+                "git_sha": None, "quick": True,
+                "configs": [{"compressor": "sz", "dataset": "nyx",
+                             "bound": 1e-3, "dims": [8, 8, 8],
+                             "compression_ratio": 10000.0,
+                             "bound_margin": 0.001}],
+            }, str(hist))
+        rc = self.run_history(tmp_path, hist, extra=["--fail-on-drift"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "DRIFT sz/nyx/bound=0.001/8x8x8" in out
+        assert "compression_ratio" in out
+
+    def test_quality_rows_carry_error_and_margin(self):
+        (row,) = bench.run_grid(compressors=("sz",), datasets=("nyx",),
+                                bounds=(1e-3,), dims=(8, 8, 8), reps=1)
+        assert row["max_abs_error"] >= 0
+        assert 0 <= row["bound_margin"] <= 1 + 1e-9

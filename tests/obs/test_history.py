@@ -1,0 +1,146 @@
+"""Bench history: persistence round trip and drift detection."""
+
+import json
+
+from repro.obs import history
+
+
+def _entry(ratio=10.0, margin=0.5, compressor="sz", dataset="nyx",
+           bound=0.01, dims=(24, 24, 24), created_at="2026-08-08T00:00:00"):
+    return {
+        "schema": history.HISTORY_SCHEMA,
+        "created_at": created_at,
+        "git_sha": "deadbeef",
+        "quick": True,
+        "configs": [{
+            "compressor": compressor, "dataset": dataset, "bound": bound,
+            "dims": list(dims), "compression_ratio": ratio,
+            "max_abs_error": margin * bound, "bound_margin": margin,
+            "compress_ms_median": 1.0, "decompress_ms_median": 1.0,
+        }],
+    }
+
+
+class TestPersistence:
+    def test_history_entry_distills_bench_rows(self):
+        rows = [{
+            "compressor": "sz", "dataset": "nyx", "bound": 0.01,
+            "dims": [24, 24, 24], "compression_ratio": 3.7,
+            "max_abs_error": 0.004, "bound_margin": 0.8,
+            "compress_ms": {"median": 2.5, "p90": 3.0},
+            "decompress_ms": {"median": 1.5, "p90": 2.0},
+            "irrelevant": "dropped",
+        }]
+        entry = history.history_entry(rows, created_at="t0",
+                                      git_sha="abc", quick=True)
+        assert entry["schema"] == history.HISTORY_SCHEMA
+        assert entry["git_sha"] == "abc" and entry["quick"] is True
+        (cfg,) = entry["configs"]
+        assert cfg["compression_ratio"] == 3.7
+        assert cfg["bound_margin"] == 0.8
+        assert cfg["compress_ms_median"] == 2.5
+        assert "irrelevant" not in cfg
+
+    def test_append_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "nested" / "hist.jsonl")
+        history.append_history(_entry(created_at="t0"), path)
+        history.append_history(_entry(created_at="t1"), path)
+        entries = history.load_history(path)
+        assert [e["created_at"] for e in entries] == ["t0", "t1"]
+
+    def test_load_missing_file_is_empty_history(self, tmp_path):
+        assert history.load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_load_skips_torn_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        lines = [
+            json.dumps(_entry(created_at="t0")),
+            '{"torn": ',
+            json.dumps({"schema": "other-tool/3", "created_at": "x"}),
+            json.dumps(_entry(created_at="t1")),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        entries = history.load_history(str(path))
+        assert [e["created_at"] for e in entries] == ["t0", "t1"]
+
+
+class TestDetectDrift:
+    def test_fewer_than_two_entries_cannot_drift(self):
+        assert history.detect_drift([]) == []
+        assert history.detect_drift([_entry(ratio=1.0)]) == []
+
+    def test_stable_history_is_clean(self):
+        entries = [_entry(ratio=10.0 + 0.1 * i, margin=0.5)
+                   for i in range(6)]
+        assert history.detect_drift(entries) == []
+
+    def test_ratio_drop_beyond_slo_flagged_with_config(self):
+        entries = [_entry(ratio=10.0) for _ in range(5)]
+        entries.append(_entry(ratio=6.0))  # -40% vs median 10
+        (flag,) = history.detect_drift(entries)
+        assert flag["metric"] == "compression_ratio"
+        assert flag["config"] == "sz/nyx/bound=0.01/24x24x24"
+        assert flag["reference"] == 10.0 and flag["value"] == 6.0
+        assert flag["delta_pct"] == -40.0
+        assert "sz/nyx/bound=0.01/24x24x24" in flag["message"]
+
+    def test_ratio_drop_within_slo_not_flagged(self):
+        entries = [_entry(ratio=10.0) for _ in range(5)]
+        entries.append(_entry(ratio=9.5))  # -5% < 10% SLO
+        assert history.detect_drift(entries) == []
+
+    def test_ratio_gain_never_flagged(self):
+        entries = [_entry(ratio=10.0) for _ in range(5)]
+        entries.append(_entry(ratio=20.0))
+        assert history.detect_drift(entries) == []
+
+    def test_margin_rise_beyond_slo_flagged(self):
+        entries = [_entry(margin=0.5) for _ in range(5)]
+        entries.append(_entry(margin=0.7))  # +40% vs 25% SLO
+        (flag,) = history.detect_drift(entries)
+        assert flag["metric"] == "bound_margin"
+        assert flag["value"] == 0.7 and flag["reference"] == 0.5
+
+    def test_margin_newly_crossing_one_flagged_even_within_slo(self):
+        entries = [_entry(margin=0.95) for _ in range(5)]
+        entries.append(_entry(margin=1.05))  # +10.5% < 25%, but violated
+        (flag,) = history.detect_drift(entries)
+        assert flag["metric"] == "bound_margin"
+        assert "bound newly violated" in flag["message"]
+
+    def test_window_excludes_older_entries(self):
+        # ancient great ratios, recent mediocre ones; newest matches the
+        # recent window so nothing should be flagged with window=3
+        entries = ([_entry(ratio=100.0) for _ in range(4)]
+                   + [_entry(ratio=10.0) for _ in range(3)]
+                   + [_entry(ratio=10.0)])
+        assert history.detect_drift(entries, window=3) == []
+        # with a window wide enough to reach the ancient entries the
+        # same newest entry *is* a regression
+        assert history.detect_drift(entries, window=7)
+
+    def test_new_config_with_no_prior_observations_ignored(self):
+        entries = [_entry() for _ in range(3)]
+        entries.append(_entry(compressor="zfp", ratio=0.1))
+        assert history.detect_drift(entries) == []
+
+    def test_both_metrics_can_flag_one_config(self):
+        entries = [_entry(ratio=10.0, margin=0.5) for _ in range(5)]
+        entries.append(_entry(ratio=5.0, margin=1.4))
+        flags = history.detect_drift(entries)
+        assert {f["metric"] for f in flags} == {"compression_ratio",
+                                               "bound_margin"}
+        assert all(f["config"] == "sz/nyx/bound=0.01/24x24x24"
+                   for f in flags)
+
+
+class TestFormatDrift:
+    def test_clean_verdict(self):
+        assert history.format_drift([]) == "quality drift: none detected"
+
+    def test_flags_render_one_line_each(self):
+        entries = [_entry(ratio=10.0) for _ in range(5)]
+        entries.append(_entry(ratio=6.0))
+        text = history.format_drift(history.detect_drift(entries))
+        assert text.startswith("quality drift: 1 flag(s)")
+        assert "DRIFT sz/nyx/bound=0.01/24x24x24" in text

@@ -1,0 +1,110 @@
+"""Scrape-side parsing: ``parse`` is the exact inverse of ``render``.
+
+``pressio top --url`` and the CI quality-scrape job both stand on this
+layer, so the round-trip property (render → parse → same numbers,
+labels, and exemplars) is pinned here along with the tolerances a real
+scraper needs: unknown comments, timestamps, OpenMetrics trailing
+exemplars — and a hard error on genuinely malformed sample lines.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs import prometheus as prom
+
+
+def registry_with_everything() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("ops_total", "operations", ("plugin",)) \
+        .labels(plugin="sz").inc(3)
+    reg.gauge("ratio", 'say "hi"\nto\\scrapers', ("plugin",)) \
+        .labels(plugin='quo"te\nnew\\line').set(3.7)
+    hist = reg.histogram("lat_seconds", "latency", ("op",),
+                         buckets=(0.1, 1.0))
+    hist.labels(op="c").observe(0.05, exemplar={"trace": "t-1"})
+    hist.labels(op="c").observe(2.5, exemplar={"cfg": "sz/nyx"})
+    return reg
+
+
+class TestRoundTrip:
+    def test_every_rendered_number_survives_parsing(self):
+        reg = registry_with_everything()
+        doc = prom.parse(render_prometheus(reg))
+        assert doc.value("ops_total", plugin="sz") == 3
+        assert doc.value("ratio", plugin='quo"te\nnew\\line') == 3.7
+        assert doc.value("lat_seconds_count", op="c") == 2
+        assert doc.value("lat_seconds_sum", op="c") == pytest.approx(2.55)
+        assert doc.value("lat_seconds_bucket", op="c", le="0.1") == 1
+        assert doc.value("lat_seconds_bucket", op="c", le="1") == 1
+        assert doc.value("lat_seconds_bucket", op="c", le="+Inf") == 2
+
+    def test_help_and_type_round_trip(self):
+        doc = prom.parse(render_prometheus(registry_with_everything()))
+        assert doc.types == {"ops_total": "counter", "ratio": "gauge",
+                             "lat_seconds": "histogram"}
+        assert doc.help["ratio"] == 'say "hi"\nto\\scrapers'
+
+    def test_exemplars_round_trip_keyed_by_bucket(self):
+        doc = prom.parse(render_prometheus(registry_with_everything()))
+        by_le = {dict(k[1])["le"]: v for k, v in doc.exemplars.items()
+                 if k[0] == "lat_seconds_bucket"}
+        assert by_le["0.1"] == (0.05, {"trace": "t-1"})
+        assert by_le["+Inf"] == (2.5, {"cfg": "sz/nyx"})
+
+    def test_unescape_is_exact_inverse(self):
+        for value in ('plain', 'a\\b', 'say "hi"', 'line\nbreak',
+                      'mix\\"\n\\\\"', ''):
+            assert prom.unescape_label_value(
+                prom.escape_label_value(value)) == value
+
+
+class TestScraperTolerances:
+    def test_blank_lines_unknown_comments_and_timestamps(self):
+        doc = prom.parse(
+            "\n# a free-form comment\n"
+            "# EOF\n"
+            'metric{a="b"} 4 1700000000000\n'
+            "bare_metric 2.5\n")
+        assert doc.value("metric", a="b") == 4
+        assert doc.value("bare_metric") == 2.5
+
+    def test_openmetrics_trailing_exemplar_stripped(self):
+        doc = prom.parse(
+            'lat_bucket{le="0.1"} 3 # {trace_id="abc"} 0.05\n')
+        assert doc.value("lat_bucket", le="0.1") == 3
+
+    def test_special_values(self):
+        doc = prom.parse("a 1\nb +Inf\nc -Inf\nd NaN\n")
+        assert doc.value("b") == math.inf
+        assert doc.value("c") == -math.inf
+        assert math.isnan(doc.value("d"))
+
+    def test_malformed_sample_line_raises(self):
+        with pytest.raises(ValueError):
+            prom.parse("not a valid { line\n")
+        with pytest.raises(ValueError):
+            prom.parse('metric{unclosed="x} 1\n')
+
+    def test_missing_series_raises_keyerror(self):
+        doc = prom.parse("a 1\n")
+        with pytest.raises(KeyError):
+            doc.value("a", plugin="sz")
+        with pytest.raises(KeyError):
+            doc.value("zzz")
+
+
+class TestFetch:
+    def test_fetch_parses_a_live_endpoint(self):
+        from repro import obs
+
+        reg = registry_with_everything()
+        with obs.MetricsServer(registry=reg) as server:
+            doc = prom.fetch(server.url + "/metrics")
+        assert doc.value("ops_total", plugin="sz") == 3
+        assert any(k[0] == "lat_seconds_bucket" for k in doc.exemplars)
+
+    def test_fetch_refused_connection_raises_oserror(self):
+        with pytest.raises(OSError):
+            prom.fetch("http://127.0.0.1:9/metrics", timeout=0.5)

@@ -1,0 +1,97 @@
+"""Quality telemetry: ratio/margin histograms, exemplars, fingerprints."""
+
+import numpy as np
+
+from repro import obs
+from repro.obs import prometheus as prom
+from repro.obs import quality
+
+
+class TestDatasetFingerprint:
+    def test_stable_and_short(self):
+        arr = np.arange(64, dtype=np.float64)
+        fp = quality.dataset_fingerprint(arr)
+        assert fp == quality.dataset_fingerprint(arr.copy())
+        assert len(fp) == 12 and int(fp, 16) >= 0
+
+    def test_sensitive_to_content_shape_and_dtype(self):
+        base = np.arange(64, dtype=np.float64)
+        assert quality.dataset_fingerprint(base) != \
+            quality.dataset_fingerprint(base + 1)
+        assert quality.dataset_fingerprint(base) != \
+            quality.dataset_fingerprint(base.reshape(8, 8))
+        assert quality.dataset_fingerprint(base) != \
+            quality.dataset_fingerprint(base.astype(np.float32))
+
+    def test_large_arrays_are_sampled_not_fully_hashed(self):
+        big = np.zeros(1 << 20)
+        fp1 = quality.dataset_fingerprint(big, sample=1024)
+        big_mid = big.copy()
+        big_mid[5] = 7.0  # off the sampling stride
+        assert quality.dataset_fingerprint(big_mid, sample=1024) == fp1
+
+
+class TestConfigLabel:
+    def test_with_and_without_dims(self):
+        assert quality.config_label("sz", "nyx", 1e-2, (24, 24, 24)) == \
+            "sz/nyx/bound=0.01/24x24x24"
+        assert quality.config_label("zfp", "hurricane", 1e-4) == \
+            "zfp/hurricane/bound=0.0001"
+
+
+class TestRecordQuality:
+    def test_noop_when_metrics_disabled(self):
+        quality.record_quality("sz", 12.5, bound=1e-3,
+                               max_abs_error=5e-4)  # must not raise
+
+    def test_ratio_and_margin_series_with_exemplars(self):
+        with obs.metrics_enabled() as reg:
+            quality.record_quality(
+                "sz", 12.5, bound=1e-3, max_abs_error=5e-4,
+                fingerprint="abc123def456", config="sz/nyx/bound=0.001")
+            doc = prom.parse(prom.render(reg))
+        assert doc.value("pressio_quality_ratio_count",
+                         compressor="sz") == 1
+        assert doc.value("pressio_quality_ratio_sum",
+                         compressor="sz") == 12.5
+        # ratio 12.5 lands in the first bucket with le >= 12.5 (16)
+        assert doc.value("pressio_quality_ratio_bucket",
+                         compressor="sz", le="16") == 1
+        assert doc.value("pressio_quality_ratio_bucket",
+                         compressor="sz", le="8") == 0
+        # margin = 5e-4 / 1e-3 = 0.5: bound honoured, half the budget
+        assert doc.value("pressio_quality_bound_margin_count",
+                         compressor="sz") == 1
+        assert doc.value("pressio_quality_bound_margin_bucket",
+                         compressor="sz", le="0.5") == 1
+        ratio_ex = [v for k, v in doc.exemplars.items()
+                    if k[0] == "pressio_quality_ratio_bucket"]
+        assert len(ratio_ex) == 1
+        value, labels = ratio_ex[0]
+        assert value == 12.5
+        assert labels == {"fingerprint": "abc123def456",
+                          "config": "sz/nyx/bound=0.001"}
+        assert any(k[0] == "pressio_quality_bound_margin_bucket"
+                   for k in doc.exemplars)
+
+    def test_margin_skipped_without_bound_or_error(self):
+        with obs.metrics_enabled() as reg:
+            quality.record_quality("sz", 3.0)                   # no bound
+            quality.record_quality("sz", 3.0, bound=1e-3)       # no error
+            quality.record_quality("sz", 3.0, bound=0.0,
+                                   max_abs_error=0.0)           # lossless
+            doc = prom.parse(prom.render(reg))
+        assert doc.value("pressio_quality_ratio_count",
+                         compressor="sz") == 3
+        assert not any(n.startswith("pressio_quality_bound_margin")
+                       for n in doc.names())
+
+    def test_violation_lands_in_finite_over_one_bucket(self):
+        with obs.metrics_enabled() as reg:
+            quality.record_quality("zfp", 2.0, bound=1e-3,
+                                   max_abs_error=1.5e-3)  # margin 1.5
+            doc = prom.parse(prom.render(reg))
+        assert doc.value("pressio_quality_bound_margin_bucket",
+                         compressor="zfp", le="1.1") == 0
+        assert doc.value("pressio_quality_bound_margin_bucket",
+                         compressor="zfp", le="2") == 1

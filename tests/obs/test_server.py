@@ -148,3 +148,50 @@ class TestServerLifecycle:
             assert srv.registry is obs.active_registry()
         finally:
             srv.stop()
+
+
+class TestPortConflict:
+    def test_bound_port_raises_typed_error_with_details(self):
+        with obs.MetricsServer(registry=obs.MetricsRegistry()) as srv:
+            busy = srv.port
+            with pytest.raises(obs.PortInUseError) as exc:
+                obs.MetricsServer(registry=obs.MetricsRegistry(),
+                                  port=busy).start()
+        err = exc.value
+        assert isinstance(err, OSError)
+        assert (err.host, err.port) == ("127.0.0.1", busy)
+        assert f"127.0.0.1:{busy}" in str(err)
+
+    def test_conflict_is_taxonomy_counted(self):
+        with obs.metrics_enabled() as reg:
+            with obs.MetricsServer(registry=obs.MetricsRegistry()) as srv:
+                with pytest.raises(obs.PortInUseError):
+                    obs.MetricsServer(registry=obs.MetricsRegistry(),
+                                      port=srv.port).start()
+                family = reg.get("pressio_metrics_port_in_use_total")
+                assert family is not None
+                ((labels, child),) = list(family.samples())
+                assert child.value == 1
+                assert str(srv.port) in labels
+
+    def test_serve_metrics_cli_fails_with_hint_without_auto_port(
+            self, capsys):
+        from repro.tools.cli import run as cli_run
+
+        with obs.MetricsServer(registry=obs.MetricsRegistry()) as srv:
+            rc = cli_run(["serve-metrics", "--port", str(srv.port),
+                          "--duration", "0"])
+        assert rc == 1
+        assert "--auto-port" in capsys.readouterr().err
+
+    def test_serve_metrics_cli_auto_port_rebinds(self, capsys):
+        from repro.tools.cli import run as cli_run
+
+        with obs.MetricsServer(registry=obs.MetricsRegistry()) as srv:
+            busy = srv.port
+            rc = cli_run(["serve-metrics", "--port", str(busy),
+                          "--auto-port", "--duration", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"port {busy} in use; bound port" in out
+        assert "serving metrics on" in out
