@@ -10,6 +10,7 @@ Examples::
     pressio lint src/repro --baseline lint-baseline.json
     pressio lint src/repro --write-baseline lint-baseline.json
     pressio lint --list-rules
+    pressio lint --explain RS001
 """
 
 from __future__ import annotations
@@ -57,7 +58,64 @@ def build_lint_parser() -> argparse.ArgumentParser:
                              "(default warning)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--explain", default=None, metavar="RULEID",
+                        help="print the docs/LINT_RULES.md entry and a "
+                             "minimal good/bad example for one rule, "
+                             "then exit")
     return parser
+
+
+def _docs_section(rule_id: str) -> str | None:
+    """The ``### RULEID — ...`` section from docs/LINT_RULES.md, if
+    the docs tree is present (source checkouts; not installed wheels)."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[3] / "docs" / "LINT_RULES.md"
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    lines = text.splitlines()
+    start = next((i for i, line in enumerate(lines)
+                  if line.startswith(f"### {rule_id} ")), None)
+    if start is None:
+        return None
+    end = next((i for i in range(start + 1, len(lines))
+                if lines[i].startswith(("### ", "## "))), len(lines))
+    return "\n".join(lines[start:end]).rstrip()
+
+
+def _explain(rule_id: str) -> int:
+    from .rules import get_rule
+
+    rule = get_rule(rule_id.upper())
+    if rule is None:
+        known = ", ".join(r.rule_id for r in all_rules())
+        print(f"error: unknown rule id {rule_id!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    section = _docs_section(rule.rule_id)
+    if section is not None:
+        print(section)
+    else:
+        print(f"### {rule.rule_id} — {rule.name} "
+              f"({rule.severity.name.lower()})")
+        print()
+        print(rule.description)
+        rationale = getattr(rule, "rationale", "")
+        if rationale:
+            print()
+            print(f"*Why:* {rationale}")
+    for label, attr in (("Good", "good_example"), ("Bad", "bad_example")):
+        example = getattr(rule, attr, "")
+        if example:
+            print()
+            print(f"{label}:")
+            print()
+            print("```python")
+            print(example)
+            print("```")
+    return 0
 
 
 def _emit(report: str, output: str | None) -> None:
@@ -72,6 +130,9 @@ def _emit(report: str, output: str | None) -> None:
 
 def run_lint(argv: list[str]) -> int:
     args = build_lint_parser().parse_args(argv)
+
+    if args.explain:
+        return _explain(args.explain)
 
     if args.list_rules:
         for rule in all_rules():

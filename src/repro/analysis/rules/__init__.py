@@ -61,7 +61,8 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 
 
 def _load_packs() -> None:
-    from . import concurrency, contract, hotpath, observability  # noqa: F401
+    from . import (concurrency, contract, hotpath, locks,  # noqa: F401
+                   observability, resource)
 
 
 def all_rules() -> list[Rule]:

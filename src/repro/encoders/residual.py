@@ -157,25 +157,27 @@ def _encode_rzc2(residuals: np.ndarray, backend: str, level: int) -> bytes:
         return bytes(header)
     zz = _pool.acquire(n, np.uint64)
     scratch = _pool.acquire(n, np.uint64)
-    codes = zigzag_encode(r, out=zz, scratch=scratch)
-    maxc = int(codes.max())
-    nplanes = (maxc.bit_length() + 7) // 8 if maxc else 0
-    header.append(nplanes)
-    header.append(_BACKEND_IDS[backend])
-    if _LITTLE:
-        planes8 = codes.view(np.uint8).reshape(n, 8)
-    else:
-        planes8 = codes.astype("<u8").view(np.uint8).reshape(n, 8)
-    out = bytearray(bytes(header))
     plane_buf = _pool.acquire(n, np.uint8)
-    for p in range(nplanes):
-        np.copyto(plane_buf, planes8[:, p])
-        tag, payload = _encode_plane(plane_buf, level, allow_zlib)
-        out.append(tag)
-        out += np.uint64(len(payload)).tobytes()
-        out += payload
-    _pool.release(zz, scratch, plane_buf)
-    return bytes(out)
+    try:
+        codes = zigzag_encode(r, out=zz, scratch=scratch)
+        maxc = int(codes.max())
+        nplanes = (maxc.bit_length() + 7) // 8 if maxc else 0
+        header.append(nplanes)
+        header.append(_BACKEND_IDS[backend])
+        if _LITTLE:
+            planes8 = codes.view(np.uint8).reshape(n, 8)
+        else:
+            planes8 = codes.astype("<u8").view(np.uint8).reshape(n, 8)
+        out = bytearray(bytes(header))
+        for p in range(nplanes):
+            np.copyto(plane_buf, planes8[:, p])
+            tag, payload = _encode_plane(plane_buf, level, allow_zlib)
+            out.append(tag)
+            out += np.uint64(len(payload)).tobytes()
+            out += payload
+        return bytes(out)
+    finally:
+        _pool.release(zz, scratch, plane_buf)
 
 
 def _encode_plane(plane: np.ndarray, level: int,
@@ -227,10 +229,12 @@ def _encode_plane(plane: np.ndarray, level: int,
                 return _P_ZLIB, blob
     if n % _CHUNK == 0:
         full = plane
+        pooled = None
     else:
-        full = _pool.acquire(nchunks * _CHUNK, np.uint8)
-        full[:n] = plane
-        full[n:] = 0
+        pooled = _pool.acquire(nchunks * _CHUNK, np.uint8)
+        pooled[:n] = plane
+        pooled[n:] = 0
+        full = pooled
     try:
         chunk_max = full.reshape(nchunks, _CHUNK).max(axis=1)
         widths = _BITLEN8[chunk_max]
@@ -244,8 +248,8 @@ def _encode_plane(plane: np.ndarray, level: int,
             return _P_BITPACK, _bitpack_chunks(full, nchunks, widths)
         return _P_RAW, plane.tobytes()
     finally:
-        if full is not plane:
-            _pool.release(full)
+        if pooled is not None:
+            _pool.release(pooled)
 
 
 def _pack_indices(widths: np.ndarray,
@@ -331,36 +335,42 @@ def _decode_rzc2(view: memoryview) -> np.ndarray:
     codes = _pool.acquire(n, np.uint64)
     plane_buf = _pool.acquire(n, np.uint8)
     shifted = None
-    if nplanes == 0:
-        codes[:] = 0
-    pos = 14
-    for p in range(nplanes):
-        if pos + 9 > len(view):
-            raise ValueError("corrupt residual stream: truncated plane")
-        tag = view[pos]
-        plen = int(np.frombuffer(view[pos + 1:pos + 9], dtype=np.uint64)[0])
-        pos += 9
-        payload = view[pos:pos + plen]
-        if len(payload) != plen:
-            raise ValueError("corrupt residual stream: truncated plane")
-        pos += plen
-        _decode_plane(tag, payload, n, plane_buf)
-        if p == 0:
-            codes[:] = plane_buf
-        else:
-            if shifted is None:
-                shifted = _pool.acquire(n, np.uint64)
-            shifted[:] = plane_buf
-            np.left_shift(shifted, 8 * p, out=shifted)
-            np.bitwise_or(codes, shifted, out=codes)
-    if pos != len(view):
-        raise ValueError("corrupt residual stream: trailing bytes")
-    scratch = _pool.acquire(n, np.uint64)
-    out = zigzag_decode(codes, out=np.empty(n, np.int64), scratch=scratch)
-    _pool.release(codes, plane_buf, scratch)
-    if shifted is not None:
-        _pool.release(shifted)
-    return out
+    scratch = None
+    try:
+        if nplanes == 0:
+            codes[:] = 0
+        pos = 14
+        for p in range(nplanes):
+            if pos + 9 > len(view):
+                raise ValueError("corrupt residual stream: truncated plane")
+            tag = view[pos]
+            plen = int(np.frombuffer(view[pos + 1:pos + 9],
+                                     dtype=np.uint64)[0])
+            pos += 9
+            payload = view[pos:pos + plen]
+            if len(payload) != plen:
+                raise ValueError("corrupt residual stream: truncated plane")
+            pos += plen
+            _decode_plane(tag, payload, n, plane_buf)
+            if p == 0:
+                codes[:] = plane_buf
+            else:
+                if shifted is None:
+                    shifted = _pool.acquire(n, np.uint64)
+                shifted[:] = plane_buf
+                np.left_shift(shifted, 8 * p, out=shifted)
+                np.bitwise_or(codes, shifted, out=codes)
+        if pos != len(view):
+            raise ValueError("corrupt residual stream: trailing bytes")
+        scratch = _pool.acquire(n, np.uint64)
+        return zigzag_decode(codes, out=np.empty(n, np.int64),
+                             scratch=scratch)
+    finally:
+        _pool.release(codes, plane_buf)
+        if shifted is not None:
+            _pool.release(shifted)
+        if scratch is not None:
+            _pool.release(scratch)
 
 
 def _decode_plane(tag: int, payload: memoryview, n: int,

@@ -218,21 +218,29 @@ def compress_stage1(data: np.ndarray, tol: float, s: float = 0.0,
         total = int(sum(d.size for lvl in details for d in lvl)
                     + coarse.size)
         allcodes = _pool.acquire((total,), np.int64)
-        offset = 0
-        # finest level gets the first share, coarse grid the last
-        for lvl, level_details in enumerate(details):
-            eb = bounds[lvl]
-            for detail in level_details:
-                n = detail.size
-                scratch = _pool.acquire(detail.shape, np.float64)
-                quantize_uniform(
-                    detail, eb,
-                    out=allcodes[offset:offset + n].reshape(detail.shape),
-                    scratch=scratch)
-                _pool.release(scratch)
-                offset += n
-        coarse_codes = lorenzo_encode(quantize_uniform(coarse, bounds[-1]))
-        allcodes[offset:] = coarse_codes.reshape(-1)
+        try:
+            offset = 0
+            # finest level gets the first share, coarse grid the last
+            for lvl, level_details in enumerate(details):
+                eb = bounds[lvl]
+                for detail in level_details:
+                    n = detail.size
+                    scratch = _pool.acquire(detail.shape, np.float64)
+                    try:
+                        quantize_uniform(
+                            detail, eb,
+                            out=allcodes[offset:offset + n].reshape(
+                                detail.shape),
+                            scratch=scratch)
+                    finally:
+                        _pool.release(scratch)
+                    offset += n
+            coarse_codes = lorenzo_encode(
+                quantize_uniform(coarse, bounds[-1]))
+            allcodes[offset:] = coarse_codes.reshape(-1)
+        except BaseException:
+            _pool.release(allcodes)
+            raise
     return {"allcodes": allcodes, "tol": tol, "s": s, "levels": levels,
             "dtype": dtype, "shape": arr.shape, "backend": backend,
             "level": level}
@@ -246,9 +254,11 @@ def compress_stage2(state: dict) -> bytes:
     else:
         span = nullcontext()
     with span:
-        payload = encode_residuals(allcodes, backend=state["backend"],
-                                   level=state["level"])
-        _pool.release(allcodes)
+        try:
+            payload = encode_residuals(allcodes, backend=state["backend"],
+                                       level=state["level"])
+        finally:
+            _pool.release(allcodes)
     header = write_header(_MAGIC, state["dtype"], state["shape"],
                           doubles=(float(state["tol"]), float(state["s"])),
                           ints=(state["levels"],))

@@ -213,28 +213,36 @@ def compress_stage1(data: np.ndarray, params: sz_params) -> dict:
         codes = _pool.acquire(work.shape, np.int64)
         scratch = _pool.acquire(work.shape, np.float64)
         try:
-            quantize_uniform(work, eb, out=codes, scratch=scratch)
-        except ValueError:
-            if not (skipped_centering and work.size
-                    and np.all(np.isfinite(work))):
-                _pool.release(codes, scratch)
-                raise
-            # overflow on the uncentered fast path: a large DC component
-            # can put |value/2eb| out of code range even though the
-            # centered data quantizes fine — re-center and retry
-            offset = float(work.mean())
-            work = work - offset
-            quantize_uniform(work, eb, out=codes, scratch=scratch)
+            try:
+                quantize_uniform(work, eb, out=codes, scratch=scratch)
+            except ValueError:
+                if not (skipped_centering and work.size
+                        and np.all(np.isfinite(work))):
+                    raise
+                # overflow on the uncentered fast path: a large DC
+                # component can put |value/2eb| out of code range even
+                # though the centered data quantizes fine — re-center
+                # and retry
+                offset = float(work.mean())
+                work = work - offset
+                quantize_uniform(work, eb, out=codes, scratch=scratch)
+        except BaseException:
+            _pool.release(codes, scratch)
+            raise
     if _trace.ACTIVE is not None:
         span = _trace.stage("sz:predict")
     else:
         span = nullcontext()
     with span:
-        if params.predictionMode == "lorenzo":
-            residuals = lorenzo_encode(
-                codes, scratch=scratch, clobber=True).reshape(-1)
-        else:
-            residuals = codes.reshape(-1)
+        try:
+            if params.predictionMode == "lorenzo":
+                residuals = lorenzo_encode(
+                    codes, scratch=scratch, clobber=True).reshape(-1)
+            else:
+                residuals = codes.reshape(-1)
+        except BaseException:
+            _pool.release(codes, scratch)
+            raise
     return {"kind": "plain", "residuals": residuals,
             "pooled": (codes, scratch), "eb": eb, "offset": offset,
             "dtype": dtype, "shape": arr.shape, "params": params}
@@ -263,8 +271,10 @@ def compress_stage2(state: dict) -> bytes:
                   _PRED_IDS[params.predictionMode]),
         )
         return header + payload
-    entropy_kind, payload = _entropy_encode(state["residuals"], params)
-    _pool.release(*state["pooled"])
+    try:
+        entropy_kind, payload = _entropy_encode(state["residuals"], params)
+    finally:
+        _pool.release(*state["pooled"])
     header = write_header(
         _MAGIC, state["dtype"], state["shape"],
         doubles=(state["eb"], state["offset"]),

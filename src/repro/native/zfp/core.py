@@ -173,16 +173,20 @@ def _inv_lift_axis(blocks: np.ndarray, axis: int,
 
 def _fwd_transform(blocks: np.ndarray) -> None:
     temps = _lift_temps(blocks)
-    for axis in range(1, blocks.ndim):
-        _fwd_lift_axis(blocks, axis, temps)
-    _pool.release(*temps)
+    try:
+        for axis in range(1, blocks.ndim):
+            _fwd_lift_axis(blocks, axis, temps)
+    finally:
+        _pool.release(*temps)
 
 
 def _inv_transform(blocks: np.ndarray) -> None:
     temps = _lift_temps(blocks)
-    for axis in range(blocks.ndim - 1, 0, -1):
-        _inv_lift_axis(blocks, axis, temps)
-    _pool.release(*temps)
+    try:
+        for axis in range(blocks.ndim - 1, 0, -1):
+            _inv_lift_axis(blocks, axis, temps)
+    finally:
+        _pool.release(*temps)
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +249,10 @@ def compress_stage1(data: np.ndarray, mode: int, parameter: float,
                 "backend": backend, "level": level}
 
     values = arr.astype(np.float64, copy=False)
+    d = arr.ndim
+    nblocks = int(np.prod(
+        [(s + BLOCK_SIDE - 1) // BLOCK_SIDE for s in arr.shape],
+        dtype=np.int64))
     if _trace.ACTIVE is not None:
         span = _trace.stage("zfp:quantize", mode=mode)
     else:
@@ -252,23 +260,28 @@ def compress_stage1(data: np.ndarray, mode: int, parameter: float,
     with span:
         codes = _pool.acquire(values.shape, np.int64)
         scratch = _pool.acquire(values.shape, np.float64)
-        if mode == MODE_ACCURACY:
-            if parameter <= 0:
-                raise ValueError("accuracy tolerance must be positive")
-            step = float(parameter)
-            quantize_uniform(values, step, out=codes, scratch=scratch)
-        elif mode in (MODE_PRECISION, MODE_RATE):
-            vmax = float(np.abs(values).max()) if values.size else 0.0
-            if vmax == 0.0:
-                step = 1.0
-                codes[...] = 0
-            else:
-                # scale so |codes| <= 2**_Q; quantize_uniform uses bin 2*eb
-                step = vmax / float(2**_Q)
+        try:
+            if mode == MODE_ACCURACY:
+                if parameter <= 0:
+                    raise ValueError("accuracy tolerance must be positive")
+                step = float(parameter)
                 quantize_uniform(values, step, out=codes, scratch=scratch)
-        else:
+            elif mode in (MODE_PRECISION, MODE_RATE):
+                vmax = float(np.abs(values).max()) if values.size else 0.0
+                if vmax == 0.0:
+                    step = 1.0
+                    codes[...] = 0
+                else:
+                    # scale so |codes| <= 2**_Q; quantize_uniform uses
+                    # bin 2*eb
+                    step = vmax / float(2**_Q)
+                    quantize_uniform(values, step, out=codes,
+                                     scratch=scratch)
+            else:
+                raise ValueError(f"unknown zfp mode {mode}")
+        except BaseException:
             _pool.release(codes, scratch)
-            raise ValueError(f"unknown zfp mode {mode}")
+            raise
         _pool.release(scratch)
 
     if _trace.ACTIVE is not None:
@@ -276,38 +289,45 @@ def compress_stage1(data: np.ndarray, mode: int, parameter: float,
     else:
         span = nullcontext()
     with span:
-        d = arr.ndim
-        nblocks = int(np.prod(
-            [(s + BLOCK_SIDE - 1) // BLOCK_SIDE for s in arr.shape],
-            dtype=np.int64))
-        blocks = _to_blocks(
-            codes, out=_pool.acquire((nblocks,) + (BLOCK_SIDE,) * d,
-                                     np.int64))
-        _pool.release(codes)
-        if transform:
-            _fwd_transform(blocks)
+        blockbuf = _pool.acquire((nblocks,) + (BLOCK_SIDE,) * d, np.int64)
+        try:
+            try:
+                blocks = _to_blocks(codes, out=blockbuf)
+            finally:
+                _pool.release(codes)
+            if transform:
+                _fwd_transform(blocks)
+        except BaseException:
+            _pool.release(blockbuf)
+            raise
 
     if _trace.ACTIVE is not None:
         span = _trace.stage("zfp:bitplane")
     else:
         span = nullcontext()
     with span:
-        if mode == MODE_ACCURACY:
-            # nothing is discarded: skip the whole shift/round pass
-            shifts = np.zeros(blocks.shape[0], dtype=np.int64)
-            kept = blocks
-        else:
-            if mode == MODE_PRECISION:
-                planes = int(parameter)
-                if planes < 1:
-                    raise ValueError("precision must be at least 1 bit plane")
-                shifts = np.maximum(_block_maxbits(blocks) - planes, 0)
-            else:  # MODE_RATE
-                width = int(round(parameter))
-                if width < 1:
-                    raise ValueError("rate must be at least 1 bit per value")
-                shifts = np.maximum(_block_maxbits(blocks) - width, 0)
-            kept = _rounding_rshift(blocks, shifts)
+        try:
+            if mode == MODE_ACCURACY:
+                # nothing is discarded: skip the whole shift/round pass
+                shifts = np.zeros(blocks.shape[0], dtype=np.int64)
+                kept = blocks
+            else:
+                if mode == MODE_PRECISION:
+                    planes = int(parameter)
+                    if planes < 1:
+                        raise ValueError(
+                            "precision must be at least 1 bit plane")
+                    shifts = np.maximum(_block_maxbits(blocks) - planes, 0)
+                else:  # MODE_RATE
+                    width = int(round(parameter))
+                    if width < 1:
+                        raise ValueError(
+                            "rate must be at least 1 bit per value")
+                    shifts = np.maximum(_block_maxbits(blocks) - width, 0)
+                kept = _rounding_rshift(blocks, shifts)
+        except BaseException:
+            _pool.release(blockbuf)
+            raise
     return {"kind": "lossy", "kept": kept, "shifts": shifts,
             "step": step, "parameter": parameter, "mode": mode,
             "transform": transform, "dtype": dtype, "shape": arr.shape,
@@ -331,12 +351,14 @@ def compress_stage2(state: dict) -> bytes:
     else:
         span = nullcontext()
     with span:
-        shift_blob = _zlib.compress(
-            state["shifts"].astype(np.uint8).tobytes(), 1)
         kept = state["kept"]
-        payload = encode_residuals(kept.reshape(-1), backend=backend,
-                                   level=level)
-        _pool.release(kept)
+        try:
+            shift_blob = _zlib.compress(
+                state["shifts"].astype(np.uint8).tobytes(), 1)
+            payload = encode_residuals(kept.reshape(-1), backend=backend,
+                                       level=level)
+        finally:
+            _pool.release(kept)
     header = write_header(
         _MAGIC, state["dtype"], state["shape"],
         doubles=(state["step"], float(state["parameter"])),

@@ -1,0 +1,20 @@
+"""Runtime race & resource sanitizer (dynamic half of PR 9).
+
+Enable with ``PRESSIO_SANITIZE=1`` under pytest, ``pressio sanitize
+<cmd>`` on the CLI, or programmatically::
+
+    from repro import sanitize
+    sanitize.enable()
+    ...  # run the workload
+    for finding in sanitize.disable():
+        print(finding["kind"], finding["message"])
+
+See ``docs/SANITIZER.md`` for the report format and knobs, and
+:mod:`repro.sanitize.runtime` for what exactly is instrumented.
+"""
+
+from .runtime import (SanitizedLock, SanitizerError, disable, enable,
+                      findings, is_enabled, report, wrap_lock)
+
+__all__ = ["enable", "disable", "is_enabled", "report", "findings",
+           "wrap_lock", "SanitizedLock", "SanitizerError"]

@@ -1,0 +1,118 @@
+"""``pressio sanitize`` — run any pressio subcommand under the sanitizer.
+
+Usage::
+
+    pressio sanitize --self-test
+    pressio sanitize [--report PATH] <subcommand> [args...]
+
+The wrapped subcommand runs with the runtime sanitizer enabled; at exit
+a JSON report (findings + stats) is written to ``--report`` (default
+``sanitize-report.json``) and a human summary goes to stderr.  Exit
+code is the subcommand's, except that sanitizer findings force a
+nonzero exit (``2``) even when the workload itself succeeded.
+
+``--self-test`` plants a double-release, a lock-order inversion, and an
+input-aliasing bug and verifies each is detected — exit ``1`` when all
+three are caught (the healthy outcome CI asserts), ``3`` if any slips
+through.  This mirrors ``pressio conformance --self-test``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import runtime as _san
+
+__all__ = ["run_sanitize"]
+
+
+def build_sanitize_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pressio sanitize",
+        description="run a pressio subcommand under the runtime "
+                    "race & resource sanitizer")
+    parser.add_argument("--self-test", action="store_true",
+                        help="plant known bugs and verify detection "
+                             "(exit 1 = all detected, 3 = any missed)")
+    parser.add_argument("--report", default="sanitize-report.json",
+                        metavar="PATH",
+                        help="write the JSON findings report here "
+                             "(default: %(default)s)")
+    parser.add_argument("command", nargs=argparse.REMAINDER,
+                        help="pressio subcommand to run sanitized")
+    return parser
+
+
+def _split_argv(argv: list[str]) -> tuple[list[str], list[str]]:
+    """Split sanitize's own options from the wrapped command.
+
+    ``argparse.REMAINDER`` refuses a command that *starts* with a dash
+    (``pressio sanitize -z sz ...``), so the boundary is found by hand:
+    everything from the first token that is not a sanitize option is
+    the wrapped command, dashes and all.
+    """
+    head: list[str] = []
+    i = 0
+    while i < len(argv):
+        tok = argv[i]
+        if tok in ("--self-test", "-h", "--help") or \
+                tok.startswith("--report="):
+            head.append(tok)
+            i += 1
+        elif tok == "--report":
+            head.extend(argv[i:i + 2])
+            i += 2
+        else:
+            break
+    return head, argv[i:]
+
+
+def run_sanitize(argv: list[str]) -> int:
+    head, command = _split_argv(argv)
+    args = build_sanitize_parser().parse_args(head)
+    args.command = command
+
+    if args.self_test:
+        from .selftest import run_selftest
+
+        return run_selftest()
+
+    if not args.command:
+        print("error: missing subcommand (or use --self-test)",
+              file=sys.stderr)
+        return 2
+
+    from ..tools.cli import run as run_pressio
+
+    owner = not _san.is_enabled()
+    if owner:
+        _san.enable()
+    try:
+        code = run_pressio(args.command)
+    finally:
+        result = _san.report()
+        if owner:
+            result["findings"] = _san.disable()
+            result["enabled"] = False
+        recorded = result["findings"]
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        _summarize(result, args.report)
+    if recorded and code == 0:
+        return 2
+    return code
+
+
+def _summarize(result: dict, path: str) -> None:
+    recorded = result["findings"]
+    stats = result["stats"]
+    print(f"sanitize: {len(recorded)} finding(s); "
+          f"{stats.get('pool_acquires', 0)} pool acquires, "
+          f"{stats.get('operations_checked', 0)} operations checked; "
+          f"report written to {path}", file=sys.stderr)
+    for finding in recorded:
+        print(f"sanitize: [{finding['kind']}] {finding['message']}",
+              file=sys.stderr)

@@ -1,0 +1,64 @@
+"""Pytest plugin: run the whole suite under the runtime sanitizer.
+
+Activated from ``tests/conftest.py`` when ``PRESSIO_SANITIZE=1`` is
+set; CI's ``sanitize`` job uses it to run tier-1 fully instrumented.
+
+* the sanitizer is enabled once at session start and disabled at
+  session finish;
+* findings are written to ``PRESSIO_SANITIZE_REPORT`` (default
+  ``sanitize-report.json``) and echoed in the terminal summary;
+* any finding other than ``unjoined-thread`` fails the session with
+  exit status 3 (unjoined threads at session teardown are reported but
+  tolerated: pytest plugins and timers legitimately outlive tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from . import runtime as _san
+
+_REPORT_ENV = "PRESSIO_SANITIZE_REPORT"
+_FAIL_EXIT = 3
+
+
+def pytest_sessionstart(session):
+    if _san.is_enabled():  # e.g. nested pytest runs
+        session.config._pressio_sanitize_owner = False
+        return
+    _san.enable()
+    session.config._pressio_sanitize_owner = True
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not getattr(session.config, "_pressio_sanitize_owner", False):
+        return
+    result = _san.report()
+    recorded = _san.disable()
+    result["findings"] = recorded
+    result["enabled"] = False
+    path = os.environ.get(_REPORT_ENV, "sanitize-report.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    session.config._pressio_sanitize_result = result
+    hard = [f for f in recorded if f["kind"] != "unjoined-thread"]
+    if hard and exitstatus == 0:
+        session.exitstatus = _FAIL_EXIT
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    result = getattr(config, "_pressio_sanitize_result", None)
+    if result is None:
+        return
+    recorded = result["findings"]
+    stats = result["stats"]
+    terminalreporter.section("pressio sanitize")
+    terminalreporter.write_line(
+        f"{len(recorded)} finding(s); "
+        f"{stats.get('pool_acquires', 0)} pool acquires, "
+        f"{stats.get('operations_checked', 0)} operations checked")
+    for finding in recorded:
+        terminalreporter.write_line(
+            f"[{finding['kind']}] {finding['message']}")

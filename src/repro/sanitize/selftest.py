@@ -1,0 +1,106 @@
+"""Sanitizer self-test: plant known bugs, verify each is detected.
+
+Mirrors the conformance subsystem's self-test contract: the harness
+deliberately plants a **double-release**, a **lock-order inversion**,
+and an **input-aliasing** bug, runs them under the sanitizer, and
+checks the report.  Exit codes:
+
+* ``1`` — every planted bug was detected (the expected outcome; CI
+  asserts this exact code);
+* ``3`` — at least one planted bug went undetected: the sanitizer
+  itself is broken.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from . import runtime as _san
+
+#: distinct lock names per run: the runtime reports each inverted lock
+#: pair once, so a second self-test in the same session must not reuse
+#: the previous run's pair
+_RUN_IDS = itertools.count()
+
+#: planted bug name -> finding kind the sanitizer must report
+PLANTED = {
+    "double-release": "double-release",
+    "lock-order-inversion": "lock-order-inversion",
+    "input-aliasing": "input-aliasing",
+}
+
+
+def _plant_double_release() -> None:
+    from ..native import pool as _pool
+
+    buf = _pool.acquire((256,), np.uint8)
+    _pool.release(buf)
+    _pool.release(buf)  # planted: backing store freed twice
+
+
+def _plant_lock_inversion() -> None:
+    import threading
+
+    run = next(_RUN_IDS)
+    a = _san.wrap_lock(threading.Lock(), f"selftest:lock-a{run}")
+    b = _san.wrap_lock(threading.Lock(), f"selftest:lock-b{run}")
+    with a:
+        with b:          # fixes order a -> b
+            pass
+    with b:
+        with a:          # planted: opposite order b -> a
+            pass
+
+
+def _plant_input_aliasing() -> None:
+    from ..core.compressor import PressioCompressor
+    from ..core.data import PressioData
+
+    class _AliasingCompressor(PressioCompressor):
+        thread_safety = "single"
+
+        def get_name(self) -> str:
+            return "selftest_aliasing"
+
+        def _compress(self, input: PressioData) -> PressioData:
+            arr = input.to_numpy(writable=True)
+            arr[...] = 0  # planted: mutates the caller's buffer
+            return PressioData.from_numpy(arr.astype(np.uint8))
+
+        def _decompress(self, input: PressioData,
+                        output: PressioData) -> PressioData:
+            return output
+
+    data = PressioData.from_numpy(
+        np.linspace(0.0, 1.0, 512).reshape(32, 16))
+    _AliasingCompressor().compress(data)
+
+
+def run_selftest(verbose: bool = True) -> int:
+    """Plant the three bugs; return 1 if all detected, 3 otherwise."""
+    already_on = _san.is_enabled()
+    if not already_on:
+        _san.enable()
+    try:
+        _plant_double_release()
+        _plant_lock_inversion()
+        _plant_input_aliasing()
+        seen = {f["kind"] for f in _san.report()["findings"]}
+    finally:
+        if not already_on:
+            _san.disable()
+    missed = [bug for bug, kind in PLANTED.items() if kind not in seen]
+    if verbose:
+        for bug, kind in sorted(PLANTED.items()):
+            status = "MISSED" if bug in missed else "detected"
+            print(f"sanitize self-test: {bug:<22} {status}")
+    if missed:
+        if verbose:
+            print(f"sanitize self-test: FAILED — "
+                  f"{len(missed)} planted bug(s) undetected")
+        return 3
+    if verbose:
+        print("sanitize self-test: all planted bugs detected")
+    return 1

@@ -347,6 +347,10 @@ def run(argv: list[str] | None = None) -> int:
         from ..conformance.cli import run_conformance
 
         return run_conformance(argv[1:])
+    if argv and argv[0] == "sanitize":
+        from ..sanitize.cli import run_sanitize
+
+        return run_sanitize(argv[1:])
     args = build_parser().parse_args(argv)
     library = Pressio()
 

@@ -1,0 +1,27 @@
+"""Negative control for LK001: balanced, exception-safe lock usage.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import threading
+
+
+class StatBox:
+    def __init__(self):
+        self._stats_lock = threading.Lock()
+        self.count = 0
+
+    def bump_manual(self):
+        self._stats_lock.acquire()
+        try:
+            self.count = bump(self.count)
+        finally:
+            self._stats_lock.release()
+
+    def bump_scoped(self):
+        with self._stats_lock:
+            self.count = bump(self.count)
+
+
+def bump(value):
+    return value + 1

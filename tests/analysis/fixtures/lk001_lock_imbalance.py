@@ -1,0 +1,25 @@
+"""Seeded LK001 violations: manual lock calls without exception safety.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import threading
+
+
+class StatBox:
+    def __init__(self):
+        self._stats_lock = threading.Lock()
+        self.count = 0
+
+    def bump_unsafe(self):
+        self._stats_lock.acquire()
+        self.count = bump(self.count)   # raises -> lock held: LK001
+        self._stats_lock.release()
+
+    def reset_forever(self):
+        self._stats_lock.acquire()      # never released here: LK001
+        self.count = 0
+
+
+def bump(value):
+    return value + 1

@@ -1,0 +1,26 @@
+"""Negative control for LK002: one global lock order on every path.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import threading
+
+
+class Pipework:
+    def __init__(self):
+        self._queue_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.items = []
+        self.count = 0
+
+    def put(self, item):
+        with self._stats_lock:           # stats -> queue, always
+            with self._queue_lock:
+                self.items.append(item)
+                self.count = self.count + 1
+
+    def drain(self):
+        with self._stats_lock:           # same order on the drain path
+            with self._queue_lock:
+                self.count = 0
+                return list(self.items)

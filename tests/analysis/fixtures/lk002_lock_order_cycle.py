@@ -1,0 +1,26 @@
+"""Seeded LK002 violation: two paths fix opposite lock orders.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import threading
+
+
+class Pipework:
+    def __init__(self):
+        self._queue_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.items = []
+        self.count = 0
+
+    def put(self, item):
+        with self._stats_lock:           # fixes stats -> queue
+            with self._queue_lock:
+                self.items.append(item)
+                self.count = self.count + 1
+
+    def drain(self):
+        with self._queue_lock:           # fixes queue -> stats: cycle
+            with self._stats_lock:
+                self.count = 0
+                return list(self.items)

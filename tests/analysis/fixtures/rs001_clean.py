@@ -1,0 +1,32 @@
+"""Negative control for RS001: every exit path releases its buffers.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import numpy as np
+
+from repro.native import pool as _pool
+
+
+def encode_span(data):
+    buf = _pool.acquire(data.shape, np.uint8)
+    try:
+        transform(data, out=buf)
+    finally:
+        _pool.release(buf)
+
+
+def encode_padded(data, n):
+    pooled = None
+    if n % 64:
+        pooled = _pool.acquire((n,), np.uint8)
+        pooled[:n] = 0
+    try:
+        transform(data, out=data)
+    finally:
+        if pooled is not None:
+            _pool.release(pooled)
+
+
+def transform(data, out):
+    out[...] = data

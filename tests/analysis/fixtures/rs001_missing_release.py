@@ -1,0 +1,26 @@
+"""Seeded RS001 violations: pool buffers leaked on exit paths.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import numpy as np
+
+from repro.native import pool as _pool
+
+
+def encode_span(data):
+    buf = _pool.acquire(data.shape, np.uint8)
+    transform(data, out=buf)      # may raise -> buf lost: RS001
+    _pool.release(buf)
+
+
+def encode_maybe(data, fast):
+    buf = _pool.acquire(data.shape, np.uint8)
+    if fast:
+        return None               # early return leaks buf: RS001
+    _pool.release(buf)
+    return True
+
+
+def transform(data, out):
+    out[...] = data

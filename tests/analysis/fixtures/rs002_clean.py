@@ -1,0 +1,17 @@
+"""Negative control for RS002: exactly one release on every path.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import numpy as np
+
+from repro.native import pool as _pool
+
+
+def encode_branchy(data, fast):
+    buf = _pool.acquire(data.shape, np.uint8)
+    if fast:
+        _pool.release(buf)
+        return None
+    _pool.release(buf)
+    return True

@@ -1,0 +1,14 @@
+"""Seeded RS002 violation: the same buffer released twice on one path.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import numpy as np
+
+from repro.native import pool as _pool
+
+
+def encode_once(data):
+    buf = _pool.acquire(data.shape, np.uint8)
+    _pool.release(buf)
+    _pool.release(buf)   # free list holds buf twice: RS002

@@ -1,0 +1,19 @@
+"""Seeded RS003 violations: pooled buffers escape the acquiring scope.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import numpy as np
+
+from repro.native import pool as _pool
+
+
+class ScratchCache:
+    def prime(self, n):
+        buf = _pool.acquire((n,), np.uint8)
+        self._scratch = buf      # attribute store escapes: RS003
+
+
+def wrap_buffer(n):
+    buf = _pool.acquire((n,), np.uint8)
+    return {"scratch": buf}      # ad-hoc return escape: RS003

@@ -1,0 +1,29 @@
+"""Negative control for RS003: only sanctioned ownership transfers.
+
+Lint fixture — parsed by the analyzer, never imported or executed.
+"""
+
+import numpy as np
+
+from repro.native import pool as _pool
+
+
+def fresh_scratch(n):
+    # allocator: every return is built from pool acquires, so callers
+    # inherit the release obligation through the call graph
+    return _pool.acquire((n,), np.uint8)
+
+
+def stage_open(n):
+    """Open a staged span; pool-ownership: caller releases the result."""
+    buf = _pool.acquire((n,), np.uint8)
+    buf[:] = 0
+    return buf
+
+
+def consume(n):
+    buf = fresh_scratch(n)
+    try:
+        buf[:] = 1
+    finally:
+        _pool.release(buf)

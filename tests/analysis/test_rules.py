@@ -23,6 +23,17 @@ SEEDED = {
     "ts001_shared_write.py": ("TS001", 2),
     "ts002_missing_declaration.py": ("TS002", 2),
     "pe001_parse_error.py": (PARSE_RULE_ID, 1),
+    # RS/LK fixture pairs: one firing file, one clean control each
+    "rs001_missing_release.py": ("RS001", 2),
+    "rs001_clean.py": ("RS001", 0),
+    "rs002_double_release.py": ("RS002", 1),
+    "rs002_clean.py": ("RS002", 0),
+    "rs003_buffer_escape.py": ("RS003", 2),
+    "rs003_clean.py": ("RS003", 0),
+    "lk001_lock_imbalance.py": ("LK001", 2),
+    "lk001_clean.py": ("LK001", 0),
+    "lk002_lock_order_cycle.py": ("LK002", 2),
+    "lk002_clean.py": ("LK002", 0),
 }
 
 

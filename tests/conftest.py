@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import Pressio, PressioData
 from repro.datasets import hacc, hurricane_cloud, nyx, scale_letkf
+
+# PRESSIO_SANITIZE=1 runs the whole suite under the runtime race &
+# resource sanitizer (see docs/SANITIZER.md); CI's sanitize job sets it
+if os.environ.get("PRESSIO_SANITIZE") == "1":
+    pytest_plugins = ("repro.sanitize.pytest_plugin",)
 
 
 @pytest.fixture(scope="session")
