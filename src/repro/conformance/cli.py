@@ -33,6 +33,10 @@ def build_conformance_parser() -> argparse.ArgumentParser:
     scope.add_argument("--self-test", action="store_true",
                        help="plant seeded violations and prove the "
                             "batteries detect them")
+    scope.add_argument("--serve", action="store_true",
+                       help="run every compressor through a live "
+                            "pressio serve daemon and require served "
+                            "results byte-identical to in-process")
     scope.add_argument("--list", action="store_true", dest="list_subjects",
                        help="list subjects, batteries, and exclusions")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
@@ -103,6 +107,12 @@ def run_conformance(argv: list[str]) -> int:
         for subject, reason in excluded:
             print(f"excluded: {subject} — {reason}")
         return 0
+
+    if args.serve:
+        from ..serve.conformance import run_serve_conformance
+
+        return run_serve_conformance(seed=args.seed, json_path=args.json,
+                                     fmt=args.format, verbose=args.verbose)
 
     if args.self_test:
         from .selftest import run_self_test

@@ -61,7 +61,8 @@ from .runtime import (
     record_operation,
     set_gauge,
 )
-from .server import MetricsServer, PortInUseError, start_server
+from .server import (MetricsServer, PortInUseError,
+                     bind_with_fallback, start_server)
 
 __all__ = [
     "MetricsRegistry",
@@ -81,6 +82,7 @@ __all__ = [
     "render_prometheus",
     "MetricsServer",
     "PortInUseError",
+    "bind_with_fallback",
     "start_server",
     "ingest_trace",
     "ingest_metrics_results",

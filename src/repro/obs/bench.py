@@ -442,6 +442,14 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--quick", action="store_true",
                         help="small grid for CI smoke runs")
+    parser.add_argument("--serve", action="store_true",
+                        help="compare served round trips (live local "
+                             "daemon, shared-memory handoff) against "
+                             "in-process on the quick grid and write a "
+                             "pressio-serve-bench/1 artifact")
+    parser.add_argument("--serve-output",
+                        default="benchmarks/BENCH_serve_compare.json",
+                        help="artifact path for the --serve comparison")
     parser.add_argument("--compressors", default=None,
                         help="comma-separated plugin ids")
     parser.add_argument("--datasets", default=None,
@@ -488,6 +496,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
 
 def run_bench(argv: list[str]) -> int:
     args = build_bench_parser().parse_args(argv)
+    if args.serve:
+        from ..serve.bench import run_serve_bench
+
+        return run_serve_bench(args)
     compressors = (tuple(args.compressors.split(","))
                    if args.compressors else
                    QUICK_COMPRESSORS if args.quick else DEFAULT_COMPRESSORS)

@@ -29,32 +29,66 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from . import bridge, prometheus, runtime
 from .registry import MetricsRegistry
 
-__all__ = ["MetricsServer", "PortInUseError", "start_server"]
+__all__ = ["MetricsServer", "PortInUseError", "bind_with_fallback",
+           "start_server"]
 
 
 class PortInUseError(OSError):
-    """The requested metrics port is already bound by another process.
+    """The requested port is already bound by another process.
 
     Raised instead of the raw ``OSError`` so callers (the
-    ``serve-metrics`` CLI) can offer the port-0 fallback with a clear
-    message rather than a traceback.
+    ``serve-metrics`` and ``serve`` CLIs) can offer the port-0 fallback
+    with a clear message rather than a traceback.
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(self, host: str, port: int,
+                 surface: str = "metrics") -> None:
         super().__init__(errno.EADDRINUSE,
-                         f"metrics port {host}:{port} is already in use")
+                         f"{surface} port {host}:{port} is already in use")
         self.host = host
         self.port = port
+        self.surface = surface
+
+
+def bind_with_fallback(bind, host: str, port: int,
+                       auto_port: bool = False,
+                       surface: str = "metrics"):
+    """The one shared ``--auto-port`` path for every pressio listener.
+
+    Calls ``bind(host, port)``; on ``EADDRINUSE`` the collision is
+    counted (``pressio_<surface>_port_in_use_total``) and then either
+    the bind is retried on port 0 (``auto_port=True`` — the kernel
+    hands out a free port, so concurrent startups cannot race on a
+    fixed number) or a typed :class:`PortInUseError` is raised.
+
+    ``serve-metrics`` and ``serve`` both route their sockets through
+    here — the regression test for concurrent startup pins that they
+    stay on this path rather than growing divergent retry loops.
+    """
+    try:
+        return bind(host, port)
+    except OSError as e:
+        if e.errno != errno.EADDRINUSE:
+            raise
+        runtime.count(
+            f"pressio_{surface}_port_in_use_total",
+            f"{surface} startups that hit EADDRINUSE",
+            host=host, port=str(port))
+        if auto_port and port != 0:
+            return bind(host, 0)
+        raise PortInUseError(host, port, surface=surface) from e
 
 
 class MetricsServer:
     """Owns the listening socket and its serving thread."""
 
     def __init__(self, registry: MetricsRegistry | None = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 auto_port: bool = False) -> None:
         self._registry = registry
         self._host = host
         self._requested_port = port
+        self._auto_port = auto_port
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._started_at = 0.0
@@ -74,21 +108,10 @@ class MetricsServer:
 
                 get_logger("obs.http").debug(format % args)
 
-        try:
-            self._httpd = ThreadingHTTPServer(
-                (self._host, self._requested_port), Handler)
-        except OSError as e:
-            if e.errno == errno.EADDRINUSE:
-                # taxonomy-counted so fleet dashboards see how often
-                # operators collide on a port, then a *typed* error the
-                # CLI can catch to offer the port-0 fallback
-                runtime.count(
-                    "pressio_metrics_port_in_use_total",
-                    "serve-metrics startups that hit EADDRINUSE",
-                    host=self._host, port=str(self._requested_port))
-                raise PortInUseError(self._host,
-                                     self._requested_port) from e
-            raise
+        self._httpd = bind_with_fallback(
+            lambda host, port: ThreadingHTTPServer((host, port), Handler),
+            self._host, self._requested_port,
+            auto_port=self._auto_port, surface="metrics")
         self._httpd.daemon_threads = True
         self._started_at = time.monotonic()
         self._thread = threading.Thread(
@@ -183,13 +206,16 @@ class MetricsServer:
 
 
 def start_server(port: int = 0, host: str = "127.0.0.1",
-                 registry: MetricsRegistry | None = None) -> MetricsServer:
+                 registry: MetricsRegistry | None = None,
+                 auto_port: bool = False) -> MetricsServer:
     """Enable collection (if needed) and serve it in the background.
 
     When no registry is passed and none is active, a fresh one is
     installed via :func:`repro.obs.runtime.enable_metrics` so operations
-    that follow are counted without further setup.
+    that follow are counted without further setup.  ``auto_port=True``
+    falls back to an OS-assigned port when the requested one is taken.
     """
     if registry is None and runtime.ACTIVE is None:
         runtime.enable_metrics()
-    return MetricsServer(registry=registry, host=host, port=port).start()
+    return MetricsServer(registry=registry, host=host, port=port,
+                         auto_port=auto_port).start()

@@ -1,0 +1,117 @@
+"""Content-addressed LRU cache of compressed artifacts.
+
+The key is the blake2b fingerprint of the *input bytes* plus the full
+compression identity — dtype, dims, compressor id, and canonicalized
+options — so two tenants compressing the same block with the same
+settings share one cached artifact, while any change to bound or
+compressor misses cleanly.
+
+The cache is opt-in per request (``cache: use|refresh|bypass`` in the
+wire header) so the bench comparison stays honest: served-vs-in-process
+numbers are measured with ``bypass``.
+
+Capacity is bounded in *bytes* of stored compressed artifacts; an
+insert evicts least-recently-used entries until the new artifact fits.
+Artifacts larger than the whole cache are simply not stored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+from .wire import canonical_options
+
+__all__ = ["ArtifactCache", "fingerprint"]
+
+
+def fingerprint(payload: bytes | memoryview) -> str:
+    """Stable content address of the raw input bytes."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(payload)
+    return h.hexdigest()
+
+
+class ArtifactCache:
+    """Thread-safe byte-bounded LRU of compressed artifacts."""
+
+    def __init__(self, capacity_bytes: int = 64 << 20) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(
+                f"capacity_bytes must be non-negative, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stores = 0
+
+    @staticmethod
+    def key(digest: str, dtype: str, dims: tuple[int, ...],
+            compressor: str, options: dict | None) -> str:
+        dims_s = ",".join(str(d) for d in dims)
+        return "|".join((digest, dtype, dims_s, compressor,
+                         canonical_options(options)))
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return artifact
+
+    def put(self, key: str, artifact: bytes | memoryview) -> None:
+        artifact = bytes(artifact)
+        size = len(artifact)
+        if size > self.capacity_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            while self._bytes + size > self.capacity_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self.evictions += 1
+            self._entries[key] = artifact
+            self._bytes += size
+            self.stores += 1
+
+    def invalidate(self, key: str) -> None:
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    @property
+    def entry_count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "stores": self.stores,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "capacity_bytes": self.capacity_bytes,
+            }

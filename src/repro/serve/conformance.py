@@ -1,0 +1,172 @@
+"""``pressio conformance --serve``: served results must be byte-identical.
+
+The daemon is a transport, not a transform: for every registered
+compressor, compressing through a live ``pressio serve`` daemon must
+produce the *same bytes* as calling the plugin in-process, and
+decompressing a served stream must reproduce the in-process output
+exactly.  This battery proves it over both payload paths (inline frames
+and shared-memory handoff) for compress, decompress, and roundtrip.
+
+Nondeterministic plugins (those whose two back-to-back in-process runs
+on identical input already differ, e.g. seeded injectors configured
+with entropy) are detected at runtime and reported as skips — there is
+no hand-maintained exclusion list to rot.  Plugins that need mandatory
+options to run at all (e.g. ``resize``) are likewise skipped with the
+in-process error as the reason: the battery checks transport fidelity,
+not plugin contracts (the main conformance matrix owns those).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+import numpy as np
+
+__all__ = ["run_serve_conformance", "serve_identity_cells"]
+
+#: One smooth-ish canonical block: small enough to keep the full
+#: registry sweep fast, structured enough that lossy plugins exercise
+#: their real code paths instead of degenerate all-zero shortcuts.
+CANON_DIMS = (8, 8, 8)
+
+
+def _canonical_array(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    walk = np.cumsum(rng.standard_normal(int(np.prod(CANON_DIMS))))
+    return np.ascontiguousarray(
+        walk.reshape(CANON_DIMS).astype(np.float32))
+
+
+def _local_compress(plugin, data) -> bytes:
+    result = plugin.compress(data)
+    return bytes(result.as_memoryview())
+
+
+def _local_decompress(plugin, blob: bytes, template_of) -> bytes:
+    from ..core.data import PressioData
+
+    stream = PressioData.from_numpy(
+        np.frombuffer(blob, dtype=np.uint8), copy=False)
+    template = PressioData.empty(template_of.dtype, template_of.dims)
+    out = plugin.decompress(stream, template)
+    return bytes(out.as_memoryview())
+
+
+def serve_identity_cells(seed: int,
+                         compressors: list[str] | None = None,
+                         ) -> list[dict[str, Any]]:
+    """One identity-check cell per compressor; returns cell dicts.
+
+    Each cell records ``status`` (``ok`` / ``mismatch`` / ``skip``) and
+    per-check booleans for the six served paths: {compress, decompress,
+    roundtrip} x {inline, shm}.
+    """
+    from ..core.data import PressioData
+    from ..core.library import Pressio
+    from .client import ServeClient
+    from .daemon import ServeServer
+
+    library = Pressio()
+    ids = compressors or library.supported_compressors()
+    arr = _canonical_array(seed)
+    cells: list[dict[str, Any]] = []
+    with ServeServer(port=0, workers=2) as server:
+        inline = ServeClient(port=server.port, use_shm=False)
+        shm = ServeClient(port=server.port, use_shm=True,
+                          uds=server.uds_path)
+        try:
+            for cid in ids:
+                cells.append(_check_one(
+                    library, cid, arr, inline, shm, PressioData))
+        finally:
+            inline.close()
+            shm.close()
+    return cells
+
+
+def _check_one(library, cid: str, arr: np.ndarray, inline, shm,
+               PressioData) -> dict[str, Any]:
+    cell: dict[str, Any] = {"compressor": cid}
+    plugin = library.get_compressor(cid)
+    if plugin is None:
+        cell.update(status="skip", reason=library.error_msg())
+        return cell
+    data = PressioData.from_numpy(arr, copy=False)
+    try:
+        blob = _local_compress(plugin, data)
+        rerun = _local_compress(plugin, data)
+        local_out = _local_decompress(plugin, blob, data)
+    # the battery converts escapes into report cells; counting them in
+    # pressio_errors_total would pollute the taxonomy with probes
+    # pressio-lint: disable=PC004
+    except Exception as exc:  # noqa: BLE001 - probing plugin contracts
+        cell.update(status="skip",
+                    reason=f"in-process: {type(exc).__name__}: {exc}")
+        return cell
+    if blob != rerun:
+        cell.update(status="skip", reason="nondeterministic compressor")
+        return cell
+    dtype, dims = str(arr.dtype), arr.shape
+    checks: dict[str, bool] = {}
+    try:
+        for path, client in (("inline", inline), ("shm", shm)):
+            served_blob, _ = client.compress(arr, cid)
+            checks[f"compress-{path}"] = served_blob == blob
+            out, _ = client.decompress(blob, cid, dtype, dims)
+            checks[f"decompress-{path}"] = out.tobytes() == local_out
+            rt, _ = client.roundtrip(arr, cid)
+            checks[f"roundtrip-{path}"] = rt.tobytes() == local_out
+    # a served escape IS the finding — it becomes a mismatch cell, and
+    # the daemon's own error taxonomy already counted it server-side
+    # pressio-lint: disable=PC004
+    except Exception as exc:  # noqa: BLE001 - served failure = violation
+        cell.update(status="mismatch", checks=checks,
+                    reason=f"served: {type(exc).__name__}: {exc}")
+        return cell
+    cell["checks"] = checks
+    cell["status"] = "ok" if all(checks.values()) else "mismatch"
+    if cell["status"] == "mismatch":
+        cell["reason"] = "served bytes differ from in-process: " + \
+            ", ".join(k for k, v in checks.items() if not v)
+    return cell
+
+
+def run_serve_conformance(seed: int, json_path: str | None = None,
+                          fmt: str = "text", verbose: bool = False) -> int:
+    """CLI back end; prints a report and returns the exit code."""
+    cells = serve_identity_cells(seed)
+    counts = {"ok": 0, "mismatch": 0, "skip": 0}
+    for cell in cells:
+        counts[cell["status"]] += 1
+    report = {
+        "battery": "serve-identity",
+        "seed": seed,
+        "dims": list(CANON_DIMS),
+        "counts": counts,
+        "cells": cells,
+    }
+    payload = json.dumps(report, indent=2)
+    if fmt == "json":
+        print(payload)
+    else:
+        print(f"serve identity battery (seed {seed}): "
+              f"{counts['ok']} identical, {counts['mismatch']} mismatched, "
+              f"{counts['skip']} skipped")
+        for cell in cells:
+            if cell["status"] == "ok" and not verbose:
+                continue
+            line = f"  {cell['compressor']:<18} {cell['status']}"
+            if cell.get("reason"):
+                line += f" — {cell['reason']}"
+            stream = sys.stderr if cell["status"] == "mismatch" else sys.stdout
+            print(line, file=stream)
+    if json_path:
+        if json_path == "-":
+            if fmt != "json":
+                print(payload)
+        else:
+            with open(json_path, "w") as fh:
+                fh.write(payload + "\n")
+    return 1 if counts["mismatch"] else 0

@@ -1,0 +1,509 @@
+"""``pressio-serve/1``: the versioned binary wire format.
+
+A frame is::
+
+    +------+------------+----------------+------------------+
+    | PSV1 | u32 hlen   | JSON header    | raw payload      |
+    | 4 B  | big-endian | hlen bytes     | header["nbytes"] |
+    +------+------------+----------------+------------------+
+
+The JSON header carries everything except the array bytes: the wire
+version, operation, tenant, compressor id, options, dtype/dims, cache
+mode, trace context, and — for zero-copy requests — a shared-memory
+descriptor instead of an inline payload.  The payload section is the
+raw C-order ndarray bytes (or the compressed stream for decompress);
+it is absent (``nbytes == 0``) when the data travels via shared
+memory.
+
+Dims use numpy semantics: ``dims == []`` is a 0-d scalar holding one
+element (``prod([]) == 1``), and any 0 in dims means an empty array.
+The core :class:`~repro.core.data.PressioData` treats ``dims=()`` as
+zero elements, so 0-d handling lives here — the server reshapes to
+``(1,)`` at the boundary and restores the scalar shape on the way out.
+
+Decode failures raise the typed taxonomy (:class:`BadFrameError`,
+:class:`VersionMismatchError`) so truncated or garbage frames surface
+as structured 400s, never as tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .errors import BadFrameError, VersionMismatchError
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAGIC",
+    "OPS",
+    "CACHE_MODES",
+    "ShmRef",
+    "Request",
+    "Response",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "canonical_options",
+    "element_count",
+]
+
+WIRE_VERSION = "pressio-serve/1"
+MAGIC = b"PSV1"
+_HLEN = struct.Struct(">I")
+
+#: Operations a frame may request.
+OPS = ("compress", "decompress", "roundtrip", "ping")
+
+#: Cache directives: ``use`` consults and fills the artifact cache,
+#: ``refresh`` recomputes and overwrites, ``bypass`` ignores it.
+CACHE_MODES = ("bypass", "use", "refresh")
+
+#: Largest JSON header accepted before we call the frame garbage.
+MAX_HEADER_BYTES = 1 << 20
+
+
+def element_count(dims: tuple[int, ...]) -> int:
+    """Number of elements implied by ``dims`` (numpy semantics: () -> 1)."""
+    return int(math.prod(dims))
+
+
+def canonical_options(options: dict[str, Any] | None) -> str:
+    """Deterministic JSON for options — cache keys and compressor reuse."""
+    return json.dumps(options or {}, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """A slice of a shared-memory segment standing in for inline bytes."""
+
+    name: str
+    nbytes: int
+    offset: int = 0
+
+    def to_header(self) -> dict[str, Any]:
+        return {"name": self.name, "nbytes": int(self.nbytes),
+                "offset": int(self.offset)}
+
+    @classmethod
+    def from_header(cls, doc: Any) -> "ShmRef":
+        if not isinstance(doc, dict):
+            raise BadFrameError("shm descriptor must be an object")
+        try:
+            name = doc["name"]
+            nbytes = int(doc["nbytes"])
+            offset = int(doc.get("offset", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BadFrameError(f"malformed shm descriptor: {exc}") from None
+        if not isinstance(name, str) or not name:
+            raise BadFrameError("shm descriptor name must be a string")
+        if nbytes < 0 or offset < 0:
+            raise BadFrameError("shm descriptor sizes must be non-negative")
+        return cls(name=name, nbytes=nbytes, offset=offset)
+
+
+@dataclass
+class Request:
+    """One decoded ``pressio-serve/1`` request frame."""
+
+    op: str
+    tenant: str = "default"
+    compressor: str = ""
+    options: dict[str, Any] = field(default_factory=dict)
+    dtype: str = "float64"
+    dims: tuple[int, ...] = ()
+    scalar: bool = False
+    payload: bytes | memoryview | None = None
+    shm: ShmRef | None = None
+    out_shm: ShmRef | None = None
+    cache: str = "bypass"
+    trace: str | None = None
+    fault: str | None = None
+    request_id: str | None = None
+    #: client opts in to a minimal success reply when the result lands
+    #: exactly in the provided ``out_shm`` slice (client already knows
+    #: the output descriptor, so the server may omit it and the stats)
+    lean: bool = False
+
+
+@dataclass
+class Response:
+    """One decoded ``pressio-serve/1`` response frame."""
+
+    ok: bool
+    op: str = ""
+    error: dict[str, Any] | None = None
+    dtype: str = ""
+    dims: tuple[int, ...] = ()
+    scalar: bool = False
+    payload: bytes | memoryview | None = None
+    shm: ShmRef | None = None
+    stats: dict[str, Any] = field(default_factory=dict)
+    fragments: list[dict[str, Any]] = field(default_factory=list)
+    #: server-side marker: minimal reply honoring a ``Request.lean``
+    #: opt-in — encoded as a constant frame, never put on the wire as
+    #: a header field (the shape itself is the signal)
+    lean: bool = False
+
+
+def _payload_view(payload: bytes | memoryview | None) -> memoryview:
+    if payload is None:
+        return memoryview(b"")
+    view = memoryview(payload)
+    if view.nbytes == 0:
+        # cast() rejects empty shapes; an empty payload is just b""
+        return memoryview(b"")
+    return view if view.format == "B" and view.ndim == 1 else view.cast("B")
+
+
+def _frame(header: dict[str, Any],
+           payload: bytes | memoryview | None) -> bytes:
+    body = _payload_view(payload)
+    header = dict(header)
+    header["v"] = WIRE_VERSION
+    header["nbytes"] = len(body)
+    hdr = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join((MAGIC, _HLEN.pack(len(hdr)), hdr, body))
+
+
+def _split(buf: bytes | memoryview) -> tuple[dict[str, Any], memoryview]:
+    view = memoryview(buf).cast("B")
+    if len(view) < 8:
+        raise BadFrameError(f"frame too short: {len(view)} bytes")
+    if bytes(view[:4]) != MAGIC:
+        raise BadFrameError("bad magic: not a pressio-serve frame")
+    (hlen,) = _HLEN.unpack(view[4:8])
+    if hlen > MAX_HEADER_BYTES:
+        raise BadFrameError(f"header length {hlen} exceeds limit")
+    if len(view) < 8 + hlen:
+        raise BadFrameError("truncated frame: header incomplete")
+    try:
+        header = json.loads(bytes(view[8:8 + hlen]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadFrameError(f"header is not valid JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise BadFrameError("header must be a JSON object")
+    version = header.get("v")
+    if version != WIRE_VERSION:
+        raise VersionMismatchError(
+            f"wire version {version!r} not supported (want {WIRE_VERSION})")
+    try:
+        nbytes = int(header.get("nbytes", 0))
+    except (TypeError, ValueError):
+        raise BadFrameError("nbytes must be an integer") from None
+    if nbytes < 0:
+        raise BadFrameError("nbytes must be non-negative")
+    payload = view[8 + hlen:]
+    if len(payload) != nbytes:
+        raise BadFrameError(
+            f"truncated frame: payload {len(payload)} bytes, "
+            f"header declares {nbytes}")
+    return header, payload
+
+
+def _decode_dims(raw: Any) -> tuple[int, ...]:
+    if raw is None:
+        return ()
+    if not isinstance(raw, (list, tuple)):
+        raise BadFrameError("dims must be a list")
+    dims = []
+    for d in raw:
+        if isinstance(d, bool) or not isinstance(d, int) or d < 0:
+            raise BadFrameError(f"invalid dimension {d!r}")
+        dims.append(d)
+    return tuple(dims)
+
+
+def _decode_dtype(raw: Any) -> str:
+    if not isinstance(raw, str):
+        raise BadFrameError("dtype must be a string")
+    try:
+        np.dtype(raw)
+    except TypeError as exc:
+        raise BadFrameError(f"unknown dtype {raw!r}: {exc}") from None
+    return raw
+
+
+def encode_request(req: Request) -> bytes:
+    """Serialize a :class:`Request` into a wire frame."""
+    header: dict[str, Any] = {
+        "op": req.op,
+        "tenant": req.tenant,
+        "compressor": req.compressor,
+        "options": req.options or {},
+        "dtype": req.dtype,
+        "dims": list(req.dims),
+        "cache": req.cache,
+    }
+    if req.scalar:
+        header["scalar"] = True
+    if req.shm is not None:
+        header["shm"] = req.shm.to_header()
+    if req.out_shm is not None:
+        header["out_shm"] = req.out_shm.to_header()
+    if req.trace:
+        header["trace"] = req.trace
+    if req.fault:
+        header["fault"] = req.fault
+    if req.request_id:
+        header["id"] = req.request_id
+    if req.lean:
+        header["lean"] = True
+    return _frame(header, None if req.shm is not None else req.payload)
+
+
+#: Memo of validated payload-less request frames (shared-memory style).
+#: Hot clients resend byte-identical frames — same tenant, options, and
+#: segment descriptors — so the parse + validation (~25µs) is paid
+#: once.  Only requests whose payload travels out-of-band are cached:
+#: an inline payload is a view over the caller's (recycled) read
+#: buffer and must never outlive the call.
+_REQUEST_MEMO: dict[bytes, Request] = {}
+_REQUEST_MEMO_MAX = 256
+_REQUEST_MEMO_KEY_MAX = 2048
+
+
+def decode_request(buf: bytes | memoryview) -> Request:
+    """Parse a request frame, raising the typed taxonomy on any defect."""
+    if type(buf) is bytes:
+        key = buf if 0 < len(buf) <= _REQUEST_MEMO_KEY_MAX else None
+    else:
+        view = memoryview(buf)
+        key = bytes(view) if 0 < len(view) <= _REQUEST_MEMO_KEY_MAX else None
+    if key is not None:
+        cached = _REQUEST_MEMO.get(key)
+        if cached is not None:
+            return cached
+    req = _decode_request_uncached(buf)
+    if (key is not None and req.shm is not None and req.payload is None
+            and req.trace is None and req.fault is None):
+        if len(_REQUEST_MEMO) >= _REQUEST_MEMO_MAX:
+            _REQUEST_MEMO.clear()
+        _REQUEST_MEMO[key] = req
+    return req
+
+
+def _decode_request_uncached(buf: bytes | memoryview) -> Request:
+    header, payload = _split(buf)
+    op = header.get("op")
+    if op not in OPS:
+        # op is structurally a frame problem here; the daemon re-checks
+        # and answers unknown-op for well-formed-but-unsupported values
+        raise BadFrameError(f"missing or invalid op {op!r}")
+    cache = header.get("cache", "bypass")
+    if cache not in CACHE_MODES:
+        raise BadFrameError(f"invalid cache mode {cache!r}")
+    options = header.get("options") or {}
+    if not isinstance(options, dict):
+        raise BadFrameError("options must be an object")
+    tenant = header.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise BadFrameError("tenant must be a non-empty string")
+    shm = ShmRef.from_header(header["shm"]) if "shm" in header else None
+    out_shm = (ShmRef.from_header(header["out_shm"])
+               if "out_shm" in header else None)
+    if shm is not None and len(payload):
+        raise BadFrameError("frame carries both shm descriptor and payload")
+    return Request(
+        op=op,
+        tenant=tenant,
+        compressor=str(header.get("compressor", "")),
+        options=options,
+        dtype=_decode_dtype(header.get("dtype", "float64")),
+        dims=_decode_dims(header.get("dims")),
+        scalar=bool(header.get("scalar", False)),
+        payload=payload if shm is None else None,
+        shm=shm,
+        out_shm=out_shm,
+        cache=cache,
+        trace=header.get("trace") or None,
+        fault=header.get("fault") or None,
+        request_id=header.get("id") or None,
+        lean=bool(header.get("lean", False)),
+    )
+
+
+def _plain(s: str) -> bool:
+    """True when ``s`` needs no JSON string escaping (hot-path guard)."""
+    return bool(s) and s.replace("_", "").replace(".", "").replace(
+        "-", "").isalnum()
+
+
+#: Response header templates for the hot success shape, keyed by the
+#: structural parts (op, dtype, dims, shm name, stats keys + kinds);
+#: per-request numbers are spliced in with bytes %-formatting, which is
+#: ~5x cheaper than building a dict and running ``json.dumps``.
+_OK_TMPL: dict[tuple, bytes] = {}
+_OK_TMPL_MAX = 256
+
+
+def _build_ok_template(resp: Response) -> bytes | None:
+    """Template with %d/%.4f placeholders for one success shape."""
+    ref = resp.shm
+    if not _plain(resp.op) or (resp.dtype and not _plain(resp.dtype)):
+        return None
+    if not _plain(ref.name):
+        return None
+    parts = [f'{{"ok":true,"op":"{resp.op}"']
+    if resp.dtype:
+        parts.append(f',"dtype":"{resp.dtype}"')
+    if resp.dims:
+        if len(resp.dims) == 1:
+            # 1-D lengths vary per request (compressed sizes): splice
+            parts.append(',"dims":[%d]')
+        else:
+            parts.append(',"dims":[' + ",".join(map(str, resp.dims)) + "]")
+    if resp.scalar:
+        parts.append(',"scalar":true')
+    parts.append(f',"shm":{{"name":"{ref.name}","nbytes":%d,"offset":%d}}')
+    if resp.stats:
+        items = []
+        for k, v in resp.stats.items():
+            if not _plain(k):
+                return None
+            t = type(v)
+            if t is int:
+                items.append(f'"{k}":%d')
+            elif t is float:
+                items.append(f'"{k}":%.4f')
+            elif t is str and _plain(v):
+                items.append(f'"{k}":"{v}"')
+            else:
+                return None
+        parts.append(',"stats":{' + ",".join(items) + "}")
+    parts.append(f',"v":"{WIRE_VERSION}","nbytes":0}}')
+    return "".join(parts).encode("ascii")
+
+
+def _fast_ok_frame(resp: Response) -> bytes | None:
+    """Hand-rolled encoder for the hot success shape.
+
+    The dominant response on the shm path is ok + shm descriptor + flat
+    stats and no payload.  Returns ``None`` for anything unusual
+    (errors, fragments, inline payloads, strings that would need
+    escaping, non-finite floats) so the general encoder stays the
+    source of truth for the format.
+    """
+    if (not resp.ok or resp.error is not None or resp.fragments
+            or resp.payload is not None or resp.shm is None):
+        return None
+    ref = resp.shm
+    stats = resp.stats
+    vals: list = [] if len(resp.dims) != 1 else [resp.dims[0]]
+    vals.append(int(ref.nbytes))
+    vals.append(int(ref.offset))
+    kinds: list = []
+    if stats:
+        for v in stats.values():
+            t = type(v)
+            if t is str:
+                kinds.append(v)
+            elif t is int:
+                kinds.append("i")
+                vals.append(v)
+            elif t is float and math.isfinite(v):
+                kinds.append("f")
+                vals.append(v)
+            else:
+                return None
+    key = (resp.op, resp.dtype, resp.dims if len(resp.dims) != 1 else 1,
+           resp.scalar, ref.name, tuple(stats) if stats else (),
+           tuple(kinds))
+    tmpl = _OK_TMPL.get(key)
+    if tmpl is None:
+        tmpl = _build_ok_template(resp)
+        if tmpl is None:
+            return None
+        if len(_OK_TMPL) >= _OK_TMPL_MAX:
+            _OK_TMPL.clear()
+        _OK_TMPL[key] = tmpl
+    hdr = tmpl % tuple(vals)
+    return b"".join((MAGIC, _HLEN.pack(len(hdr)), hdr))
+
+
+#: Constant frames for lean success replies, keyed by op.
+_LEAN_OK: dict[str, bytes] = {}
+
+
+def _lean_ok_frame(op: str) -> bytes:
+    frame = _LEAN_OK.get(op)
+    if frame is None:
+        frame = _frame({"ok": True, "op": op}, None)
+        if len(_LEAN_OK) < 64:
+            _LEAN_OK[op] = frame
+    return frame
+
+
+def encode_response(resp: Response) -> bytes:
+    """Serialize a :class:`Response` into a wire frame."""
+    if (resp.lean and resp.ok and resp.error is None and resp.shm is None
+            and resp.payload is None and not resp.stats
+            and not resp.fragments):
+        return _lean_ok_frame(resp.op)
+    fast = _fast_ok_frame(resp)
+    if fast is not None:
+        return fast
+    header: dict[str, Any] = {"ok": bool(resp.ok), "op": resp.op}
+    if resp.error is not None:
+        header["error"] = resp.error
+    if resp.dtype:
+        header["dtype"] = resp.dtype
+    if resp.dims:
+        header["dims"] = list(resp.dims)
+    if resp.scalar:
+        header["scalar"] = True
+    if resp.shm is not None:
+        header["shm"] = resp.shm.to_header()
+    if resp.stats:
+        header["stats"] = resp.stats
+    if resp.fragments:
+        header["fragments"] = resp.fragments
+    return _frame(header, None if resp.shm is not None else resp.payload)
+
+
+def decode_response(buf: bytes | memoryview) -> Response:
+    """Parse a response frame (client side)."""
+    # lean path: a bytes frame straight off the socket skips the
+    # memoryview dance and the intermediate decode-to-str copy
+    if type(buf) is bytes and len(buf) >= 8 and buf[:4] == MAGIC:
+        hlen = int.from_bytes(buf[4:8], "big")
+        if hlen <= MAX_HEADER_BYTES and len(buf) >= 8 + hlen:
+            try:
+                header = json.loads(buf[8:8 + hlen])
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                header = None
+            if (isinstance(header, dict)
+                    and header.get("v") == WIRE_VERSION
+                    and header.get("nbytes") == len(buf) - 8 - hlen):
+                return _response_from(header, memoryview(buf)[8 + hlen:])
+    header, payload = _split(buf)
+    return _response_from(header, payload)
+
+
+def _response_from(header: dict[str, Any],
+                   payload: memoryview) -> Response:
+    error = header.get("error")
+    if error is not None and not isinstance(error, dict):
+        raise BadFrameError("error must be an object")
+    fragments = header.get("fragments") or []
+    if not isinstance(fragments, list):
+        raise BadFrameError("fragments must be a list")
+    shm = ShmRef.from_header(header["shm"]) if "shm" in header else None
+    return Response(
+        ok=bool(header.get("ok", False)),
+        op=str(header.get("op", "")),
+        error=error,
+        dtype=str(header.get("dtype", "")),
+        dims=_decode_dims(header.get("dims")),
+        scalar=bool(header.get("scalar", False)),
+        payload=payload if shm is None else None,
+        shm=shm,
+        stats=header.get("stats") or {},
+        fragments=fragments,
+    )

@@ -283,13 +283,15 @@ def run_serve_metrics(argv: list[str]) -> int:
     if args.json_logs:
         obs.configure_logging()
     try:
-        server = obs.start_server(port=args.port, host=args.host)
+        # the port-0 fallback lives inside bind_with_fallback, the same
+        # path `pressio serve` binds through — neither CLI rolls its own
+        server = obs.start_server(port=args.port, host=args.host,
+                                  auto_port=args.auto_port)
     except obs.PortInUseError as e:
-        if not args.auto_port:
-            print(f"error: {e} (retry with --auto-port to pick a "
-                  f"free one)", file=sys.stderr)
-            return 1
-        server = obs.start_server(port=0, host=args.host)
+        print(f"error: {e} (retry with --auto-port to pick a "
+              f"free one)", file=sys.stderr)
+        return 1
+    if args.auto_port and args.port not in (0, server.port):
         print(f"port {args.port} in use; bound port {server.port} instead")
     print(f"serving metrics on {server.url}/metrics "
           f"(health: {server.url}/healthz)")
@@ -327,6 +329,14 @@ def run(argv: list[str] | None = None) -> int:
         return run_trace(argv[1:])
     if argv and argv[0] == "serve-metrics":
         return run_serve_metrics(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..serve.cli import run_serve
+
+        return run_serve(argv[1:])
+    if argv and argv[0] == "client":
+        from ..serve.cli import run_client
+
+        return run_client(argv[1:])
     if argv and argv[0] == "top":
         from .top import run_top
 

@@ -1,14 +1,13 @@
-"""Deterministic seed control for the property-based tests.
+"""Shared fixtures and seed control for the serve test battery.
 
-All randomness in this directory flows from one knob::
+Randomness follows the repo-wide convention: one knob,
+``PRESSIO_TEST_SEED``, pins Hypothesis and numpy, and the seed is
+printed alongside any failure so the exact run can be replayed.
 
-    PRESSIO_TEST_SEED=12345 python -m pytest tests/properties
-
-Every Hypothesis test is pinned to the seed at collection time (so runs
-are reproducible by default — CI flakes replay locally), numpy's global
-RNG is seeded per-test for any strategy or helper that reaches it, and
-the seed is printed alongside any failure so the exact run can be
-repeated.
+Server fixtures are module-scoped — a daemon spin-up costs worker
+threads and shared-memory segments, so tests in one module share one
+instance; tests that need special wiring (fault injection, quotas)
+build their own.
 """
 
 from __future__ import annotations
@@ -62,3 +61,29 @@ def pytest_runtest_makereport(item, call):
         report.sections.append(
             ("pressio seed",
              f"PRESSIO_TEST_SEED={SEED} reproduces this run"))
+
+
+@pytest.fixture(scope="module")
+def server():
+    from repro.serve.daemon import ServeServer
+
+    with ServeServer(port=0, workers=4) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    from repro.serve.client import ServeClient
+
+    c = ServeClient(port=server.port, use_shm=False)
+    yield c
+    c.close()
+
+
+@pytest.fixture()
+def shm_client(server):
+    from repro.serve.client import ServeClient
+
+    c = ServeClient(port=server.port, use_shm=True)
+    yield c
+    c.close()

@@ -1,0 +1,126 @@
+"""Content-addressed artifact cache: unit arithmetic and served hits.
+
+The LRU is bounded in bytes of stored artifacts; eviction order,
+fingerprint keying, and the ``use``/``refresh``/``bypass`` request
+directives are all pinned here, including filling the cache far enough
+to force evictions through the live daemon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import ArtifactCache, fingerprint
+
+
+class TestFingerprint:
+    def test_stable_and_content_addressed(self):
+        assert fingerprint(b"abc") == fingerprint(bytearray(b"abc"))
+        assert fingerprint(b"abc") != fingerprint(b"abd")
+
+    def test_key_separates_identities(self):
+        d = fingerprint(b"block")
+        base = ArtifactCache.key(d, "float32", (8, 8), "sz",
+                                 {"pressio:abs": 1e-4})
+        assert base != ArtifactCache.key(d, "float32", (8, 8), "sz",
+                                         {"pressio:abs": 1e-3})
+        assert base != ArtifactCache.key(d, "float32", (8, 8), "zfp",
+                                         {"pressio:abs": 1e-4})
+        assert base != ArtifactCache.key(d, "float64", (8, 8), "sz",
+                                         {"pressio:abs": 1e-4})
+        # option order must not matter
+        assert ArtifactCache.key(d, "f", (1,), "c", {"a": 1, "b": 2}) == \
+            ArtifactCache.key(d, "f", (1,), "c", {"b": 2, "a": 1})
+
+
+class TestArtifactCache:
+    def test_hit_miss_store_counters(self):
+        cache = ArtifactCache(capacity_bytes=1024)
+        assert cache.get("k") is None
+        cache.put("k", b"artifact")
+        assert cache.get("k") == b"artifact"
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_eviction_is_lru_and_byte_bounded(self):
+        cache = ArtifactCache(capacity_bytes=100)
+        cache.put("a", b"x" * 40)
+        cache.put("b", b"y" * 40)
+        cache.get("a")            # refresh a; b is now the LRU entry
+        cache.put("c", b"z" * 40)  # 120 > 100: evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert cache.evictions == 1
+        assert cache.size_bytes <= 100
+
+    def test_oversized_artifact_not_stored(self):
+        cache = ArtifactCache(capacity_bytes=10)
+        cache.put("big", b"x" * 11)
+        assert cache.entry_count == 0
+
+    def test_replace_same_key_adjusts_bytes(self):
+        cache = ArtifactCache(capacity_bytes=100)
+        cache.put("k", b"x" * 60)
+        cache.put("k", b"y" * 20)
+        assert cache.size_bytes == 20 and cache.entry_count == 1
+
+    def test_invalidate_and_clear(self):
+        cache = ArtifactCache(capacity_bytes=100)
+        cache.put("k", b"data")
+        cache.invalidate("k")
+        assert cache.get("k") is None
+        cache.put("k2", b"data")
+        cache.clear()
+        assert cache.entry_count == 0 and cache.size_bytes == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(capacity_bytes=-1)
+
+
+class TestCacheEndToEnd:
+    def test_use_refresh_bypass_directives(self, server, client):
+        arr = np.linspace(0, 1, 256, dtype=np.float32)
+        before = server.cache.stats()
+        _, s1 = client.roundtrip(arr, "zlib", cache="use")
+        assert s1["cache"] == "miss"
+        _, s2 = client.roundtrip(arr, "zlib", cache="use")
+        assert s2["cache"] == "hit"
+        _, s3 = client.roundtrip(arr, "zlib", cache="refresh")
+        assert s3["cache"] == "miss"  # refresh recomputes and overwrites
+        _, s4 = client.roundtrip(arr, "zlib", cache="bypass")
+        assert "cache" not in s4
+        after = server.cache.stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["stores"] >= before["stores"] + 2
+
+    def test_cached_result_is_correct(self, client):
+        arr = np.linspace(0, 5, 256, dtype=np.float32)
+        direct, _ = client.roundtrip(arr, "zlib", cache="bypass")
+        cached, _ = client.roundtrip(arr, "zlib", cache="use")
+        np.testing.assert_array_equal(direct, cached)
+
+    def test_filling_the_cache_forces_eviction(self):
+        from repro.serve.client import ServeClient
+        from repro.serve.daemon import ServeServer
+
+        # noop stores ~payload-size artifacts: 8 x 4KiB through a 16KiB
+        # cache must evict, and every response must stay correct
+        with ServeServer(port=0, workers=2,
+                         cache_bytes=16 * 1024) as server:
+            c = ServeClient(port=server.port)
+            try:
+                blocks = [np.full(1024, i, dtype=np.float32)
+                          for i in range(8)]
+                for arr in blocks:
+                    out, _ = c.roundtrip(arr, "noop", cache="use")
+                    np.testing.assert_array_equal(out, arr)
+                stats = server.cache.stats()
+                assert stats["evictions"] >= 1
+                assert stats["bytes"] <= 16 * 1024
+                # re-request everything: mixed hits/misses, still correct
+                for arr in blocks:
+                    out, _ = c.roundtrip(arr, "noop", cache="use")
+                    np.testing.assert_array_equal(out, arr)
+            finally:
+                c.close()

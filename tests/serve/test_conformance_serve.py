@@ -1,0 +1,76 @@
+"""``pressio conformance --serve``: served == in-process, byte for byte.
+
+The full-registry sweep runs in CI via the CLI; here a representative
+subset keeps the suite fast while still covering the interesting
+transport shapes: a lossless pass-through, two lossy plugins, a
+strongly-expanding plugin (inline fallback path), and a plugin whose
+output shape differs from its input (dims correction path).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance.cli import build_conformance_parser
+from repro.serve.conformance import (
+    CANON_DIMS,
+    run_serve_conformance,
+    serve_identity_cells,
+)
+
+SUBSET = ["noop", "sz", "zfp", "delta_encoding", "sample"]
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return serve_identity_cells(20210429, compressors=SUBSET)
+
+
+def test_subset_is_byte_identical(cells):
+    failed = {c["compressor"]: c.get("reason", c.get("checks"))
+              for c in cells if c["status"] != "ok"}
+    assert failed == {}
+
+
+def test_every_cell_covers_all_six_paths(cells):
+    want = {f"{op}-{path}"
+            for op in ("compress", "decompress", "roundtrip")
+            for path in ("inline", "shm")}
+    for cell in cells:
+        assert set(cell["checks"]) == want, cell["compressor"]
+
+
+def test_cli_exposes_the_serve_scope():
+    args = build_conformance_parser().parse_args(["--serve"])
+    assert args.serve is True
+    # --serve is a scope: it must be exclusive with the other scopes
+    with pytest.raises(SystemExit):
+        build_conformance_parser().parse_args(["--serve", "--smoke"])
+
+
+def test_runner_reports_and_exit_codes(monkeypatch, capsys, tmp_path):
+    import repro.serve.conformance as sc
+
+    fake = [
+        {"compressor": "good", "status": "ok",
+         "checks": {"compress-inline": True}},
+        {"compressor": "weird", "status": "skip",
+         "reason": "nondeterministic compressor"},
+    ]
+    monkeypatch.setattr(sc, "serve_identity_cells",
+                        lambda seed, compressors=None: list(fake))
+    json_path = tmp_path / "report.json"
+    rc = run_serve_conformance(seed=7, json_path=str(json_path))
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1 identical" in out and "1 skipped" in out
+    report = json.loads(json_path.read_text())
+    assert report["battery"] == "serve-identity"
+    assert report["seed"] == 7
+    assert report["dims"] == list(CANON_DIMS)
+
+    fake.append({"compressor": "bad", "status": "mismatch",
+                 "reason": "served bytes differ from in-process"})
+    assert run_serve_conformance(seed=7) == 1

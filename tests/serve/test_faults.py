@@ -1,0 +1,190 @@
+"""Fault injection: worker crashes, leaked segments, broken peers.
+
+The daemon honors the frame ``fault`` field only when constructed with
+``allow_fault_injection=True``; these tests use it to kill a worker
+mid-request and assert the full failure contract — typed 503 with
+retry metadata, a flight-recorder bundle, a respawned worker, and no
+``/dev/shm`` residue after clients disconnect.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.obs import flight as _flight
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeServer
+from repro.serve.errors import (
+    InternalServeError,
+    WorkerCrashedError,
+)
+from repro.serve.wire import Request
+
+
+@pytest.fixture()
+def fault_server():
+    with ServeServer(port=0, workers=2,
+                     allow_fault_injection=True) as srv:
+        yield srv
+
+
+def _faulty_request(arr: np.ndarray, fault: str) -> Request:
+    return Request(op="roundtrip", compressor="noop",
+                   dtype=str(arr.dtype), dims=arr.shape,
+                   payload=arr.tobytes(), fault=fault)
+
+
+class TestWorkerCrash:
+    def test_crash_returns_typed_503_and_respawns(self, fault_server,
+                                                  tmp_path):
+        rec = _flight.enable_flight(dump_dir=str(tmp_path),
+                                    install_hooks=False)
+        try:
+            arr = np.arange(64, dtype=np.float32)
+            client = ServeClient(port=fault_server.port, tenant="chaos")
+            try:
+                with pytest.raises(WorkerCrashedError) as ei:
+                    client._call(_faulty_request(arr, "crash-worker"))
+                assert ei.value.http_status == 503
+                assert ei.value.retryable
+                assert ei.value.retry_after_s and ei.value.retry_after_s > 0
+
+                # retrying lands on a fresh worker and succeeds
+                out, _ = client.roundtrip(arr, "noop")
+                np.testing.assert_array_equal(out, arr)
+
+                assert fault_server.pool.crashes == 1
+                assert fault_server.pool.respawns >= 1
+                assert fault_server.pool.alive_count() == 2
+                assert fault_server.admission.inflight == 0
+            finally:
+                client.close()
+
+            # the crash left a flight bundle naming the failed request
+            bundles = glob.glob(str(tmp_path / "flight_*.json"))
+            assert bundles, "crash produced no flight-recorder bundle"
+            with open(max(bundles)) as fh:
+                bundle = json.load(fh)
+            assert bundle["reason"] == "serve-worker-crash"
+            assert any(e.get("kind") == "error" for e in bundle["events"])
+        finally:
+            _flight.disable_flight()
+
+    def test_induced_exception_is_500_not_hang(self, fault_server):
+        arr = np.arange(16, dtype=np.float64)
+        client = ServeClient(port=fault_server.port)
+        try:
+            with pytest.raises(InternalServeError):
+                client._call(_faulty_request(arr, "exception"))
+            assert fault_server.pool.failed >= 1
+            # the worker survives an ordinary exception (no respawn)
+            assert fault_server.pool.alive_count() == 2
+            out, _ = client.roundtrip(arr, "noop")
+            np.testing.assert_array_equal(out, arr)
+        finally:
+            client.close()
+
+    def test_fault_field_ignored_without_opt_in(self, server):
+        # the shared module server was built WITHOUT fault injection:
+        # hostile frames carrying fault directives must execute normally
+        arr = np.arange(16, dtype=np.float32)
+        client = ServeClient(port=server.port)
+        try:
+            resp = client._call(_faulty_request(arr, "crash-worker"))
+            assert resp.ok
+        finally:
+            client.close()
+
+
+class TestShmHygiene:
+    def test_no_dev_shm_residue_after_close(self, server):
+        arr = np.linspace(0, 1, 512, dtype=np.float32)
+        client = ServeClient(port=server.port, use_shm=True)
+        client.roundtrip(arr, "noop")
+        names = [seg.seg.name for seg in (client._in_seg,
+                                          client._out_seg)
+                 if seg.seg is not None]
+        assert names, "shm round trip created no segments"
+        client.close()
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}"), \
+                f"segment {name} leaked after client close"
+
+    def test_leaked_segment_is_released_server_side(self, server):
+        # a client that dies without releasing: the server must drop its
+        # cached views on demand and the unlink must still succeed
+        from repro.serve.shm import create_segment
+
+        arr = np.arange(256, dtype=np.float32)
+        seg = create_segment(arr.nbytes, prefix="psvleak")
+        try:
+            seg.buf[:arr.nbytes] = arr.tobytes()
+            client = ServeClient(port=server.port)
+            try:
+                from repro.serve.wire import ShmRef
+
+                req = Request(op="compress", compressor="noop",
+                              dtype=str(arr.dtype), dims=arr.shape,
+                              shm=ShmRef(seg.name, arr.nbytes, 0))
+                resp = client._call(req)
+                assert resp.ok
+                # simulate the crash: client vanishes, segment sticks
+                status, _, body = client._http(
+                    "POST", "/v1/release",
+                    json.dumps({"name": seg.name}).encode())
+                assert status == 200
+                assert json.loads(body)["released"] is True
+            finally:
+                client.close()
+        finally:
+            seg.close()
+            seg.unlink()
+        assert not os.path.exists(f"/dev/shm/{seg.name}")
+
+    def test_server_shutdown_leaves_no_attached_segments(self):
+        arr = np.arange(128, dtype=np.float64)
+        srv = ServeServer(port=0, workers=1)
+        srv.start()
+        client = ServeClient(port=srv.port, use_shm=True)
+        try:
+            client.roundtrip(arr, "noop")
+        finally:
+            client.close()
+            srv.stop()
+        assert srv.segments.stats()["attached"] == 0
+
+
+class TestBrokenPeers:
+    def test_undecodable_raw_frame_drops_connection_only(self, server):
+        """A garbage PSV1 header must not desync or kill the daemon."""
+        import socket
+
+        s = socket.create_connection(("127.0.0.1", server.port),
+                                     timeout=5)
+        try:
+            s.sendall(b"PSV1" + (20).to_bytes(4, "big") + b"x" * 20)
+            assert s.recv(64) == b""  # dropped, not answered
+        finally:
+            s.close()
+        client = ServeClient(port=server.port)
+        try:
+            assert client.ping() is True  # daemon unharmed
+        finally:
+            client.close()
+
+    def test_oversized_body_rejected_with_413(self):
+        arr = np.zeros(4096, dtype=np.float64)
+        with ServeServer(port=0, workers=1, max_payload=1024) as server:
+            client = ServeClient(port=server.port)
+            try:
+                from repro.serve.errors import PayloadTooLargeError
+
+                with pytest.raises(PayloadTooLargeError):
+                    client.roundtrip(arr, "noop")
+            finally:
+                client.close()

@@ -1,0 +1,80 @@
+"""Port selection: the shared ``--auto-port``/port-0 bind path.
+
+Regression battery for the serve/serve-metrics port race: both daemons
+now bind through :func:`repro.obs.server.bind_with_fallback`, so a
+taken port either fails loudly (``PortInUseError``) or — with
+``auto_port`` — falls back to an OS-assigned port 0 bind, which cannot
+race because the kernel picks the free port atomically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.server import PortInUseError
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeServer
+
+
+def test_port_zero_binds_an_ephemeral_port():
+    with ServeServer(port=0, workers=1) as server:
+        assert server.port > 0
+        client = ServeClient(port=server.port)
+        try:
+            assert client.ping() is True
+        finally:
+            client.close()
+
+
+def test_taken_port_without_auto_port_fails_loudly():
+    with ServeServer(port=0, workers=1) as first:
+        second = ServeServer(port=first.port, workers=1)
+        with pytest.raises(PortInUseError):
+            second.start()
+
+
+def test_auto_port_falls_back_to_os_assignment():
+    with ServeServer(port=0, workers=1) as first:
+        second = ServeServer(port=first.port, workers=1, auto_port=True)
+        try:
+            second.start()
+            assert second.port != first.port
+            # both daemons are independently reachable
+            for srv in (first, second):
+                c = ServeClient(port=srv.port)
+                try:
+                    assert c.ping() is True
+                finally:
+                    c.close()
+        finally:
+            second.stop()
+
+
+def test_uds_path_is_per_instance_and_cleaned_up():
+    import os
+
+    server = ServeServer(port=0, workers=1)
+    server.start()
+    path = server.uds_path
+    try:
+        if path is None:
+            pytest.skip("platform refused the AF_UNIX listener")
+        assert str(server.port) in path  # distinct per daemon instance
+        assert os.path.exists(path)
+        c = ServeClient(uds=path)
+        try:
+            assert c.ping() is True
+        finally:
+            c.close()
+    finally:
+        server.stop()
+    if path is not None:
+        assert not os.path.exists(path)
+
+
+def test_two_daemons_have_distinct_uds_listeners():
+    with ServeServer(port=0, workers=1) as a, \
+            ServeServer(port=0, workers=1) as b:
+        if a.uds_path is None or b.uds_path is None:
+            pytest.skip("platform refused the AF_UNIX listener")
+        assert a.uds_path != b.uds_path

@@ -1,0 +1,79 @@
+"""``pressio-spanwire/1`` propagation across the serve socket.
+
+A traced client request must produce ONE span tree: the client's
+``serve:<op>`` invoke span with the worker's spans stitched underneath,
+ids remapped and timestamps clamped — exactly the contract the
+cross-process propagation tests pin, but here over a live daemon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.trace import disable_tracing, enable_tracing
+from repro.trace.context import TraceContext
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def test_traced_roundtrip_stitches_worker_spans(server):
+    arr = np.linspace(0, 1, 256, dtype=np.float32)
+    ctx = TraceContext("client")
+    enable_tracing(ctx)
+    client = ServeClient(port=server.port, use_shm=False)
+    try:
+        out, _stats = client.roundtrip(arr, "sz")
+        np.testing.assert_array_equal(out.shape, arr.shape)
+    finally:
+        client.close()
+        disable_tracing()
+
+    spans = ctx.spans()
+    # the stitcher marks adopted spans with the worker's pid; the
+    # client-side invoke span has no such attribute
+    invokes = [s for s in spans if s.name == "serve:roundtrip"
+               and "remote_pid" not in s.attrs]
+    remote = [s for s in spans if "remote_pid" in s.attrs]
+    assert len(invokes) == 1, [s.name for s in spans]
+    invoke = invokes[0]
+    assert remote, "no worker-side span was stitched into the tree"
+    assert invoke.attrs.get("remote_spans", 0) >= 1
+    # stitched children hang under the invoke span with remapped parents
+    assert any(s.parent_id == invoke.span_id for s in remote)
+
+
+def test_traced_shm_request_disables_lean_but_stays_correct(server):
+    # the shm fast path refuses traced requests (lean replies carry no
+    # fragments); tracing must transparently fall back and still work
+    arr = np.arange(512, dtype=np.float64)
+    ctx = TraceContext("client")
+    enable_tracing(ctx)
+    client = ServeClient(port=server.port, use_shm=True)
+    try:
+        out, _ = client.roundtrip(arr, "noop")
+        np.testing.assert_array_equal(out, arr)
+    finally:
+        client.close()
+        disable_tracing()
+    assert any(s.name == "serve:roundtrip" for s in ctx.spans())
+
+
+def test_untraced_requests_carry_no_fragments(server):
+    arr = np.arange(64, dtype=np.float32)
+    client = ServeClient(port=server.port, lean=False)
+    try:
+        from repro.serve.wire import Request
+
+        resp = client._call(Request(
+            op="roundtrip", compressor="noop", dtype=str(arr.dtype),
+            dims=arr.shape, payload=arr.tobytes()))
+        assert resp.ok and not resp.fragments
+    finally:
+        client.close()

@@ -1,0 +1,267 @@
+"""Property tests for the ``pressio-serve/1`` wire format.
+
+The contract: any Request/Response survives an encode/decode round
+trip structurally intact (for any dtype, any dims including 0-d and
+empty arrays, any JSON-able options), and any damaged frame — truncated
+at any byte, garbage, wrong version, inconsistent descriptors — raises
+the *typed* taxonomy, never a bare traceback.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.errors import (
+    BadFrameError,
+    ServeError,
+    VersionMismatchError,
+)
+from repro.serve.wire import (
+    MAGIC,
+    WIRE_VERSION,
+    Request,
+    Response,
+    ShmRef,
+    decode_request,
+    decode_response,
+    element_count,
+    encode_request,
+    encode_response,
+)
+
+DTYPES = ("float32", "float64", "int8", "uint8", "int16", "int32",
+          "uint64", "float16")
+
+dims_st = st.one_of(
+    st.just(()),                                     # 0-d scalar
+    st.lists(st.integers(0, 5), min_size=1,          # includes empties
+             max_size=4).map(tuple),
+)
+
+option_values = st.one_of(
+    st.integers(-2 ** 31, 2 ** 31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+)
+options_st = st.dictionaries(
+    st.text(st.characters(codec="ascii", min_codepoint=33,
+                          max_codepoint=126), min_size=1, max_size=16),
+    option_values, max_size=4)
+
+names_st = st.text(st.sampled_from("abcdefghij_0123456789"),
+                   min_size=1, max_size=20)
+
+
+def _payload_for(dtype: str, dims: tuple[int, ...],
+                 scalar: bool) -> bytes:
+    count = element_count(dims)
+    return b"\x5a" * (count * np.dtype(dtype).itemsize)
+
+
+class TestRequestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(op=st.sampled_from(("compress", "decompress", "roundtrip")),
+           tenant=names_st, compressor=names_st, options=options_st,
+           dtype=st.sampled_from(DTYPES), dims=dims_st,
+           cache=st.sampled_from(("bypass", "use", "refresh")),
+           lean=st.booleans())
+    def test_inline_request_survives(self, op, tenant, compressor,
+                                     options, dtype, dims, cache, lean):
+        scalar = dims == ()
+        payload = _payload_for(dtype, dims, scalar)
+        req = Request(op=op, tenant=tenant, compressor=compressor,
+                      options=options, dtype=dtype, dims=dims,
+                      scalar=scalar, payload=payload, cache=cache,
+                      lean=lean)
+        out = decode_request(encode_request(req))
+        assert (out.op, out.tenant, out.compressor) == \
+            (op, tenant, compressor)
+        assert out.options == options
+        assert out.dtype == dtype and out.dims == dims
+        assert out.scalar is scalar and out.cache == cache
+        assert out.lean is lean
+        assert bytes(out.payload) == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(name=names_st, nbytes=st.integers(0, 2 ** 40),
+           offset=st.integers(0, 2 ** 20), dims=dims_st,
+           dtype=st.sampled_from(DTYPES))
+    def test_shm_request_survives(self, name, nbytes, offset, dims,
+                                  dtype):
+        req = Request(op="roundtrip", compressor="sz", dtype=dtype,
+                      dims=dims, shm=ShmRef(name, nbytes, offset),
+                      out_shm=ShmRef(name + "_out", nbytes * 2, 0))
+        out = decode_request(encode_request(req))
+        assert out.shm == req.shm and out.out_shm == req.out_shm
+        assert out.payload is None
+
+    def test_trace_fault_id_fields_survive(self):
+        req = Request(op="ping", trace='{"version":"pressio-spanwire/1"}',
+                      fault="crash-worker", request_id="r-1")
+        out = decode_request(encode_request(req))
+        assert out.trace == req.trace
+        assert out.fault == "crash-worker"
+        assert out.request_id == "r-1"
+
+
+class TestResponseRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(op=st.sampled_from(("compress", "decompress", "roundtrip")),
+           dtype=st.sampled_from(DTYPES), dims=dims_st,
+           stats=st.dictionaries(
+               st.text(st.sampled_from("abcdefg_"), min_size=1,
+                       max_size=8),
+               st.one_of(st.integers(0, 2 ** 40),
+                         st.floats(0, 1e6, allow_nan=False)),
+               max_size=4))
+    def test_inline_response_survives(self, op, dtype, dims, stats):
+        scalar = dims == ()
+        payload = _payload_for(dtype, dims, scalar)
+        resp = Response(ok=True, op=op, dtype=dtype, dims=dims,
+                        scalar=scalar, payload=payload, stats=stats)
+        out = decode_response(encode_response(resp))
+        assert out.ok and out.op == op
+        assert out.dtype == dtype and out.dims == dims
+        assert out.scalar is scalar
+        assert bytes(out.payload) == payload
+        assert set(out.stats) == set(stats)
+        for k, v in stats.items():
+            assert out.stats[k] == pytest.approx(v)
+
+    @settings(max_examples=60, deadline=None)
+    @given(op=st.sampled_from(("compress", "roundtrip")),
+           dtype=st.sampled_from(DTYPES), dims=dims_st,
+           name=names_st, nbytes=st.integers(0, 2 ** 32),
+           ints=st.dictionaries(
+               st.text(st.sampled_from("hijk_"), min_size=1, max_size=6),
+               st.integers(0, 2 ** 40), max_size=3),
+           ratio=st.floats(0, 1e4, allow_nan=False))
+    def test_fast_encoder_matches_generic(self, op, dtype, dims, name,
+                                          nbytes, ints, ratio):
+        """The template-splice encoder and the generic dict+json encoder
+        must be observationally identical through decode (floats may
+        round at the documented 4 decimal places)."""
+        stats = dict(ints)
+        stats["ratio"] = ratio
+        resp = Response(ok=True, op=op, dtype=dtype, dims=dims,
+                        scalar=dims == (),
+                        shm=ShmRef(name, nbytes, 0), stats=stats)
+        frame = encode_response(resp)
+        out = decode_response(frame)
+        assert out.ok and out.op == op and out.shm == resp.shm
+        assert out.dims == dims and out.dtype == dtype
+        for k, v in stats.items():
+            assert out.stats[k] == pytest.approx(v, abs=1e-3)
+        # whatever encoder produced the frame, the header must be the
+        # canonical JSON object shape with correct framing arithmetic
+        hlen = int.from_bytes(frame[4:8], "big")
+        header = json.loads(frame[8:8 + hlen])
+        assert header["v"] == WIRE_VERSION
+        assert header["nbytes"] == len(frame) - 8 - hlen
+
+    def test_lean_response_is_constant_and_decodes(self):
+        lean = Response(ok=True, op="roundtrip", lean=True)
+        frame = encode_response(lean)
+        assert frame == encode_response(
+            Response(ok=True, op="roundtrip", lean=True))
+        out = decode_response(frame)
+        assert out.ok and out.op == "roundtrip"
+        assert out.shm is None and not out.stats
+
+    def test_error_response_survives(self):
+        err = {"etype": "quota-exceeded", "http": 429, "retryable": True,
+               "message": "slow down", "retry_after_s": 0.25}
+        out = decode_response(encode_response(
+            Response(ok=False, op="compress", error=err)))
+        assert out.ok is False and out.error == err
+
+    def test_nonfinite_float_stat_still_encodes(self):
+        resp = Response(ok=True, op="compress", dtype="uint8", dims=(4,),
+                        shm=ShmRef("seg", 4, 0),
+                        stats={"ratio": float("inf")})
+        out = decode_response(encode_response(resp))
+        assert out.stats["ratio"] == float("inf")
+
+
+class TestRejection:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=64))
+    def test_garbage_bytes_raise_typed_errors(self, data):
+        for decode in (decode_request, decode_response):
+            try:
+                decode(data)
+            except ServeError:
+                pass  # typed taxonomy: exactly what the contract wants
+            # no except-everything clause: any other exception type is
+            # a genuine failure and must surface
+
+    @settings(max_examples=25, deadline=None)
+    @given(cut=st.integers(0, 200))
+    def test_any_truncation_raises_bad_frame(self, cut):
+        frame = encode_request(Request(
+            op="compress", compressor="sz", dtype="float32", dims=(4,),
+            payload=b"\x00" * 16))
+        if cut >= len(frame):
+            return
+        with pytest.raises(BadFrameError):
+            decode_request(frame[:cut])
+
+    def test_wrong_version_is_version_mismatch(self):
+        hdr = json.dumps({"op": "ping", "v": "pressio-serve/99",
+                          "nbytes": 0}).encode()
+        frame = MAGIC + len(hdr).to_bytes(4, "big") + hdr
+        with pytest.raises(VersionMismatchError):
+            decode_request(frame)
+
+    def test_bad_magic_is_bad_frame(self):
+        with pytest.raises(BadFrameError):
+            decode_request(b"HTTP" + b"\x00" * 16)
+
+    @pytest.mark.parametrize("dims", ([True], [-1], ["3"], [2.5], "3",
+                                      [None]))
+    def test_invalid_dims_rejected(self, dims):
+        hdr = json.dumps({"op": "compress", "dims": dims,
+                          "v": WIRE_VERSION, "nbytes": 0}).encode()
+        frame = MAGIC + len(hdr).to_bytes(4, "big") + hdr
+        with pytest.raises(BadFrameError):
+            decode_request(frame)
+
+    def test_unknown_dtype_rejected(self):
+        hdr = json.dumps({"op": "compress", "dtype": "complex1024",
+                          "v": WIRE_VERSION, "nbytes": 0}).encode()
+        frame = MAGIC + len(hdr).to_bytes(4, "big") + hdr
+        with pytest.raises(BadFrameError):
+            decode_request(frame)
+
+    def test_shm_plus_payload_rejected(self):
+        hdr = json.dumps({"op": "compress",
+                          "shm": {"name": "x", "nbytes": 4},
+                          "v": WIRE_VERSION, "nbytes": 4}).encode()
+        frame = MAGIC + len(hdr).to_bytes(4, "big") + hdr + b"\x00" * 4
+        with pytest.raises(BadFrameError):
+            decode_request(frame)
+
+    def test_declared_nbytes_must_match_payload(self):
+        hdr = json.dumps({"op": "compress", "v": WIRE_VERSION,
+                          "nbytes": 100}).encode()
+        frame = MAGIC + len(hdr).to_bytes(4, "big") + hdr + b"\x00" * 7
+        with pytest.raises(BadFrameError):
+            decode_request(frame)
+
+    def test_oversized_header_length_rejected(self):
+        frame = MAGIC + (1 << 24).to_bytes(4, "big") + b"{}"
+        with pytest.raises(BadFrameError):
+            decode_request(frame)
+
+    def test_malformed_shm_descriptors_rejected(self):
+        for doc in ("x", {"nbytes": 4}, {"name": "", "nbytes": 4},
+                    {"name": "x", "nbytes": -1},
+                    {"name": "x", "nbytes": 4, "offset": -2}):
+            with pytest.raises(BadFrameError):
+                ShmRef.from_header(doc)
